@@ -1,0 +1,315 @@
+(** occo — the CompCertO-in-OCaml compiler driver.
+
+    Compile a C source file through the 17-pass pipeline, optionally
+    dumping intermediate representations and running the program at any
+    level through the marshaled simulation conventions.
+
+    Examples:
+    {v
+    occo compile file.c -dclight -drtl -dasm
+    occo run file.c --level asm --entry main
+    occo run file.c --level all --entry gcd --args 252,105
+    occo derive
+    occo table 3
+    v} *)
+
+open Support
+open Memory.Mtypes
+open Memory.Values
+open Iface
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_file path = Cfrontend.Cparser.parse_program (read_file path)
+
+let dump_section title pp =
+  Format.printf "=== %s ===@.%t@." title pp
+
+let dump_program_with pp_fun (prog : ('f, 'v) Ast.program) fmt =
+  List.iter
+    (fun (id, d) ->
+      match d with
+      | Ast.Gfun (Ast.Internal f) ->
+        Format.fprintf fmt "%a:@.%a@." Ident.pp id pp_fun f
+      | _ -> ())
+    prog.Ast.prog_defs
+
+(** {1 compile} *)
+
+let compile_cmd_run file o0 dumps =
+  try
+    let p = parse_file file in
+    let options =
+      if o0 then Driver.Compiler.no_optims else Driver.Compiler.all_optims
+    in
+    match Driver.Compiler.compile ~options p with
+    | Error e ->
+      Format.eprintf "%s: compilation error: %s@." file e;
+      1
+    | Ok arts ->
+      if List.mem "clight" dumps then
+        dump_section "Clight (after SimplLocals)" (fun fmt ->
+            Cfrontend.Cprint.pp_program fmt arts.clight2);
+      if List.mem "rtl" dumps then
+        dump_section "RTL (after optimizations)"
+          (dump_program_with Middle.Rtl.pp_function arts.rtl);
+      if List.mem "ltl" dumps then
+        dump_section "LTL (after tunneling)"
+          (dump_program_with Backend.Ltl.pp_function arts.ltl_tunneled);
+      if List.mem "linear" dumps then
+        dump_section "Linear"
+          (dump_program_with Backend.Linear.pp_function arts.linear_clean);
+      if List.mem "mach" dumps then
+        dump_section "Mach" (dump_program_with Backend.Mach.pp_function arts.mach);
+      if List.mem "asm" dumps || dumps = [] then
+        dump_section "Asm" (dump_program_with Backend.Asm.pp_function arts.asm);
+      0
+  with
+  | Cfrontend.Cparser.Parse_error (msg, line) ->
+    Format.eprintf "%s:%d: parse error: %s@." file line msg;
+    1
+  | Cfrontend.Clexer.Lex_error (msg, line) ->
+    Format.eprintf "%s:%d: lexical error: %s@." file line msg;
+    1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let o0_flag = Arg.(value & flag & info [ "O0" ] ~doc:"Disable optimizations.")
+
+let dump_flags =
+  let mk name doc = Arg.(value & flag & info [ "d" ^ name ] ~doc) in
+  let combine cl rtl ltl lin mach asm =
+    List.filter_map
+      (fun (b, n) -> if b then Some n else None)
+      [ (cl, "clight"); (rtl, "rtl"); (ltl, "ltl"); (lin, "linear");
+        (mach, "mach"); (asm, "asm") ]
+  in
+  Term.(
+    const combine
+    $ mk "clight" "Dump Clight after SimplLocals."
+    $ mk "rtl" "Dump RTL after optimizations."
+    $ mk "ltl" "Dump LTL."
+    $ mk "linear" "Dump Linear."
+    $ mk "mach" "Dump Mach."
+    $ mk "asm" "Dump Asm.")
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a C file and dump IRs.")
+    Term.(const compile_cmd_run $ file_arg $ o0_flag $ dump_flags)
+
+(** {1 run} *)
+
+let parse_args (spec : string) (sg : signature) : value list option =
+  if spec = "" then Some []
+  else
+    let parts = String.split_on_char ',' spec in
+    if List.length parts <> List.length sg.sig_args then None
+    else
+      List.fold_right
+        (fun (s, t) acc ->
+          match acc with
+          | None -> None
+          | Some vs -> (
+            match t with
+            | Tint -> Option.map (fun n -> Vint n :: vs) (Int32.of_string_opt s)
+            | Tlong -> Option.map (fun n -> Vlong n :: vs) (Int64.of_string_opt s)
+            | Tfloat -> Option.map (fun f -> Vfloat f :: vs) (float_of_string_opt s)
+            | Tsingle ->
+              Option.map (fun f -> Vsingle (to_single f) :: vs)
+                (float_of_string_opt s)
+            | Tany64 -> None))
+        (List.combine parts sg.sig_args)
+        (Some [])
+
+let run_cmd_run file level entry args_spec fuel o0 =
+  try
+    let p = parse_file file in
+    let symbols = Ast.prog_defs_names p in
+    let options =
+      if o0 then Driver.Compiler.no_optims else Driver.Compiler.all_optims
+    in
+    match Driver.Compiler.compile ~options p with
+    | Error e ->
+      Format.eprintf "compilation error: %s@." e;
+      1
+    | Ok arts -> (
+      (* Determine the entry signature from the source program. *)
+      let sg =
+        match Ast.find_def p (Ident.intern entry) with
+        | Some (Ast.Gfun fd) ->
+          Some (Ast.fundef_sig ~internal_sig:Cfrontend.Csyntax.fn_sig fd)
+        | _ -> None
+      in
+      match sg with
+      | None ->
+        Format.eprintf "no function named %s@." entry;
+        1
+      | Some sg -> (
+        match parse_args args_spec sg with
+        | None ->
+          Format.eprintf "bad arguments for signature %a@." pp_signature sg;
+          1
+        | Some args -> (
+          match
+            Driver.Runners.main_query ~symbols ~defs:p ~name:entry ~args ~sg ()
+          with
+          | None ->
+            Format.eprintf "cannot build the query@.";
+            1
+          | Some q ->
+            let show name r =
+              match r with
+              | Ok o ->
+                Format.printf "%-8s %a@." name Driver.Runners.pp_c_outcome o
+              | Error e -> Format.printf "%-8s marshal error: %s@." name e
+            in
+            let run_level lv =
+              match lv with
+              | "clight" ->
+                show "clight"
+                  (Ok
+                     (Driver.Runners.run_c_level
+                        (Cfrontend.Clight.semantics ~symbols p) ~fuel q))
+              | "rtl" ->
+                show "rtl"
+                  (Ok
+                     (Driver.Runners.run_c_level
+                        (Middle.Rtl.semantics ~symbols arts.rtl) ~fuel q))
+              | "ltl" ->
+                show "ltl"
+                  (Driver.Runners.run_l_level
+                     (Backend.Ltl.semantics ~symbols arts.ltl_tunneled) ~fuel q)
+              | "mach" ->
+                show "mach"
+                  (Driver.Runners.run_m_level
+                     (Backend.Mach.semantics ~symbols arts.mach) ~fuel q)
+              | "asm" ->
+                show "asm"
+                  (Driver.Runners.run_a_level
+                     (Backend.Asm.semantics ~symbols arts.asm) ~fuel q)
+              | other -> Format.eprintf "unknown level %s@." other
+            in
+            (if level = "all" then
+               List.iter run_level [ "clight"; "rtl"; "ltl"; "mach"; "asm" ]
+             else run_level level);
+            0)))
+  with
+  | Cfrontend.Cparser.Parse_error (msg, line) ->
+    Format.eprintf "%s:%d: parse error: %s@." file line msg;
+    1
+
+let run_cmd =
+  let level =
+    Arg.(
+      value
+      & opt string "asm"
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Level to run at: clight, rtl, ltl, mach, asm, or all.")
+  in
+  let entry =
+    Arg.(value & opt string "main" & info [ "entry" ] ~docv:"NAME")
+  in
+  let args_spec =
+    Arg.(value & opt string "" & info [ "args" ] ~docv:"V1,V2,...")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~docv:"STEPS")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a function of a compiled program at a chosen level, marshaled \
+          through the simulation conventions.")
+    Term.(
+      const run_cmd_run $ file_arg $ level $ entry $ args_spec $ fuel $ o0_flag)
+
+(** {1 derive} *)
+
+let derive_cmd =
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Print the machine-checked Thm 3.8 derivation (Figs. 10-11).")
+    Term.(
+      const (fun () ->
+          let out, inc = Convalg.Derive.thm_3_8 () in
+          Format.printf "%a@.@.%a@." Convalg.Derive.pp_side out
+            Convalg.Derive.pp_side inc;
+          if out.Convalg.Derive.ok && inc.Convalg.Derive.ok then 0 else 1)
+      $ const ())
+
+(** {1 table} *)
+
+let table_cmd =
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print a reproduction of a paper table (3 or 5).")
+    Term.(
+      const (fun n ->
+          match n with
+          | 3 ->
+            List.iter
+              (fun (p : Convalg.Derive.pass_info) ->
+                Format.printf "%-14s %-12s %-12s %-18s %-18s %d@."
+                  (p.pass_name ^ if p.optional then "*" else "")
+                  p.pass_source p.pass_target
+                  (Convalg.Cterm.to_string p.outgoing)
+                  (Convalg.Cterm.to_string p.incoming)
+                  (Sloccount.Sloc.measure_pass p.pass_name))
+              Convalg.Derive.table3;
+            0
+          | 5 ->
+            List.iter
+              (fun (name, sloc) -> Format.printf "%-55s %6d@." name sloc)
+              (Sloccount.Sloc.measure_table5 ());
+            0
+          | _ ->
+            Format.eprintf "only tables 3 and 5 are reproducible@.";
+            1)
+      $ Arg.(required & pos 0 (some int) None & info [] ~docv:"N"))
+
+(** {1 fuzz} *)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random well-defined C programs and check that every \
+          pipeline level refines the Clight behavior (differential testing \
+          of Thm 3.8).")
+    Term.(
+      const (fun n seed verbose ->
+          let st =
+            match seed with
+            | Some s -> Random.State.make [| s |]
+            | None -> Random.State.make_self_init ()
+          in
+          let failures = ref 0 in
+          for i = 1 to n do
+            let src = QCheck.Gen.generate1 ~rand:st (QCheck.gen Fuzz.Gen.arb_program) in
+            (match Driver.Differential.differential src with
+            | Ok _ -> if verbose then Format.printf "[%d/%d] ok@." i n
+            | Error e ->
+              incr failures;
+              Format.printf "=== FAILURE %d (program %d) ===@.%s@.--- program ---@.%s@.@."
+                !failures i e src)
+          done;
+          Format.printf "%d programs fuzzed, %d failures@." n !failures;
+          if !failures = 0 then 0 else 1)
+      $ Arg.(value & opt int 50 & info [ "n" ] ~docv:"COUNT")
+      $ Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED")
+      $ Arg.(value & flag & info [ "verbose" ]))
+
+let main =
+  Cmd.group
+    (Cmd.info "occo" ~version:"0.1"
+       ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
+    [ compile_cmd; run_cmd; derive_cmd; table_cmd; fuzz_cmd ]
+
+let () = exit (Cmd.eval' main)

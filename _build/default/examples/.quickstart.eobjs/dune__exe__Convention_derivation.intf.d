@@ -1,0 +1,1 @@
+examples/convention_derivation.mli:

@@ -1,0 +1,1 @@
+examples/nic_driver.ml: Ast Backend Cfrontend Core Driver Errors Events Format Genv Ident Iface Int32 List Memory Option Pregfile Simconv Smallstep String Support Target Vcomp

@@ -1,0 +1,1 @@
+examples/nic_driver.mli:

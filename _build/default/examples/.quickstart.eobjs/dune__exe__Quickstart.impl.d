@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Backend Cfrontend Convalg Core Driver Errors Format Ident Iface Li List Memory Option Support

@@ -1,0 +1,1 @@
+examples/separate_compilation.ml: Ast Backend Cfrontend Core Driver Errors Format Genv Ident Iface Memory Option Support

@@ -1,0 +1,1 @@
+lib/backend/asm.ml: Array Ast Core Format Genv Ident Iface List Mem Memory Middle Op Pregfile Support

@@ -1,0 +1,1 @@
+lib/backend/linear.ml: Ast Core Format Genv Ident Iface List Locset Ltl Mem Memory Middle Op Support Target

@@ -1,0 +1,1 @@
+lib/backend/ltl.ml: Ast Core Format Genv Ident Iface Int List LocMap Locset Map Mem Memory Middle Op Support Target

@@ -1,0 +1,1 @@
+lib/backend/mach.ml: Array Ast Core Format Genv Ident Iface List Mem Memory Middle Op Regfile Support Target

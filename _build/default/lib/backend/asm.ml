@@ -1,0 +1,242 @@
+(** Asm: the target assembly language, over the full architectural
+    register file (CompCert's [Asm], link-register style).
+
+    The program counter holds code pointers [Vptr (fb, pos)] where [fb]
+    is the block of a function symbol and [pos] an instruction index.
+    [Pcall] sets the return-address register; function prologues
+    ([Pallocframe]) allocate the frame and spill the back link and RA;
+    epilogues ([Pfreeframe]) restore them. Asm uses the interface [A]:
+    queries and answers are a register file plus memory (paper §3.2 —
+    "the semantics of assembly is formulated exclusively in terms of the
+    language interface A", Appendix A.6).
+
+    Following CompCertO, an activation is complete when control returns
+    to the address that the environment installed in [RA] at entry. *)
+
+open Support
+open Memory
+open Memory.Values
+open Memory.Mtypes
+open Memory.Memdata
+open Middle
+open Iface
+open Iface.Li
+
+type label = int
+
+type ros = Rreg of preg | Rsymbol of Ident.t
+
+type instruction =
+  | Pallocframe of int * int * int  (** size, ofs_link, ofs_ra *)
+  | Pfreeframe of int * int * int  (** size, ofs_link, ofs_ra *)
+  | Pop of Op.operation * preg list * preg
+  | Pload of chunk * Op.addressing * preg list * preg
+  | Pstore of chunk * Op.addressing * preg list * preg
+  | Plabel of label
+  | Pjmp of label
+  | Pjcc of Op.condition * preg list * label
+  | Pcall of ros
+  | Pjmp_tail of ros  (** tail jump to another function *)
+  | Pret
+
+type coq_function = { fn_sig : signature; fn_code : instruction array }
+
+type program = (coq_function, unit) Ast.program
+
+let internal_sig f = f.fn_sig
+
+(** Syntactic linking of Asm programs: the [+] operator of Theorem 3.5. *)
+let link p1 p2 = Ast.link ~internal_sig p1 p2
+
+let find_label (lbl : label) (code : instruction array) : int option =
+  let rec go i =
+    if i >= Array.length code then None
+    else match code.(i) with Plabel l when l = lbl -> Some (i + 1) | _ -> go (i + 1)
+  in
+  go 0
+
+(** {1 Semantics} *)
+
+type state = { rs : Pregfile.t; m : Mem.t }
+
+type genv = (coq_function, unit) Genv.t
+
+let genv_view (ge : genv) : Op.genv_view =
+  { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
+
+let ros_address (ge : genv) ros (rs : Pregfile.t) =
+  match ros with
+  | Rreg r -> Some (Pregfile.get r rs)
+  | Rsymbol id -> (
+    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
+
+let chunk_of_typ = function
+  | Tint -> Mint32
+  | Tlong -> Mint64
+  | Tfloat -> Mfloat64
+  | Tsingle -> Mfloat32
+  | Tany64 -> Many64
+
+(* One instruction. [fb] is the current function's block, [pos] the index
+   of the instruction being executed. *)
+let exec_instr (ge : genv) (f : coq_function) (fb : block) (pos : int)
+    (i : instruction) (rs : Pregfile.t) (m : Mem.t) : (Pregfile.t * Mem.t) option =
+  let next rs = Some (Pregfile.set PC (Vptr (fb, pos + 1)) rs, m) in
+  let next_m rs m = Some (Pregfile.set PC (Vptr (fb, pos + 1)) rs, m) in
+  let goto lbl rs =
+    match find_label lbl f.fn_code with
+    | Some pos' -> Some (Pregfile.set PC (Vptr (fb, pos')) rs, m)
+    | None -> None
+  in
+  match i with
+  | Pallocframe (sz, ofs_link, ofs_ra) -> (
+    let m1, b = Mem.alloc m 0 sz in
+    let sp' = Vptr (b, 0) in
+    match Mem.store Mint64 m1 b ofs_link (Pregfile.get SP rs) with
+    | None -> None
+    | Some m2 -> (
+      match Mem.store Mint64 m2 b ofs_ra (Pregfile.get RA rs) with
+      | None -> None
+      | Some m3 -> next_m (Pregfile.set SP sp' rs) m3))
+  | Pfreeframe (sz, ofs_link, ofs_ra) -> (
+    match Pregfile.get SP rs with
+    | Vptr (b, 0) -> (
+      match (Mem.load Mint64 m b ofs_link, Mem.load Mint64 m b ofs_ra) with
+      | Some link, Some ra -> (
+        match Mem.free m b 0 sz with
+        | Some m' ->
+          next_m (Pregfile.set SP link (Pregfile.set RA ra rs)) m'
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+  | Pop (op, args, res) -> (
+    let vl = List.map (fun r -> Pregfile.get r rs) args in
+    match Op.eval_operation (genv_view ge) (Pregfile.get SP rs) op vl m with
+    | Some v -> next (Pregfile.set res v rs)
+    | None -> None)
+  | Pload (chunk, addr, args, dst) -> (
+    let vl = List.map (fun r -> Pregfile.get r rs) args in
+    match Op.eval_addressing (genv_view ge) (Pregfile.get SP rs) addr vl with
+    | Some va -> (
+      match Mem.loadv chunk m va with
+      | Some v -> next (Pregfile.set dst v rs)
+      | None -> None)
+    | None -> None)
+  | Pstore (chunk, addr, args, src) -> (
+    let vl = List.map (fun r -> Pregfile.get r rs) args in
+    match Op.eval_addressing (genv_view ge) (Pregfile.get SP rs) addr vl with
+    | Some va -> (
+      match Mem.storev chunk m va (Pregfile.get src rs) with
+      | Some m' -> next_m rs m'
+      | None -> None)
+    | None -> None)
+  | Plabel _ -> next rs
+  | Pjmp lbl -> goto lbl rs
+  | Pjcc (cond, args, lbl) -> (
+    let vl = List.map (fun r -> Pregfile.get r rs) args in
+    match Op.eval_condition cond vl m with
+    | Some true -> goto lbl rs
+    | Some false -> next rs
+    | None -> None)
+  | Pcall ros -> (
+    match ros_address ge ros rs with
+    | Some vf ->
+      let rs = Pregfile.set RA (Vptr (fb, pos + 1)) rs in
+      Some (Pregfile.set PC vf rs, m)
+    | None -> None)
+  | Pjmp_tail ros -> (
+    match ros_address ge ros rs with
+    | Some vf -> Some (Pregfile.set PC vf rs, m)
+    | None -> None)
+  | Pret -> Some (Pregfile.set PC (Pregfile.get RA rs) rs, m)
+
+let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
+  match Pregfile.get PC s.rs with
+  | Vptr (fb, pos) -> (
+    match Genv.find_funct_ptr ge fb with
+    | Some (Ast.Internal f) when pos >= 0 && pos < Array.length f.fn_code -> (
+      match exec_instr ge f fb pos f.fn_code.(pos) s.rs s.m with
+      | Some (rs', m') -> [ (Core.Events.e0, { rs = rs'; m = m' }) ]
+      | None -> [])
+    | _ -> [])
+  | _ -> []
+
+type full_state = { asm_init_ra : value; asm_st : state }
+
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (full_state, a_query, a_reply, a_query, a_reply) Core.Smallstep.lts =
+  let ge = Genv.globalenv ~symbols p in
+  (* A state is at an interaction point when the PC leaves this unit's
+     internal code: either at the environment return address (final) or
+     at a block this unit does not define internally (external call). *)
+  let is_internal v =
+    match v with
+    | Vptr (b, 0) -> (
+      match Genv.find_funct_ptr ge b with Some (Ast.Internal _) -> true | _ -> false)
+    | _ -> false
+  in
+  {
+    Core.Smallstep.name = "Asm";
+    dom = (fun q -> is_internal (Pregfile.get PC q.aq_rs));
+    init = (fun q -> [ { asm_init_ra = Pregfile.get RA q.aq_rs;
+                         asm_st = { rs = q.aq_rs; m = q.aq_mem } } ]);
+    step =
+      (fun s ->
+        List.map (fun (t, st) -> (t, { s with asm_st = st })) (step ge s.asm_st));
+    at_external =
+      (fun s ->
+        (* An external call is a control transfer to the base of a global
+           symbol block this unit does not define internally. Return
+           addresses point into the middle of code blocks and are excluded;
+           garbage PCs are stuck, not external. *)
+        let pc = Pregfile.get PC s.asm_st.rs in
+        if
+          Genv.plausible_funct ge pc
+          && (not (is_internal pc))
+          && pc <> s.asm_init_ra
+        then Some { aq_rs = s.asm_st.rs; aq_mem = s.asm_st.m }
+        else None);
+    after_external =
+      (fun s r -> [ { s with asm_st = { rs = r.ar_rs; m = r.ar_mem } } ]);
+    final =
+      (fun s ->
+        if Pregfile.get PC s.asm_st.rs = s.asm_init_ra then
+          Some { ar_rs = s.asm_st.rs; ar_mem = s.asm_st.m }
+        else None);
+  }
+
+(** {1 Printing} *)
+
+let pp_ros fmt = function
+  | Rreg r -> pp_preg fmt r
+  | Rsymbol id -> Ident.pp fmt id
+
+let pp_instruction fmt i =
+  let regs fmt rl =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_preg fmt rl
+  in
+  match i with
+  | Pallocframe (sz, ol, orr) -> Format.fprintf fmt "allocframe %d, %d, %d" sz ol orr
+  | Pfreeframe (sz, ol, orr) -> Format.fprintf fmt "freeframe %d, %d, %d" sz ol orr
+  | Pop (op, args, res) ->
+    Format.fprintf fmt "%a = %a(%a)" pp_preg res Op.pp_operation op regs args
+  | Pload (chunk, addr, args, dst) ->
+    Format.fprintf fmt "%a = load %a %a(%a)" pp_preg dst pp_chunk chunk
+      Op.pp_addressing addr regs args
+  | Pstore (chunk, addr, args, src) ->
+    Format.fprintf fmt "store %a %a(%a) := %a" pp_chunk chunk Op.pp_addressing
+      addr regs args pp_preg src
+  | Plabel l -> Format.fprintf fmt "%d:" l
+  | Pjmp l -> Format.fprintf fmt "jmp %d" l
+  | Pjcc (cond, args, l) ->
+    Format.fprintf fmt "j%a(%a) %d" Op.pp_condition cond regs args l
+  | Pcall ros -> Format.fprintf fmt "call %a" pp_ros ros
+  | Pjmp_tail ros -> Format.fprintf fmt "jmp-tail %a" pp_ros ros
+  | Pret -> Format.fprintf fmt "ret"
+
+let pp_function fmt (f : coq_function) =
+  Format.fprintf fmt "@[<v>asm function(%a)@," pp_signature f.fn_sig;
+  Array.iteri (fun i instr -> Format.fprintf fmt "  %3d: %a@," i pp_instruction instr) f.fn_code;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,253 @@
+(** Linear: LTL with linearized control flow — a list of instructions with
+    explicit labels and gotos (CompCert's [Linear]). Uses interface [L]. *)
+
+open Support
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Memory.Memdata
+open Middle
+open Target.Machregs
+open Target.Locations
+open Iface
+open Iface.Li
+
+type label = int
+
+type ros = Rreg of mreg | Rsymbol of Ident.t
+
+type instruction =
+  | Lgetstack of slot_kind * int * typ * mreg
+  | Lsetstack of mreg * slot_kind * int * typ
+  | Lop of Op.operation * mreg list * mreg
+  | Lload of chunk * Op.addressing * mreg list * mreg
+  | Lstore of chunk * Op.addressing * mreg list * mreg
+  | Lcall of signature * ros
+  | Ltailcall of signature * ros
+  | Llabel of label
+  | Lgoto of label
+  | Lcond of Op.condition * mreg list * label
+  | Lreturn
+
+type code = instruction list
+
+type coq_function = {
+  fn_sig : signature;
+  fn_stacksize : int;
+  fn_code : code;
+}
+
+type program = (coq_function, unit) Ast.program
+
+let internal_sig f = f.fn_sig
+let link p1 p2 = Ast.link ~internal_sig p1 p2
+
+let rec find_label (lbl : label) (c : code) : code option =
+  match c with
+  | [] -> None
+  | Llabel l :: rest when l = lbl -> Some rest
+  | _ :: rest -> find_label lbl rest
+
+(** {1 Semantics}
+
+    States carry the code suffix still to execute. *)
+
+type stackframe = {
+  sf_f : coq_function;
+  sf_sp : value;
+  sf_ls : Locset.t;
+  sf_code : code;  (** continuation in the caller *)
+}
+
+type state =
+  | State of stackframe list * coq_function * value * code * Locset.t * Mem.t
+  | Callstate of stackframe list * value * signature * Locset.t * Mem.t
+  | Returnstate of stackframe list * Locset.t * Mem.t
+
+type genv = (coq_function, unit) Genv.t
+
+let genv_view (ge : genv) : Op.genv_view =
+  { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
+
+let ros_address (ge : genv) ros (ls : Locset.t) =
+  match ros with
+  | Rreg r -> Some (Locset.get (R r) ls)
+  | Rsymbol id -> (
+    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
+
+let parent_locset (init_ls : Locset.t) = function
+  | [] -> init_ls
+  | fr :: _ -> fr.sf_ls
+
+let mget r ls = Locset.get (R r) ls
+let mget_list rl ls = List.map (fun r -> mget r ls) rl
+let mset r v ls = Locset.set (R r) v ls
+
+let free_stack m sp sz =
+  match sp with
+  | Vptr (b, 0) -> Mem.free m b 0 sz
+  | _ -> if sz = 0 then Some m else None
+
+let step (ge : genv) (init_ls : Locset.t) (s : state) :
+    (Core.Events.trace * state) list =
+  let ret s' = [ (Core.Events.e0, s') ] in
+  match s with
+  | State (stack, f, sp, code, ls, m) -> (
+    match code with
+    | [] -> []
+    | instr :: next -> (
+      match instr with
+      | Llabel _ -> ret (State (stack, f, sp, next, ls, m))
+      | Lgoto lbl -> (
+        match find_label lbl f.fn_code with
+        | Some code' -> ret (State (stack, f, sp, code', ls, m))
+        | None -> [])
+      | Lcond (cond, args, lbl) -> (
+        match Op.eval_condition cond (mget_list args ls) m with
+        | Some true -> (
+          match find_label lbl f.fn_code with
+          | Some code' -> ret (State (stack, f, sp, code', ls, m))
+          | None -> [])
+        | Some false -> ret (State (stack, f, sp, next, ls, m))
+        | None -> [])
+      | Lop (op, args, res) -> (
+        match Op.eval_operation (genv_view ge) sp op (mget_list args ls) m with
+        | Some v -> ret (State (stack, f, sp, next, mset res v ls, m))
+        | None -> [])
+      | Lload (chunk, addr, args, dst) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (mget_list args ls) with
+        | Some va -> (
+          match Mem.loadv chunk m va with
+          | Some v -> ret (State (stack, f, sp, next, mset dst v ls, m))
+          | None -> [])
+        | None -> [])
+      | Lstore (chunk, addr, args, src) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (mget_list args ls) with
+        | Some va -> (
+          match Mem.storev chunk m va (mget src ls) with
+          | Some m' -> ret (State (stack, f, sp, next, ls, m'))
+          | None -> [])
+        | None -> [])
+      | Lgetstack (sl, ofs, ty, dst) ->
+        let v = Locset.get (S (sl, ofs, ty)) ls in
+        ret (State (stack, f, sp, next, mset dst v ls, m))
+      | Lsetstack (src, sl, ofs, ty) ->
+        let v = mget src ls in
+        ret (State (stack, f, sp, next, Locset.set (S (sl, ofs, ty)) v ls, m))
+      | Lcall (sg, ros) -> (
+        match ros_address ge ros ls with
+        | Some vf ->
+          let frame = { sf_f = f; sf_sp = sp; sf_ls = ls; sf_code = next } in
+          ret (Callstate (frame :: stack, vf, sg, ls, m))
+        | None -> [])
+      | Ltailcall (sg, ros) -> (
+        match ros_address ge ros ls with
+        | Some vf -> (
+          match free_stack m sp f.fn_stacksize with
+          | Some m' ->
+            let ls' = Ltl.return_regs (parent_locset init_ls stack) ls in
+            ret (Callstate (stack, vf, sg, ls', m'))
+          | None -> [])
+        | None -> [])
+      | Lreturn -> (
+        match free_stack m sp f.fn_stacksize with
+        | Some m' ->
+          ret
+            (Returnstate
+               (stack, Ltl.return_regs (parent_locset init_ls stack) ls, m'))
+        | None -> [])))
+  | Callstate (stack, vf, sg, ls, m) -> (
+    match Genv.find_funct ge vf with
+    | Some (Ast.Internal f) ->
+      if not (signature_equal sg f.fn_sig) then []
+      else
+        let m1, b = Mem.alloc m 0 f.fn_stacksize in
+        ret (State (stack, f, Vptr (b, 0), f.fn_code, Ltl.call_regs ls, m1))
+    | Some (Ast.External _) | None -> [])
+  | Returnstate (stack, ls, m) -> (
+    match stack with
+    | frame :: stack' ->
+      ret
+        (State
+           ( stack', frame.sf_f, frame.sf_sp, frame.sf_code,
+             Ltl.merge_slots frame.sf_ls ls, m ))
+    | [] -> [])
+
+type full_state = { lin_init_ls : Locset.t; lin_st : state }
+
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+  let ge = Genv.globalenv ~symbols p in
+  {
+    Core.Smallstep.name = "Linear";
+    dom =
+      (fun q ->
+        match Genv.find_funct ge q.lq_vf with
+        | Some (Ast.Internal f) -> signature_equal q.lq_sg f.fn_sig
+        | _ -> false);
+    init =
+      (fun q ->
+        [ { lin_init_ls = q.lq_ls;
+            lin_st = Callstate ([], q.lq_vf, q.lq_sg, q.lq_ls, q.lq_mem) } ]);
+    step =
+      (fun s ->
+        List.map
+          (fun (t, st) -> (t, { s with lin_st = st }))
+          (step ge s.lin_init_ls s.lin_st));
+    at_external =
+      (fun s ->
+        match s.lin_st with
+        | Callstate (_, vf, sg, ls, m) when Genv.plausible_funct ge vf && not (Genv.defines_internal ge vf) ->
+          Some { lq_vf = vf; lq_sg = sg; lq_ls = ls; lq_mem = m }
+        | _ -> None);
+    after_external =
+      (fun s r ->
+        match s.lin_st with
+        | Callstate (stack, _, _, _, _) ->
+          [ { s with lin_st = Returnstate (stack, r.lr_ls, r.lr_mem) } ]
+        | _ -> []);
+    final =
+      (fun s ->
+        match s.lin_st with
+        | Returnstate ([], ls, m) -> Some { lr_ls = ls; lr_mem = m }
+        | _ -> None);
+  }
+
+(** {1 Printing} *)
+
+let pp_ros fmt = function
+  | Rreg r -> pp_mreg fmt r
+  | Rsymbol id -> Ident.pp fmt id
+
+let pp_instruction fmt i =
+  let regs fmt rl =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_mreg fmt rl
+  in
+  match i with
+  | Lgetstack (sl, ofs, ty, dst) ->
+    Format.fprintf fmt "%a = %a(%d):%a" pp_mreg dst pp_slot_kind sl ofs pp_typ ty
+  | Lsetstack (src, sl, ofs, ty) ->
+    Format.fprintf fmt "%a(%d):%a = %a" pp_slot_kind sl ofs pp_typ ty pp_mreg src
+  | Lop (op, args, res) ->
+    Format.fprintf fmt "%a = %a(%a)" pp_mreg res Op.pp_operation op regs args
+  | Lload (chunk, addr, args, dst) ->
+    Format.fprintf fmt "%a = load %a %a(%a)" pp_mreg dst pp_chunk chunk
+      Op.pp_addressing addr regs args
+  | Lstore (chunk, addr, args, src) ->
+    Format.fprintf fmt "store %a %a(%a) := %a" pp_chunk chunk Op.pp_addressing
+      addr regs args pp_mreg src
+  | Lcall (_, ros) -> Format.fprintf fmt "call %a" pp_ros ros
+  | Ltailcall (_, ros) -> Format.fprintf fmt "tailcall %a" pp_ros ros
+  | Llabel l -> Format.fprintf fmt "%d:" l
+  | Lgoto l -> Format.fprintf fmt "goto %d" l
+  | Lcond (cond, args, l) ->
+    Format.fprintf fmt "if %a(%a) goto %d" Op.pp_condition cond regs args l
+  | Lreturn -> Format.fprintf fmt "return"
+
+let pp_function fmt (f : coq_function) =
+  Format.fprintf fmt "@[<v>linear function(%a) stack %d@," pp_signature f.fn_sig
+    f.fn_stacksize;
+  List.iter (fun i -> Format.fprintf fmt "  %a@," pp_instruction i) f.fn_code;
+  Format.fprintf fmt "@]"

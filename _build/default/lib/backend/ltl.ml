@@ -1,0 +1,299 @@
+(** LTL: RTL after register allocation — operations over machine registers
+    and abstract stack slots (CompCert's [LTL], instruction-level CFG).
+
+    LTL and Linear use the language interface [L] (paper, Table 2):
+    queries carry a location map. The semantics enforces the callee-save
+    discipline through [return_regs], exactly as CompCert does: this is
+    the semantic obligation that the [Allocation] correctness (convention
+    [wt · ext · CL]) relies on. *)
+
+open Support
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Memory.Memdata
+open Middle
+open Target.Machregs
+open Target.Locations
+open Iface
+open Iface.Li
+
+type node = int
+
+module Nodemap = Map.Make (Int)
+
+type ros = Rreg of mreg | Rsymbol of Ident.t
+
+type instruction =
+  | Lnop of node
+  | Lop of Op.operation * mreg list * mreg * node
+  | Lload of chunk * Op.addressing * mreg list * mreg * node
+  | Lstore of chunk * Op.addressing * mreg list * mreg * node
+  | Lgetstack of slot_kind * int * typ * mreg * node
+  | Lsetstack of mreg * slot_kind * int * typ * node
+  | Lcall of signature * ros * node
+  | Ltailcall of signature * ros
+  | Lcond of Op.condition * mreg list * node * node
+  | Lreturn
+
+type code = instruction Nodemap.t
+
+type coq_function = {
+  fn_sig : signature;
+  fn_stacksize : int;
+  fn_code : code;
+  fn_entrypoint : node;
+}
+
+type program = (coq_function, unit) Ast.program
+
+let internal_sig f = f.fn_sig
+let link p1 p2 = Ast.link ~internal_sig p1 p2
+
+let successors_instr = function
+  | Lnop n
+  | Lop (_, _, _, n)
+  | Lload (_, _, _, _, n)
+  | Lstore (_, _, _, _, n)
+  | Lgetstack (_, _, _, _, n)
+  | Lsetstack (_, _, _, _, n)
+  | Lcall (_, _, n) ->
+    [ n ]
+  | Lcond (_, _, n1, n2) -> [ n1; n2 ]
+  | Ltailcall _ | Lreturn -> []
+
+(** {1 Locset manipulation at calls (CompCert's [LTL.call_regs],
+    [LTL.return_regs])} *)
+
+(* The callee sees the caller's Outgoing slots as its Incoming slots. *)
+let call_regs (caller : Locset.t) : Locset.t =
+  let ls =
+    List.fold_left
+      (fun ls r -> Locset.set (R r) (Locset.get (R r) caller) ls)
+      Locset.init all_mregs
+  in
+  (* Incoming slots are resolved on demand below; we materialize the
+     plausible argument range eagerly. *)
+  LocMap.fold
+    (fun l v ls ->
+      match l with
+      | S (Outgoing, ofs, ty) -> Locset.set (S (Incoming, ofs, ty)) v ls
+      | _ -> ls)
+    caller ls
+
+(* At return: callee-save from the caller, caller-save (including result
+   registers) from the callee. Stack slots belong to activations and are
+   not part of a return's locset. *)
+let return_regs (caller : Locset.t) (callee : Locset.t) : Locset.t =
+  List.fold_left
+    (fun ls r ->
+      if is_callee_save r then Locset.set (R r) (Locset.get (R r) caller) ls
+      else Locset.set (R r) (Locset.get (R r) callee) ls)
+    Locset.init all_mregs
+
+(* When a caller resumes after a call, its own stack slots (Local and
+   Outgoing) are restored from its suspended locset; machine registers
+   come from the returned locset. *)
+let merge_slots (caller : Locset.t) (returned : Locset.t) : Locset.t =
+  LocMap.fold
+    (fun l v ls -> match l with S _ -> LocMap.add l v ls | R _ -> ls)
+    caller returned
+
+(** {1 Semantics} *)
+
+type stackframe = {
+  sf_f : coq_function;
+  sf_sp : value;
+  sf_pc : node;
+  sf_ls : Locset.t;  (** locset at call time *)
+}
+
+type state =
+  | State of stackframe list * coq_function * value * node * Locset.t * Mem.t
+  | Callstate of stackframe list * value * signature * Locset.t * Mem.t
+  | Returnstate of stackframe list * Locset.t * Mem.t
+
+type genv = (coq_function, unit) Genv.t
+
+let genv_view (ge : genv) : Op.genv_view =
+  { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
+
+let ros_address (ge : genv) ros (ls : Locset.t) =
+  match ros with
+  | Rreg r -> Some (Locset.get (R r) ls)
+  | Rsymbol id -> (
+    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
+
+let parent_locset (init_ls : Locset.t) = function
+  | [] -> init_ls
+  | fr :: _ -> fr.sf_ls
+
+let mget r ls = Locset.get (R r) ls
+let mget_list rl ls = List.map (fun r -> mget r ls) rl
+let mset r v ls = Locset.set (R r) v ls
+
+let free_stack m sp sz =
+  match sp with
+  | Vptr (b, 0) -> Mem.free m b 0 sz
+  | _ -> if sz = 0 then Some m else None
+
+(* The locset of the incoming query is threaded through the whole
+   execution as the "parent" of the bottom activation. *)
+let step (ge : genv) (init_ls : Locset.t) (s : state) :
+    (Core.Events.trace * state) list =
+  let ret s' = [ (Core.Events.e0, s') ] in
+  match s with
+  | State (stack, f, sp, pc, ls, m) -> (
+    match Nodemap.find_opt pc f.fn_code with
+    | None -> []
+    | Some instr -> (
+      match instr with
+      | Lnop n -> ret (State (stack, f, sp, n, ls, m))
+      | Lop (op, args, res, n) -> (
+        match Op.eval_operation (genv_view ge) sp op (mget_list args ls) m with
+        | Some v -> ret (State (stack, f, sp, n, mset res v ls, m))
+        | None -> [])
+      | Lload (chunk, addr, args, dst, n) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (mget_list args ls) with
+        | Some va -> (
+          match Mem.loadv chunk m va with
+          | Some v -> ret (State (stack, f, sp, n, mset dst v ls, m))
+          | None -> [])
+        | None -> [])
+      | Lstore (chunk, addr, args, src, n) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (mget_list args ls) with
+        | Some va -> (
+          match Mem.storev chunk m va (mget src ls) with
+          | Some m' -> ret (State (stack, f, sp, n, ls, m'))
+          | None -> [])
+        | None -> [])
+      | Lgetstack (sl, ofs, ty, dst, n) ->
+        let v = Locset.get (S (sl, ofs, ty)) ls in
+        ret (State (stack, f, sp, n, mset dst v ls, m))
+      | Lsetstack (src, sl, ofs, ty, n) ->
+        let v = mget src ls in
+        ret (State (stack, f, sp, n, Locset.set (S (sl, ofs, ty)) v ls, m))
+      | Lcall (sg, ros, n) -> (
+        match ros_address ge ros ls with
+        | Some vf ->
+          let frame = { sf_f = f; sf_sp = sp; sf_pc = n; sf_ls = ls } in
+          ret (Callstate (frame :: stack, vf, sg, ls, m))
+        | None -> [])
+      | Ltailcall (sg, ros) -> (
+        match ros_address ge ros ls with
+        | Some vf -> (
+          match free_stack m sp f.fn_stacksize with
+          | Some m' ->
+            (* Tail calls pass the parent's locset view: callee-save
+               values must already be restored. *)
+            let ls' = return_regs (parent_locset init_ls stack) ls in
+            ret (Callstate (stack, vf, sg, ls', m'))
+          | None -> [])
+        | None -> [])
+      | Lcond (cond, args, n1, n2) -> (
+        match Op.eval_condition cond (mget_list args ls) m with
+        | Some b -> ret (State (stack, f, sp, (if b then n1 else n2), ls, m))
+        | None -> [])
+      | Lreturn -> (
+        match free_stack m sp f.fn_stacksize with
+        | Some m' ->
+          ret
+            (Returnstate (stack, return_regs (parent_locset init_ls stack) ls, m'))
+        | None -> [])))
+  | Callstate (stack, vf, sg, ls, m) -> (
+    match Genv.find_funct ge vf with
+    | Some (Ast.Internal f) ->
+      if not (signature_equal sg f.fn_sig) then []
+      else
+        let m1, b = Mem.alloc m 0 f.fn_stacksize in
+        ret (State (stack, f, Vptr (b, 0), f.fn_entrypoint, call_regs ls, m1))
+    | Some (Ast.External _) | None -> [])
+  | Returnstate (stack, ls, m) -> (
+    match stack with
+    | frame :: stack' ->
+      ret
+        (State
+           ( stack', frame.sf_f, frame.sf_sp, frame.sf_pc,
+             merge_slots frame.sf_ls ls, m ))
+    | [] -> [])
+
+type full_state = { ltl_init_ls : Locset.t; ltl_st : state }
+
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+  let ge = Genv.globalenv ~symbols p in
+  {
+    Core.Smallstep.name = "LTL";
+    dom =
+      (fun q ->
+        match Genv.find_funct ge q.lq_vf with
+        | Some (Ast.Internal f) -> signature_equal q.lq_sg f.fn_sig
+        | _ -> false);
+    init =
+      (fun q ->
+        [ { ltl_init_ls = q.lq_ls;
+            ltl_st = Callstate ([], q.lq_vf, q.lq_sg, q.lq_ls, q.lq_mem) } ]);
+    step =
+      (fun s ->
+        List.map
+          (fun (t, st) -> (t, { s with ltl_st = st }))
+          (step ge s.ltl_init_ls s.ltl_st));
+    at_external =
+      (fun s ->
+        match s.ltl_st with
+        | Callstate (_, vf, sg, ls, m) when Genv.plausible_funct ge vf && not (Genv.defines_internal ge vf) ->
+          Some { lq_vf = vf; lq_sg = sg; lq_ls = ls; lq_mem = m }
+        | _ -> None);
+    after_external =
+      (fun s r ->
+        match s.ltl_st with
+        | Callstate (stack, _, _, _, _) ->
+          [ { s with ltl_st = Returnstate (stack, r.lr_ls, r.lr_mem) } ]
+        | _ -> []);
+    final =
+      (fun s ->
+        match s.ltl_st with
+        | Returnstate ([], ls, m) -> Some { lr_ls = ls; lr_mem = m }
+        | _ -> None);
+  }
+
+(** {1 Printing} *)
+
+let pp_ros fmt = function
+  | Rreg r -> pp_mreg fmt r
+  | Rsymbol id -> Ident.pp fmt id
+
+let pp_instruction fmt i =
+  let regs fmt rl =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_mreg fmt rl
+  in
+  match i with
+  | Lnop n -> Format.fprintf fmt "nop -> %d" n
+  | Lop (op, args, res, n) ->
+    Format.fprintf fmt "%a = %a(%a) -> %d" pp_mreg res Op.pp_operation op regs args n
+  | Lload (chunk, addr, args, dst, n) ->
+    Format.fprintf fmt "%a = load %a %a(%a) -> %d" pp_mreg dst pp_chunk chunk
+      Op.pp_addressing addr regs args n
+  | Lstore (chunk, addr, args, src, n) ->
+    Format.fprintf fmt "store %a %a(%a) := %a -> %d" pp_chunk chunk
+      Op.pp_addressing addr regs args pp_mreg src n
+  | Lgetstack (sl, ofs, ty, dst, n) ->
+    Format.fprintf fmt "%a = %a(%d):%a -> %d" pp_mreg dst pp_slot_kind sl ofs
+      pp_typ ty n
+  | Lsetstack (src, sl, ofs, ty, n) ->
+    Format.fprintf fmt "%a(%d):%a = %a -> %d" pp_slot_kind sl ofs pp_typ ty
+      pp_mreg src n
+  | Lcall (_, ros, n) -> Format.fprintf fmt "call %a -> %d" pp_ros ros n
+  | Ltailcall (_, ros) -> Format.fprintf fmt "tailcall %a" pp_ros ros
+  | Lcond (cond, args, n1, n2) ->
+    Format.fprintf fmt "if %a(%a) -> %d else %d" Op.pp_condition cond regs args n1 n2
+  | Lreturn -> Format.fprintf fmt "return"
+
+let pp_function fmt (f : coq_function) =
+  Format.fprintf fmt "@[<v>ltl function(%a) stack %d entry %d@," pp_signature
+    f.fn_sig f.fn_stacksize f.fn_entrypoint;
+  let nodes = List.sort (fun (a, _) (b, _) -> compare b a) (Nodemap.bindings f.fn_code) in
+  List.iter (fun (n, i) -> Format.fprintf fmt "  %4d: %a@," n pp_instruction i) nodes;
+  Format.fprintf fmt "@]"

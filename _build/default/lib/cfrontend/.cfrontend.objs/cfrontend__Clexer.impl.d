@@ -1,0 +1,1 @@
+lib/cfrontend/clexer.ml: Array Char Format Int64 List Printf String

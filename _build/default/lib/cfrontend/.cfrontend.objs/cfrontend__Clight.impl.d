@@ -1,0 +1,1 @@
+lib/cfrontend/clight.ml: Ast Cop Core Csyntax Ctypes Genv Ident Iface Int64 List Mem Memory Mtypes Support

@@ -1,0 +1,1 @@
+lib/cfrontend/cmops.ml: Format Mem Memory Option

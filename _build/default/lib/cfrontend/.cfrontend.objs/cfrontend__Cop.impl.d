@@ -1,0 +1,1 @@
+lib/cfrontend/cop.ml: Ctypes Float Format Int32 Int64 Mem Memory Option

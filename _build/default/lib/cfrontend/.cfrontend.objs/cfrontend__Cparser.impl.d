@@ -1,0 +1,1 @@
+lib/cfrontend/cparser.ml: Clexer Cop Csyntax Ctypes Format Ident Iface Int64 List Memory Option Support

@@ -1,0 +1,1 @@
+lib/cfrontend/cprint.ml: Cop Csyntax Ctypes Format Ident Iface List Memory Support

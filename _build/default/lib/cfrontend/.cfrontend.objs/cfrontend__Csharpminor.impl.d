@@ -1,0 +1,1 @@
+lib/cfrontend/csharpminor.ml: Ast Cmops Core Genv Ident Iface List Mem Memory Support

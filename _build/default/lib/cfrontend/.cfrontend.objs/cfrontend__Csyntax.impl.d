@@ -1,0 +1,1 @@
+lib/cfrontend/csyntax.ml: Cop Ctypes Ident Iface List Support

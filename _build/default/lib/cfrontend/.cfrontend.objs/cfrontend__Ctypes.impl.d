@@ -1,0 +1,1 @@
+lib/cfrontend/ctypes.ml: Format List Memory

@@ -1,0 +1,782 @@
+(** Recursive-descent parser and elaborator for the C subset.
+
+    Produces typed Clight abstract syntax directly. Expressions with
+    control effects ([&&], [||], [?:]) or embedded calls are lowered into
+    statements over fresh temporaries, exactly as CompCert's SimplExpr
+    pass does; the resulting Clight expressions are pure. Implicit
+    conversions are materialized as [Ecast] nodes. *)
+
+open Support
+open Ctypes
+open Csyntax
+open Clexer
+
+exception Parse_error of string * int
+
+let err lx fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (s, line lx))) fmt
+
+(** {1 Token helpers} *)
+
+let expect_punct lx s =
+  match peek lx with
+  | PUNCT p when p = s -> advance lx
+  | t -> err lx "expected '%s' but found %a" s pp_token t
+
+let eat_punct lx s =
+  match peek lx with
+  | PUNCT p when p = s ->
+    advance lx;
+    true
+  | _ -> false
+
+let eat_kw lx s =
+  match peek lx with
+  | KW k when k = s ->
+    advance lx;
+    true
+  | _ -> false
+
+let expect_ident lx =
+  match peek lx with
+  | IDENT s ->
+    advance lx;
+    s
+  | t -> err lx "expected identifier but found %a" pp_token t
+
+(** {1 Types} *)
+
+let is_type_start lx =
+  match peek lx with
+  | KW ("int" | "long" | "char" | "short" | "unsigned" | "signed" | "double"
+       | "float" | "void" | "const") ->
+    true
+  | _ -> false
+
+(* Parse a base type: sequences like "unsigned long", "const int", ... *)
+let parse_base_type lx =
+  let readonly = ref false in
+  let signed = ref None in
+  let base = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek lx with
+    | KW "const" -> readonly := true; advance lx
+    | KW "unsigned" -> signed := Some Unsigned; advance lx
+    | KW "signed" -> signed := Some Signed; advance lx
+    | KW (("int" | "long" | "char" | "short" | "double" | "float" | "void") as k) ->
+      (match (!base, k) with
+      | None, _ -> base := Some k
+      | Some "long", "long" -> () (* long long = long *)
+      | Some "long", "int" | Some "short", "int" -> ()
+      | Some b, k -> err lx "conflicting type specifiers %s %s" b k);
+      advance lx
+    | _ -> continue_ := false
+  done;
+  let sg = Option.value !signed ~default:Signed in
+  let t =
+    match !base with
+    | Some "char" -> Tint (I8, sg)
+    | Some "short" -> Tint (I16, sg)
+    | Some "int" | None -> Tint (I32, sg)
+    | Some "long" -> Tlong sg
+    | Some "double" -> Tfloat
+    | Some "float" -> Tsingle
+    | Some "void" -> Tvoid
+    | Some other -> err lx "unknown type %s" other
+  in
+  (t, !readonly)
+
+let parse_pointers lx t =
+  let t = ref t in
+  while eat_punct lx "*" do
+    t := Tpointer !t
+  done;
+  !t
+
+(* Array suffixes: T x[3][4] gives Tarray (Tarray (T, 4), 3). *)
+let rec parse_array_suffix lx t =
+  if eat_punct lx "[" then begin
+    let n =
+      match peek lx with
+      | INT_LIT (v, _) ->
+        advance lx;
+        Int64.to_int v
+      | tok -> err lx "expected array size, found %a" pp_token tok
+    in
+    expect_punct lx "]";
+    let inner = parse_array_suffix lx t in
+    Tarray (inner, n)
+  end
+  else t
+
+(* Parameter lists: [T x, U y] or [void]. Parameter names may be omitted
+   in prototypes. Array parameters decay to pointers. *)
+let rec parse_params lx =
+  expect_punct lx "(";
+  if eat_punct lx ")" then []
+  else if peek lx = KW "void" && peek2 lx = PUNCT ")" then begin
+    advance lx;
+    advance lx;
+    []
+  end
+  else begin
+    let rec go acc =
+      let bt, _ = parse_base_type lx in
+      let t = parse_pointers lx bt in
+      let name, t =
+        match peek lx with
+        | IDENT s ->
+          advance lx;
+          (s, decayed_type0 (parse_array_suffix lx t))
+        | PUNCT "(" ->
+          let name, t = parse_fptr_declarator lx t in
+          (name, t)
+        | _ -> ("", t)
+      in
+      let acc = (name, t) :: acc in
+      if eat_punct lx "," then go acc
+      else begin
+        expect_punct lx ")";
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+(* Function-pointer declarator "( * name)(params)"; the return type has
+   already been parsed. *)
+and parse_fptr_declarator lx ret_ty =
+  expect_punct lx "(";
+  expect_punct lx "*";
+  let name = expect_ident lx in
+  expect_punct lx ")";
+  let params = parse_params lx in
+  (name, Tpointer (Tfunction (List.map snd params, ret_ty)))
+
+and decayed_type0 t = match t with Tarray (te, _) -> Tpointer te | t -> t
+
+(** {1 Elaboration environment} *)
+
+type venv = {
+  locals : ty Ident.Map.t;  (** parameters and declared locals *)
+  globals : ty Ident.Map.t;
+}
+
+let lookup_var env id =
+  match Ident.Map.find_opt id env.locals with
+  | Some t -> Some t
+  | None -> Ident.Map.find_opt id env.globals
+
+(* Per-function elaboration state: declared variables and generated
+   temporaries. *)
+type fstate = {
+  mutable vars : (Ident.t * ty) list;
+  mutable temps : (Ident.t * ty) list;
+}
+
+let fresh_temp fs t =
+  let id = Ident.fresh_named "t" in
+  fs.temps <- (id, t) :: fs.temps;
+  id
+
+(** {1 Expressions}
+
+    [parse_expr] returns a list of prelude statements (in execution
+    order) together with a pure Clight expression. *)
+
+(* Decay array/function types when an expression is used as a value. *)
+let decay e =
+  match typeof e with
+  | Tarray (t, _) -> Ecast (Eaddrof (e, Tpointer t), Tpointer t)
+  | Tfunction _ as t -> Eaddrof (e, Tpointer t)
+  | _ -> e
+
+let decayed_type t =
+  match t with Tarray (te, _) -> Tpointer te | t -> t
+
+let cast_to t e = if ty_equal (typeof e) t then e else Ecast (e, t)
+
+let is_scalar = function
+  | Tint _ | Tlong _ | Tfloat | Tsingle | Tpointer _ | Tarray _ | Tfunction _ ->
+    true
+  | Tvoid -> false
+
+let common_type lx t1 t2 =
+  if ty_equal t1 t2 then t1
+  else
+    match Cop.classify_arith t1 t2 with
+    | Cop.Cl_i Signed -> tint
+    | Cop.Cl_i Unsigned -> tuint
+    | Cop.Cl_l g -> Tlong g
+    | Cop.Cl_f -> Tfloat
+    | Cop.Cl_s -> Tsingle
+    | _ -> err lx "incompatible branch types in conditional expression"
+
+let rec parse_expr lx env fs : stmt list * expr = parse_conditional lx env fs
+
+and parse_conditional lx env fs =
+  let p1, c = parse_logical_or lx env fs in
+  if eat_punct lx "?" then begin
+    let p2, e1 = parse_expr lx env fs in
+    expect_punct lx ":";
+    let p3, e2 = parse_conditional lx env fs in
+    let e1 = decay e1 and e2 = decay e2 in
+    let t = common_type lx (typeof e1) (typeof e2) in
+    let tmp = fresh_temp fs t in
+    let branch p e = seq_stmts (p @ [ Sset (tmp, cast_to t e) ]) in
+    ( p1 @ [ Sifthenelse (decay c, branch p2 e1, branch p3 e2) ],
+      Etempvar (tmp, t) )
+  end
+  else (p1, c)
+
+and parse_logical_or lx env fs =
+  let p1, e1 = parse_logical_and lx env fs in
+  if eat_punct lx "||" then begin
+    let p2, e2 = parse_logical_or lx env fs in
+    let tmp = fresh_temp fs tint in
+    let one = Sset (tmp, Econst_int (1l, tint)) in
+    let test2 =
+      seq_stmts
+        (p2
+        @ [ Sifthenelse (decay e2, one, Sset (tmp, Econst_int (0l, tint))) ])
+    in
+    (p1 @ [ Sifthenelse (decay e1, one, test2) ], Etempvar (tmp, tint))
+  end
+  else (p1, e1)
+
+and parse_logical_and lx env fs =
+  let p1, e1 = parse_bitor lx env fs in
+  if eat_punct lx "&&" then begin
+    let p2, e2 = parse_logical_and lx env fs in
+    let tmp = fresh_temp fs tint in
+    let zero = Sset (tmp, Econst_int (0l, tint)) in
+    let test2 =
+      seq_stmts
+        (p2
+        @ [ Sifthenelse (decay e2, Sset (tmp, Econst_int (1l, tint)), zero) ])
+    in
+    (p1 @ [ Sifthenelse (decay e1, test2, zero) ], Etempvar (tmp, tint))
+  end
+  else (p1, e1)
+
+and binop_level ops next lx env fs =
+  let rec loop p e1 =
+    match peek lx with
+    | PUNCT s when List.mem_assoc s ops ->
+      advance lx;
+      let op = List.assoc s ops in
+      let p2, e2 = next lx env fs in
+      let e1 = decay e1 and e2 = decay e2 in
+      let t = Cop.type_binop op (typeof e1) (typeof e2) in
+      loop (p @ p2) (Ebinop (op, e1, e2, t))
+    | _ -> (p, e1)
+  in
+  let p, e = next lx env fs in
+  loop p e
+
+and parse_bitor lx env fs = binop_level [ ("|", Cop.Oor) ] parse_bitxor lx env fs
+and parse_bitxor lx env fs = binop_level [ ("^", Cop.Oxor) ] parse_bitand lx env fs
+
+and parse_bitand lx env fs =
+  (* Only match single '&' used as a binary operator. *)
+  binop_level [ ("&", Cop.Oand) ] parse_equality lx env fs
+
+and parse_equality lx env fs =
+  binop_level [ ("==", Cop.Oeq); ("!=", Cop.One) ] parse_relational lx env fs
+
+and parse_relational lx env fs =
+  binop_level
+    [ ("<", Cop.Olt); (">", Cop.Ogt); ("<=", Cop.Ole); (">=", Cop.Oge) ]
+    parse_shift lx env fs
+
+and parse_shift lx env fs =
+  binop_level [ ("<<", Cop.Oshl); (">>", Cop.Oshr) ] parse_additive lx env fs
+
+and parse_additive lx env fs =
+  binop_level [ ("+", Cop.Oadd); ("-", Cop.Osub) ] parse_multiplicative lx env fs
+
+and parse_multiplicative lx env fs =
+  binop_level
+    [ ("*", Cop.Omul); ("/", Cop.Odiv); ("%", Cop.Omod) ]
+    parse_unary lx env fs
+
+and parse_unary lx env fs : stmt list * expr =
+  match peek lx with
+  | PUNCT "-" ->
+    advance lx;
+    let p, e = parse_unary lx env fs in
+    let e = decay e in
+    (p, Eunop (Cop.Oneg, e, Cop.type_binop Cop.Oadd (typeof e) (typeof e)))
+  | PUNCT "!" ->
+    advance lx;
+    let p, e = parse_unary lx env fs in
+    (p, Eunop (Cop.Onotbool, decay e, tint))
+  | PUNCT "~" ->
+    advance lx;
+    let p, e = parse_unary lx env fs in
+    let e = decay e in
+    (p, Eunop (Cop.Onotint, e, Cop.type_binop Cop.Oadd (typeof e) (typeof e)))
+  | PUNCT "*" ->
+    advance lx;
+    let p, e = parse_unary lx env fs in
+    let e = decay e in
+    (match typeof e with
+    | Tpointer t -> (p, Ederef (e, t))
+    | _ -> err lx "dereference of a non-pointer value")
+  | PUNCT "&" ->
+    advance lx;
+    let p, e = parse_unary lx env fs in
+    (match e with
+    | Evar (_, t) | Ederef (_, t) -> (p, Eaddrof (e, Tpointer t))
+    | _ -> err lx "cannot take the address of this expression")
+  | KW "sizeof" ->
+    advance lx;
+    expect_punct lx "(";
+    let t =
+      if is_type_start lx then begin
+        let bt, _ = parse_base_type lx in
+        parse_pointers lx bt
+      end
+      else
+        let _, e = parse_expr lx env fs in
+        typeof e
+    in
+    expect_punct lx ")";
+    (* sizeof has type unsigned long *)
+    ([], Esizeof (t, tulong))
+  | PUNCT "(" when (match peek2 lx with
+                   | KW ("int" | "long" | "char" | "short" | "unsigned" | "signed"
+                        | "double" | "float" | "void") -> true
+                   | _ -> false) ->
+    (* cast *)
+    advance lx;
+    let bt, _ = parse_base_type lx in
+    let t = parse_pointers lx bt in
+    expect_punct lx ")";
+    let p, e = parse_unary lx env fs in
+    (p, Ecast (decay e, t))
+  | _ -> parse_postfix lx env fs
+
+and parse_postfix lx env fs =
+  let p, e = parse_primary lx env fs in
+  let rec loop p e =
+    match peek lx with
+    | PUNCT "[" ->
+      advance lx;
+      let p2, idx = parse_expr lx env fs in
+      expect_punct lx "]";
+      let e' = decay e and idx = decay idx in
+      (match decayed_type (typeof e) with
+      | Tpointer t ->
+        loop (p @ p2) (Ederef (Ebinop (Cop.Oadd, e', idx, Tpointer t), t))
+      | _ -> err lx "indexing a non-array value")
+    | PUNCT "(" ->
+      advance lx;
+      let args = ref [] in
+      let preludes = ref [] in
+      if not (eat_punct lx ")") then begin
+        let rec more () =
+          let pa, a = parse_expr lx env fs in
+          preludes := !preludes @ pa;
+          args := !args @ [ decay a ];
+          if eat_punct lx "," then more () else expect_punct lx ")"
+        in
+        more ()
+      end;
+      let targs, tres =
+        match typeof e with
+        | Tfunction (targs, tres) | Tpointer (Tfunction (targs, tres)) ->
+          (targs, tres)
+        | _ -> err lx "call of a non-function value"
+      in
+      if List.length targs <> List.length !args then
+        err lx "wrong number of arguments in call";
+      let cast_args = List.map2 (fun a t -> cast_to t a) !args targs in
+      (* Lower the call to a statement over a fresh temporary. *)
+      let res_temp, res_expr =
+        match tres with
+        | Tvoid -> (None, Econst_int (0l, tint))
+        | t ->
+          let tmp = fresh_temp fs t in
+          (Some tmp, Etempvar (tmp, t))
+      in
+      loop (p @ !preludes @ [ Scall (res_temp, e, cast_args) ]) res_expr
+    | _ -> (p, e)
+  in
+  loop p e
+
+and parse_primary lx env fs : stmt list * expr =
+  match peek lx with
+  | INT_LIT (v, sfx) ->
+    advance lx;
+    let e =
+      match sfx with
+      | `I ->
+        if Int64.compare v 2147483647L <= 0 then
+          Econst_int (Int64.to_int32 v, tint)
+        else Econst_long (v, tlong)
+      | `U -> Econst_int (Int64.to_int32 v, tuint)
+      | `L -> Econst_long (v, tlong)
+      | `UL -> Econst_long (v, tulong)
+    in
+    ([], e)
+  | FLOAT_LIT (f, sfx) ->
+    advance lx;
+    ( [],
+      match sfx with
+      | `D -> Econst_float (f, Tfloat)
+      | `F -> Econst_single (Memory.Values.to_single f, Tsingle) )
+  | IDENT name -> (
+    advance lx;
+    let id = Ident.intern name in
+    match lookup_var env id with
+    | Some t -> ([], Evar (id, t))
+    | None -> err lx "undeclared identifier %s" name)
+  | PUNCT "(" ->
+    advance lx;
+    let p, e = parse_expr lx env fs in
+    expect_punct lx ")";
+    (p, e)
+  | t -> err lx "unexpected token %a in expression" pp_token t
+
+and seq_stmts = function
+  | [] -> Sskip
+  | [ s ] -> s
+  | s :: rest -> Ssequence (s, seq_stmts rest)
+
+(** {1 Statements} *)
+
+let check_assignable lx e =
+  match e with
+  | Evar _ | Ederef _ -> ()
+  | _ -> err lx "expression is not assignable"
+
+let rec parse_stmt lx env fs : stmt * venv =
+  match peek lx with
+  | PUNCT "{" -> (parse_block lx env fs, env)
+  | PUNCT ";" ->
+    advance lx;
+    (Sskip, env)
+  | KW "if" ->
+    advance lx;
+    expect_punct lx "(";
+    let p, c = parse_expr lx env fs in
+    expect_punct lx ")";
+    let s1, _ = parse_stmt lx env fs in
+    let s2 = if eat_kw lx "else" then fst (parse_stmt lx env fs) else Sskip in
+    (seq_stmts (p @ [ Sifthenelse (decay c, s1, s2) ]), env)
+  | KW "while" ->
+    advance lx;
+    expect_punct lx "(";
+    let p, c = parse_expr lx env fs in
+    expect_punct lx ")";
+    let body, _ = parse_stmt lx env fs in
+    (* Condition preludes must re-execute on each iteration. *)
+    ( Sloop
+        ( Ssequence
+            (seq_stmts (p @ [ Sifthenelse (decay c, Sskip, Sbreak) ]), body),
+          Sskip ),
+      env )
+  | KW "do" ->
+    (* do body while (c); — the condition is tested in the loop's
+       continue-statement position. *)
+    advance lx;
+    let body, _ = parse_stmt lx env fs in
+    if not (eat_kw lx "while") then err lx "expected while after do-body";
+    expect_punct lx "(";
+    let p, c = parse_expr lx env fs in
+    expect_punct lx ")";
+    expect_punct lx ";";
+    ( Sloop (body, seq_stmts (p @ [ Sifthenelse (decay c, Sskip, Sbreak) ])),
+      env )
+  | KW "for" ->
+    advance lx;
+    expect_punct lx "(";
+    let init, env' =
+      if eat_punct lx ";" then (Sskip, env)
+      else if is_type_start lx then parse_decl_stmt lx env fs
+      else begin
+        let s = parse_expr_stmt lx env fs in
+        expect_punct lx ";";
+        (s, env)
+      end
+    in
+    let p, c =
+      if eat_punct lx ";" then ([], Econst_int (1l, tint))
+      else begin
+        let pc = parse_expr lx env' fs in
+        expect_punct lx ";";
+        pc
+      end
+    in
+    let inc =
+      if eat_punct lx ")" then Sskip
+      else begin
+        (* The increment clause may be a comma-separated sequence. *)
+        let rec more acc =
+          let s = parse_expr_stmt lx env' fs in
+          let acc = acc @ [ s ] in
+          if eat_punct lx "," then more acc
+          else begin
+            expect_punct lx ")";
+            seq_stmts acc
+          end
+        in
+        more []
+      end
+    in
+    let body, _ = parse_stmt lx env' fs in
+    ( Ssequence
+        ( init,
+          Sloop
+            ( Ssequence
+                (seq_stmts (p @ [ Sifthenelse (decay c, Sskip, Sbreak) ]), body),
+              inc ) ),
+      env )
+  | KW "return" ->
+    advance lx;
+    if eat_punct lx ";" then (Sreturn None, env)
+    else begin
+      let p, e = parse_expr lx env fs in
+      expect_punct lx ";";
+      (seq_stmts (p @ [ Sreturn (Some (decay e)) ]), env)
+    end
+  | KW "break" ->
+    advance lx;
+    expect_punct lx ";";
+    (Sbreak, env)
+  | KW "continue" ->
+    advance lx;
+    expect_punct lx ";";
+    (Scontinue, env)
+  | KW ("int" | "long" | "char" | "short" | "unsigned" | "signed" | "double"
+       | "float" | "void" | "const") ->
+    let s, env' = parse_decl_stmt lx env fs in
+    (s, env')
+  | _ ->
+    let s = parse_expr_stmt lx env fs in
+    expect_punct lx ";";
+    (s, env)
+
+(* Local declaration: [T x = e, y;] — declares memory-resident locals. *)
+and parse_decl_stmt lx env fs : stmt * venv =
+  let bt, _ = parse_base_type lx in
+  let rec decls env stmts =
+    let t = parse_pointers lx bt in
+    let name, t =
+      if peek lx = PUNCT "(" then parse_fptr_declarator lx t
+      else
+        let name = expect_ident lx in
+        (name, parse_array_suffix lx t)
+    in
+    let id = Ident.intern name in
+    fs.vars <- (id, t) :: fs.vars;
+    let env = { env with locals = Ident.Map.add id t env.locals } in
+    let stmts =
+      if eat_punct lx "=" then begin
+        let p, e = parse_expr lx env fs in
+        stmts @ p @ [ Sassign (Evar (id, t), cast_to t (decay e)) ]
+      end
+      else stmts
+    in
+    if eat_punct lx "," then decls env stmts
+    else begin
+      expect_punct lx ";";
+      (seq_stmts stmts, env)
+    end
+  in
+  decls env []
+
+(* Expression statement: assignment, compound assignment, ++/--, or call. *)
+and parse_expr_stmt lx env fs : stmt =
+  let p, e = parse_expr lx env fs in
+  match peek lx with
+  | PUNCT "=" ->
+    advance lx;
+    check_assignable lx e;
+    let p2, rhs = parse_expr lx env fs in
+    seq_stmts (p @ p2 @ [ Sassign (e, cast_to (typeof e) (decay rhs)) ])
+  | PUNCT ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=")
+    ->
+    let ops =
+      [ ("+=", Cop.Oadd); ("-=", Cop.Osub); ("*=", Cop.Omul); ("/=", Cop.Odiv);
+        ("%=", Cop.Omod); ("&=", Cop.Oand); ("|=", Cop.Oor); ("^=", Cop.Oxor);
+        ("<<=", Cop.Oshl); (">>=", Cop.Oshr) ]
+    in
+    let op =
+      match peek lx with PUNCT s -> List.assoc s ops | _ -> assert false
+    in
+    advance lx;
+    check_assignable lx e;
+    let p2, rhs = parse_expr lx env fs in
+    let rhs = decay rhs in
+    let t = Cop.type_binop op (typeof e) (typeof rhs) in
+    seq_stmts
+      (p @ p2
+      @ [ Sassign (e, cast_to (typeof e) (Ebinop (op, e, rhs, t))) ])
+  | PUNCT ("++" | "--") ->
+    let op = if peek lx = PUNCT "++" then Cop.Oadd else Cop.Osub in
+    advance lx;
+    check_assignable lx e;
+    let one = Econst_int (1l, tint) in
+    let t = Cop.type_binop op (typeof e) tint in
+    seq_stmts (p @ [ Sassign (e, cast_to (typeof e) (Ebinop (op, e, one, t))) ])
+  | _ ->
+    (* Pure expression evaluated for side effects only: the prelude
+       carries any calls; the value is dropped. *)
+    seq_stmts p
+
+and parse_block lx env fs : stmt =
+  expect_punct lx "{";
+  let rec go env acc =
+    if eat_punct lx "}" then seq_stmts (List.rev acc)
+    else begin
+      let s, env' = parse_stmt lx env fs in
+      go env' (s :: acc)
+    end
+  in
+  go env []
+
+(** {1 Top level} *)
+
+(* Global initializers: constant expressions. *)
+let rec const_init lx (t : ty) : Iface.Ast.init_data list =
+  let const_scalar () =
+    let neg = eat_punct lx "-" in
+    match peek lx with
+    | INT_LIT (v, _) ->
+      advance lx;
+      let v = if neg then Int64.neg v else v in
+      (match t with
+      | Tint (I8, _) -> [ Iface.Ast.Init_int8 (Int64.to_int32 v) ]
+      | Tint (I16, _) -> [ Iface.Ast.Init_int16 (Int64.to_int32 v) ]
+      | Tint (I32, _) -> [ Iface.Ast.Init_int32 (Int64.to_int32 v) ]
+      | Tlong _ | Tpointer _ -> [ Iface.Ast.Init_int64 v ]
+      | Tfloat -> [ Iface.Ast.Init_float64 (Int64.to_float v) ]
+      | Tsingle -> [ Iface.Ast.Init_float32 (Int64.to_float v) ]
+      | _ -> err lx "bad initializer")
+    | FLOAT_LIT (f, _) ->
+      advance lx;
+      let f = if neg then -.f else f in
+      (match t with
+      | Tfloat -> [ Iface.Ast.Init_float64 f ]
+      | Tsingle -> [ Iface.Ast.Init_float32 f ]
+      | _ -> err lx "bad float initializer")
+    | PUNCT "&" ->
+      advance lx;
+      let name = expect_ident lx in
+      [ Iface.Ast.Init_addrof (Ident.intern name, 0) ]
+    | tok -> err lx "unsupported initializer %a" pp_token tok
+  in
+  match t with
+  | Tarray (te, n) ->
+    expect_punct lx "{";
+    let rec go i acc =
+      if eat_punct lx "}" then (i, acc)
+      else begin
+        let d = const_init lx te in
+        let acc = acc @ d in
+        let i = i + 1 in
+        if eat_punct lx "," then
+          if eat_punct lx "}" then (i, acc) else go i acc
+        else begin
+          expect_punct lx "}";
+          (i, acc)
+        end
+      end
+    in
+    let filled, data = go 0 [] in
+    if filled > n then err lx "too many array initializers";
+    data
+    @ (if filled < n then [ Iface.Ast.Init_space ((n - filled) * sizeof te) ]
+       else [])
+  | _ -> const_scalar ()
+
+let parse_program (src : string) : Csyntax.program =
+  let lx = tokenize src in
+  let globals = ref Ident.Map.empty in
+  let defs = ref [] in
+  (* A function definition replaces its earlier prototype, so that each
+     symbol has a single entry in the program. *)
+  let add_def id d =
+    match (List.assoc_opt id !defs, d) with
+    | Some (Iface.Ast.Gfun (Iface.Ast.External _)), Iface.Ast.Gfun (Iface.Ast.Internal _)
+      ->
+      defs :=
+        List.map (fun (id', d') -> if Ident.equal id id' then (id, d) else (id', d')) !defs
+    | Some _, _ -> err lx "duplicate definition of %s" (Ident.name id)
+    | None, _ -> defs := !defs @ [ (id, d) ]
+  in
+  while peek lx <> EOF do
+    let _ = eat_kw lx "extern" in
+    let _ = eat_kw lx "static" in
+    let bt, readonly = parse_base_type lx in
+    let t0 = parse_pointers lx bt in
+    let name = expect_ident lx in
+    let id = Ident.intern name in
+    if peek lx = PUNCT "(" then begin
+      (* function definition or prototype *)
+      let params = parse_params lx in
+      let targs = List.map snd params in
+      let ftype = Tfunction (targs, t0) in
+      globals := Ident.Map.add id ftype !globals;
+      if eat_punct lx ";" then
+        add_def id
+          (Iface.Ast.Gfun
+             (Iface.Ast.External
+                { Iface.Ast.ef_name = id; ef_sig = signature_of_type targs t0 }))
+      else begin
+        let params =
+          List.map
+            (fun (n, t) ->
+              if n = "" then err lx "parameter name required in definition"
+              else (Ident.intern n, t))
+            params
+        in
+        let fs = { vars = []; temps = [] } in
+        let env =
+          {
+            locals =
+              List.fold_left
+                (fun m (pid, pt) -> Ident.Map.add pid pt m)
+                Ident.Map.empty params;
+            globals = !globals;
+          }
+        in
+        let body = parse_block lx env fs in
+        let f =
+          {
+            fn_return = t0;
+            fn_params = params;
+            fn_vars = List.rev fs.vars;
+            fn_temps = List.rev fs.temps;
+            fn_body = body;
+          }
+        in
+        add_def id (Iface.Ast.Gfun (Iface.Ast.Internal f))
+      end
+    end
+    else begin
+      (* global variable(s): [T x = e, y, z = e;] *)
+      let rec declare id t0 =
+        let t = parse_array_suffix lx t0 in
+        globals := Ident.Map.add id t !globals;
+        let init =
+          if eat_punct lx "=" then const_init lx t
+          else [ Iface.Ast.Init_space (sizeof t) ]
+        in
+        add_def id
+          (Iface.Ast.Gvar
+             { Iface.Ast.gvar_info = t; gvar_init = init; gvar_readonly = readonly });
+        if eat_punct lx "," then begin
+          let t' = parse_pointers lx bt in
+          let name' = expect_ident lx in
+          declare (Ident.intern name') t'
+        end
+        else expect_punct lx ";"
+      in
+      declare id t0
+    end
+  done;
+  { Iface.Ast.prog_defs = !defs; prog_main = Ident.intern "main" }

@@ -1,0 +1,79 @@
+(** Pretty-printer for Clight programs. *)
+
+open Support
+open Ctypes
+open Csyntax
+
+let rec pp_expr fmt (e : expr) =
+  match e with
+  | Econst_int (n, _) -> Format.fprintf fmt "%ld" n
+  | Econst_long (n, _) -> Format.fprintf fmt "%LdL" n
+  | Econst_float (f, _) -> Format.fprintf fmt "%g" f
+  | Econst_single (f, _) -> Format.fprintf fmt "%gf" f
+  | Evar (id, _) -> Ident.pp fmt id
+  | Etempvar (id, _) -> Format.fprintf fmt "$%a" Ident.pp id
+  | Ederef (a, _) -> Format.fprintf fmt "*(%a)" pp_expr a
+  | Eaddrof (a, _) -> Format.fprintf fmt "&(%a)" pp_expr a
+  | Eunop (op, a, _) -> Format.fprintf fmt "%a(%a)" Cop.pp_unop op pp_expr a
+  | Ebinop (op, a1, a2, _) ->
+    Format.fprintf fmt "(%a %a %a)" pp_expr a1 Cop.pp_binop op pp_expr a2
+  | Ecast (a, t) -> Format.fprintf fmt "(%a)(%a)" pp_ty t pp_expr a
+  | Esizeof (t, _) -> Format.fprintf fmt "sizeof(%a)" pp_ty t
+
+let rec pp_stmt fmt (s : stmt) =
+  match s with
+  | Sskip -> Format.fprintf fmt "skip;"
+  | Sassign (a1, a2) -> Format.fprintf fmt "%a = %a;" pp_expr a1 pp_expr a2
+  | Sset (id, a) -> Format.fprintf fmt "$%a = %a;" Ident.pp id pp_expr a
+  | Scall (None, f, args) ->
+    Format.fprintf fmt "%a(%a);" pp_expr f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      args
+  | Scall (Some id, f, args) ->
+    Format.fprintf fmt "$%a = %a(%a);" Ident.pp id pp_expr f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      args
+  | Ssequence (s1, s2) -> Format.fprintf fmt "%a@,%a" pp_stmt s1 pp_stmt s2
+  | Sifthenelse (a, s1, s2) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+      pp_expr a pp_stmt s1 pp_stmt s2
+  | Sloop (s1, s2) ->
+    Format.fprintf fmt "@[<v 2>loop {@,%a@]@,@[<v 2>} continue: {@,%a@]@,}"
+      pp_stmt s1 pp_stmt s2
+  | Sbreak -> Format.fprintf fmt "break;"
+  | Scontinue -> Format.fprintf fmt "continue;"
+  | Sreturn None -> Format.fprintf fmt "return;"
+  | Sreturn (Some a) -> Format.fprintf fmt "return %a;" pp_expr a
+
+let pp_function fmt (name : Ident.t) (f : coq_function) =
+  Format.fprintf fmt "@[<v 2>%a %a(%a) {@," pp_ty f.fn_return Ident.pp name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (id, t) -> Format.fprintf fmt "%a %a" pp_ty t Ident.pp id))
+    f.fn_params;
+  List.iter
+    (fun (id, t) -> Format.fprintf fmt "%a %a;@," pp_ty t Ident.pp id)
+    f.fn_vars;
+  List.iter
+    (fun (id, t) -> Format.fprintf fmt "register %a $%a;@," pp_ty t Ident.pp id)
+    f.fn_temps;
+  Format.fprintf fmt "%a@]@,}" pp_stmt f.fn_body
+
+let pp_program fmt (p : program) =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (id, d) ->
+      match d with
+      | Iface.Ast.Gfun (Iface.Ast.Internal f) ->
+        Format.fprintf fmt "%a@,@," (fun fmt () -> pp_function fmt id f) ()
+      | Iface.Ast.Gfun (Iface.Ast.External ef) ->
+        Format.fprintf fmt "extern %a; /* %a */@,@," Ident.pp id
+          Memory.Mtypes.pp_signature ef.Iface.Ast.ef_sig
+      | Iface.Ast.Gvar gv ->
+        Format.fprintf fmt "%a %a;@,@," pp_ty gv.Iface.Ast.gvar_info Ident.pp id)
+    p.Iface.Ast.prog_defs;
+  Format.fprintf fmt "@]"

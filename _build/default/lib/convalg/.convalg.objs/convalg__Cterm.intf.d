@@ -1,0 +1,1 @@
+lib/convalg/cterm.mli: Format

@@ -1,0 +1,1 @@
+lib/convalg/derive.ml: Cterm Format List Rules

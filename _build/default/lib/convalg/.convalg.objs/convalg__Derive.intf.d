@@ -1,0 +1,1 @@
+lib/convalg/derive.mli: Cterm Format Rules

@@ -1,0 +1,1 @@
+lib/convalg/rules.mli: Cterm

@@ -1,0 +1,52 @@
+(** The derivation engine reproducing the proof of Theorem 3.8
+    (paper §5, Figs. 10–11): vertical composition of Table 3's per-pass
+    conventions, insertion of the Clight/Asm parametricity pseudo-passes
+    (Thm. 4.3 + 5.6), and direction- and type-checked rewriting to the
+    uniform convention [C]. *)
+
+open Cterm
+
+type step = {
+  step_desc : string;
+  step_cite : string;  (** paper citation justifying the step *)
+  step_term : t;  (** term after the step *)
+}
+
+type trace = { initial : t; steps : step list; final : t }
+
+val pp_trace : Format.formatter -> trace -> unit
+
+(** One rewriting step (leftmost position, first usable rule);
+    [None] = normal form. *)
+val rewrite_once : [ `Incoming | `Outgoing ] -> t -> (Rules.rule * t) option
+
+(** Normalize, stopping at [uniform_c] or a normal form. *)
+val normalize : [ `Incoming | `Outgoing ] -> t -> t * step list
+
+(** Table 3 of the paper: every pass with its conventions. *)
+type pass_info = {
+  pass_name : string;
+  pass_source : string;
+  pass_target : string;
+  outgoing : t;
+  incoming : t;
+  optional : bool;
+}
+
+val table3 : pass_info list
+
+(** Vertical composition of the per-pass conventions (Thm. 3.7). *)
+val composite : [ `In | `Out ] -> t
+
+type side_derivation = {
+  side : [ `Incoming | `Outgoing ];
+  trace : trace;
+  ok : bool;  (** reached the uniform convention [C] *)
+}
+
+val derive_side : [ `Incoming | `Outgoing ] -> side_derivation
+
+(** Both sides of the Theorem 3.8 derivation. *)
+val thm_3_8 : unit -> side_derivation * side_derivation
+
+val pp_side : Format.formatter -> side_derivation -> unit

@@ -1,0 +1,107 @@
+(** The rule database of the simulation-convention algebra
+    (paper, Thm. 5.2, Lemmas 5.3, 5.4, 5.7, 5.8, Thm. 5.6).
+
+    A rule rewrites a contiguous segment [lhs ⟶ rhs] of a convention
+    term. Its [sense] records the refinement direction it realizes:
+
+    - [Equiv]: [lhs ≡ rhs] — usable in both derivation directions;
+    - [Up]: [lhs ⊑ rhs] — usable when weakening an {e incoming}
+      convention (Thm. 5.2 allows [S ⟶ S'] when [S ⊑ S']);
+    - [Down]: [rhs ⊑ lhs] — usable when strengthening an {e outgoing}
+      convention.
+
+    The individual rule instances correspond to the lemmas proved in
+    CompCertO's [driver/CallConv.v]. *)
+
+open Cterm
+
+type sense = Equiv | Up | Down
+
+type rule = {
+  rule_name : string;
+  cite : string;  (** where in the paper the rule comes from *)
+  lhs : atom list;
+  rhs : atom list;
+  sense : sense;
+}
+
+let mk name cite sense lhs rhs = { rule_name = name; cite; lhs; rhs; sense }
+
+(* CKLR composition (Lemma 5.3), extended to the va-carrying CKLRs
+   (Lemma 5.8 gives vainj ≡ va·inj ≡ vainj·vainj, vaext ≡ va·ext). *)
+let cklr_composition =
+  [
+    mk "ext.ext==ext" "Lemma 5.3" Equiv [ Ext; Ext ] [ Ext ];
+    mk "ext.inj==inj" "Lemma 5.3" Equiv [ Ext; Inj ] [ Inj ];
+    mk "inj.ext==inj" "Lemma 5.3" Equiv [ Inj; Ext ] [ Inj ];
+    mk "inj.inj==inj" "Lemma 5.3" Equiv [ Inj; Inj ] [ Inj ];
+    mk "va.ext==vaext" "Lemma 5.8" Equiv [ Va; Ext ] [ Vaext ];
+    mk "va.inj==vainj" "Lemma 5.8" Equiv [ Va; Inj ] [ Vainj ];
+    mk "vainj.vainj==vainj" "Lemma 5.8" Equiv [ Vainj; Vainj ] [ Vainj ];
+    mk "inj.vainj==vainj" "Lemmas 5.3+5.8" Equiv [ Inj; Vainj ] [ Vainj ];
+    mk "vainj.inj==vainj" "Lemmas 5.3+5.8" Equiv [ Vainj; Inj ] [ Vainj ];
+    mk "ext.vainj==vainj" "Lemmas 5.3+5.8" Equiv [ Ext; Vainj ] [ Vainj ];
+  ]
+
+(* Commutation of CKLRs across the structural conventions (Lemma 5.4):
+   R_X · XY ⊑ XY · R_Y. Left-to-right is an Up step; right-to-left Down. *)
+let structural_commutation =
+  List.concat_map
+    (fun xy ->
+      List.concat_map
+        (fun k ->
+          [
+            mk
+              (Printf.sprintf "%s.%s<=%s.%s" (atom_name k) (atom_name xy)
+                 (atom_name xy) (atom_name k))
+              "Lemma 5.4" Up [ k; xy ] [ xy; k ];
+            mk
+              (Printf.sprintf "%s.%s=>%s.%s" (atom_name xy) (atom_name k)
+                 (atom_name k) (atom_name xy))
+              "Lemma 5.4" Down [ xy; k ] [ k; xy ];
+          ])
+        [ Injp; Inj; Ext; Vainj; Vaext ])
+    [ CL; LM; MA ]
+
+(* The typing invariant commutes with CKLR-built conventions and is
+   idempotent (Lemma 5.7, Appendix B.2). The commutation is oriented
+   left-moving so that the rewriting terminates. *)
+let wt_rules =
+  List.map
+    (fun k ->
+      mk
+        (Printf.sprintf "%s.wt==wt.%s" (atom_name k) (atom_name k))
+        "Lemma 5.7" Equiv [ k; Wt ] [ Wt; k ])
+    [ Injp; Inj; Ext; Vainj; Vaext ]
+  @ [ mk "wt.wt==wt" "Appendix B.2" Equiv [ Wt; Wt ] [ Wt ] ]
+
+(* Kleene-star absorption (Thm. 5.6): R* absorbs any member of R on
+   either side, and injp ∈ R, inj ∈ R, ext ∈ R, vainj ∈ R, vaext ∈ R. *)
+let star_rules =
+  List.concat_map
+    (fun k ->
+      [
+        mk
+          (Printf.sprintf "R*.%s==R*" (atom_name k))
+          "Thm. 5.6" Equiv [ Rstar; k ] [ Rstar ];
+        mk
+          (Printf.sprintf "%s.R*==R*" (atom_name k))
+          "Thm. 5.6" Equiv [ k; Rstar ] [ Rstar ];
+        (* Derived: commute across wt (Lemma 5.7), then absorb. *)
+        mk
+          (Printf.sprintf "R*.wt.%s==R*.wt" (atom_name k))
+          "Thm. 5.6 + Lemma 5.7" Equiv [ Rstar; Wt; k ] [ Rstar; Wt ];
+      ])
+    [ Injp; Inj; Ext; Vainj; Vaext ]
+  @ [ mk "R*.R*==R*" "Thm. 5.6" Equiv [ Rstar; Rstar ] [ Rstar ] ]
+
+let all_rules =
+  cklr_composition @ structural_commutation @ wt_rules @ star_rules
+
+(** Can [r] be used when rewriting in the given derivation direction? *)
+let usable (dir : [ `Incoming | `Outgoing ]) (r : rule) =
+  match (r.sense, dir) with
+  | Equiv, _ -> true
+  | Up, `Incoming -> true
+  | Down, `Outgoing -> true
+  | Up, `Outgoing | Down, `Incoming -> false

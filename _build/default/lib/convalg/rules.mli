@@ -1,0 +1,24 @@
+(** The rule database of the simulation convention algebra (Thm. 5.2,
+    Lemmas 5.3/5.4/5.7/5.8, Thm. 5.6), as directed rewrite rules over
+    convention terms, each carrying its paper citation and refinement
+    direction. *)
+
+open Cterm
+
+(** [Equiv]: [lhs ≡ rhs]. [Up]: [lhs ⊑ rhs] — valid when weakening an
+    incoming convention (Thm. 5.2). [Down]: [rhs ⊑ lhs] — valid when
+    strengthening an outgoing convention. *)
+type sense = Equiv | Up | Down
+
+type rule = {
+  rule_name : string;
+  cite : string;
+  lhs : atom list;
+  rhs : atom list;
+  sense : sense;
+}
+
+val all_rules : rule list
+
+(** May [rule] be used when rewriting the given side? *)
+val usable : [ `Incoming | `Outgoing ] -> rule -> bool

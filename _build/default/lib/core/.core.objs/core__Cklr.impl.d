@@ -1,0 +1,1 @@
+lib/core/cklr.ml: Format List Mem Memdata Meminj Memory Values

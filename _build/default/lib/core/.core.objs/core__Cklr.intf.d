@@ -1,0 +1,1 @@
+lib/core/cklr.mli: Format Mem Memdata Meminj Memory Values

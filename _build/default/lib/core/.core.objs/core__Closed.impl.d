@@ -1,0 +1,1 @@
+lib/core/closed.ml: List Option Smallstep

@@ -1,0 +1,1 @@
+lib/core/coexec.ml: Events Format Simconv Smallstep

@@ -1,0 +1,1 @@
+lib/core/coexec.mli: Format Simconv Smallstep

@@ -1,0 +1,1 @@
+lib/core/events.ml: Format Memory Support Values

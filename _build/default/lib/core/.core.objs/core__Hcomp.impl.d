@@ -1,0 +1,1 @@
+lib/core/hcomp.ml: Array Events List Printf Smallstep String

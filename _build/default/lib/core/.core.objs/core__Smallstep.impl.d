@@ -1,0 +1,1 @@
+lib/core/smallstep.ml: Events Format Hashtbl List Queue

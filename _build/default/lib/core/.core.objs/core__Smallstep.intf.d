@@ -1,0 +1,1 @@
+lib/core/smallstep.mli: Events Format

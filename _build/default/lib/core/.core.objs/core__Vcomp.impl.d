@@ -1,0 +1,1 @@
+lib/core/vcomp.ml: Events List Printf Smallstep

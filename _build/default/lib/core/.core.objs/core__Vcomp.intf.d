@@ -1,0 +1,1 @@
+lib/core/vcomp.mli: Smallstep

@@ -1,0 +1,167 @@
+(** Horizontal composition of open semantics (paper, Definition 3.2 and
+    Figure 5).
+
+    [compose l1 l2] builds the semantics [l1 ⊕ l2 : A ↠ A] of two
+    components over the same language interface. The composite state is an
+    alternating stack of activations: the head frame is running, the tail
+    frames are suspended callers awaiting answers (rules push/pop enable
+    mutual recursion to arbitrary depth).
+
+    The implementation mirrors the eight rules of Fig. 5:
+    - [i°]  incoming question routed to the component whose domain accepts it;
+    - [run] internal steps of the active frame;
+    - [i•]  final state of the last frame answers the incoming question;
+    - [push] an external question accepted by the other (or the same)
+      component starts a new activation on top of the stack;
+    - [pop] a finished activation answers the suspended frame below;
+    - [x°]  an external question accepted by neither component escapes to
+      the environment;
+    - [x•]  an environment answer resumes the top frame. *)
+
+open Smallstep
+
+type ('s1, 's2) frame = F1 of 's1 | F2 of 's2
+
+type ('s1, 's2) state = ('s1, 's2) frame list
+
+let compose (l1 : ('s1, 'q, 'r, 'q, 'r) lts) (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
+    (('s1, 's2) state, 'q, 'r, 'q, 'r) lts =
+  let dom q = l1.dom q || l2.dom q in
+  (* i°: pick the accepting component. Linked programs have disjoint
+     domains; if both accept, component 1 is preferred. *)
+  let init q =
+    if l1.dom q then List.map (fun s -> [ F1 s ]) (l1.init q)
+    else if l2.dom q then List.map (fun s -> [ F2 s ]) (l2.init q)
+    else []
+  in
+  let frame_final = function F1 s -> l1.final s | F2 s -> l2.final s in
+  let frame_external = function
+    | F1 s -> l1.at_external s
+    | F2 s -> l2.at_external s
+  in
+  let frame_resume f r =
+    match f with
+    | F1 s -> List.map (fun s' -> F1 s') (l1.after_external s r)
+    | F2 s -> List.map (fun s' -> F2 s') (l2.after_external s r)
+  in
+  let step = function
+    | [] -> []
+    | f :: k ->
+      (* run *)
+      let internal =
+        match f with
+        | F1 s -> List.map (fun (t, s') -> (t, F1 s' :: k)) (l1.step s)
+        | F2 s -> List.map (fun (t, s') -> (t, F2 s' :: k)) (l2.step s)
+      in
+      (* push: cross-component (or recursive) call *)
+      let pushes =
+        match frame_external f with
+        | Some q ->
+          let starts =
+            (if l1.dom q then List.map (fun s -> F1 s) (l1.init q) else [])
+            @ if l2.dom q then List.map (fun s -> F2 s) (l2.init q) else []
+          in
+          List.map (fun f' -> (Events.e0, f' :: f :: k)) starts
+        | None -> []
+      in
+      (* pop: the active frame finished and a caller is waiting *)
+      let pops =
+        match (frame_final f, k) with
+        | Some r, caller :: k' ->
+          List.map (fun f' -> (Events.e0, f' :: k')) (frame_resume caller r)
+        | _ -> []
+      in
+      internal @ pushes @ pops
+  in
+  (* x°: escapes to the environment only when neither component accepts *)
+  let at_external = function
+    | f :: _ -> (
+      match frame_external f with
+      | Some q when (not (l1.dom q)) && not (l2.dom q) -> Some q
+      | _ -> None)
+    | [] -> None
+  in
+  (* x• *)
+  let after_external st r =
+    match st with
+    | f :: k -> List.map (fun f' -> f' :: k) (frame_resume f r)
+    | [] -> []
+  in
+  (* i•: only the bottom frame may answer the incoming question *)
+  let final = function [ f ] -> frame_final f | _ -> None in
+  {
+    name = Printf.sprintf "(%s (+) %s)" l1.name l2.name;
+    dom;
+    init;
+    step;
+    at_external;
+    after_external;
+    final;
+  }
+
+(** n-ary horizontal composition of components sharing a state type
+    (e.g. [n] translation units of the same language). Frames carry the
+    index of the component they belong to. Agreement with iterated binary
+    [compose] is checked in the test suite. *)
+let compose_all (ls : ('s, 'q, 'r, 'q, 'r) lts array) :
+    ((int * 's) list, 'q, 'r, 'q, 'r) lts =
+  let n = Array.length ls in
+  let find_dom q =
+    let rec go i = if i >= n then None else if ls.(i).dom q then Some i else go (i + 1) in
+    go 0
+  in
+  let dom q = find_dom q <> None in
+  let init q =
+    match find_dom q with
+    | None -> []
+    | Some i -> List.map (fun s -> [ (i, s) ]) (ls.(i).init q)
+  in
+  let step = function
+    | [] -> []
+    | (i, s) :: k ->
+      let internal =
+        List.map (fun (t, s') -> (t, (i, s') :: k)) (ls.(i).step s)
+      in
+      let pushes =
+        match ls.(i).at_external s with
+        | Some q -> (
+          match find_dom q with
+          | Some j ->
+            List.map (fun s' -> (Events.e0, (j, s') :: (i, s) :: k)) (ls.(j).init q)
+          | None -> [])
+        | None -> []
+      in
+      let pops =
+        match (ls.(i).final s, k) with
+        | Some r, (j, sj) :: k' ->
+          List.map
+            (fun sj' -> (Events.e0, (j, sj') :: k'))
+            (ls.(j).after_external sj r)
+        | _ -> []
+      in
+      internal @ pushes @ pops
+  in
+  let at_external = function
+    | (i, s) :: _ -> (
+      match ls.(i).at_external s with
+      | Some q when find_dom q = None -> Some q
+      | _ -> None)
+    | [] -> None
+  in
+  let after_external st r =
+    match st with
+    | (i, s) :: k -> List.map (fun s' -> (i, s') :: k) (ls.(i).after_external s r)
+    | [] -> []
+  in
+  let final = function [ (i, s) ] -> ls.(i).final s | _ -> None in
+  {
+    name =
+      Printf.sprintf "(+)[%s]"
+        (String.concat "; " (Array.to_list (Array.map (fun l -> l.name) ls)));
+    dom;
+    init;
+    step;
+    at_external;
+    after_external;
+    final;
+  }

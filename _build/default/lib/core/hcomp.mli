@@ -1,0 +1,29 @@
+(** Horizontal composition of open semantics (paper, Definition 3.2 and
+    Figure 5): linking with support for mutual recursion, through an
+    alternating stack of activations. *)
+
+open Smallstep
+
+(** A frame of the composite: an activation of the first or second
+    component. *)
+type ('s1, 's2) frame = F1 of 's1 | F2 of 's2
+
+(** Composite states: the head frame is running, the tail frames are
+    suspended callers. *)
+type ('s1, 's2) state = ('s1, 's2) frame list
+
+(** [compose l1 l2] is [l1 ⊕ l2 : A ↠ A], implementing the eight rules
+    of Fig. 5 (i°, run, i•, push, pop, x°, x•). Incoming questions are
+    routed to the component whose domain accepts them; external questions
+    accepted by either component start a new activation (push); questions
+    accepted by neither escape to the environment (x°). *)
+val compose :
+  ('s1, 'q, 'r, 'q, 'r) lts ->
+  ('s2, 'q, 'r, 'q, 'r) lts ->
+  (('s1, 's2) state, 'q, 'r, 'q, 'r) lts
+
+(** n-ary composition of components sharing a state type (e.g. [n]
+    translation units of one language); frames carry component indices.
+    Agrees with iterated binary [compose] (tested). *)
+val compose_all :
+  ('s, 'q, 'r, 'q, 'r) lts array -> ((int * 's) list, 'q, 'r, 'q, 'r) lts

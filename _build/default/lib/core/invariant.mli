@@ -1,0 +1,26 @@
+(** Invariants as degenerate simulation conventions (paper, Appendix B):
+    predicates on the questions and answers of a single language
+    interface, promoted to conventions relating equal elements
+    (Definition B.3), with the strengthened semantics [Lᴾ] of
+    Appendix B.4. *)
+
+open Smallstep
+
+type ('w, 'q, 'r) t = {
+  inv_name : string;
+  query_inv : 'w -> 'q -> bool;  (** [w ⊩ q ∈ P°] *)
+  reply_inv : 'w -> 'r -> bool;  (** [w ⊩ r ∈ P•] *)
+  world_of : 'q -> 'w option;  (** canonical world for an incoming question *)
+}
+
+(** Promotion [P ↦ P̂] (Definition B.3). *)
+val to_conv : ('w, 'q, 'r) t -> ('w, 'q, 'q, 'r, 'r) Simconv.t
+
+(** The strengthened semantics [Lᴾ]: refuses incoming questions violating
+    the incoming invariant; outgoing interactions are filtered by the
+    outgoing invariant. [L ≤P̂↠P̂ Lᴾ] holds by construction. *)
+val strengthen :
+  ('wb, 'qi, 'ri) t ->
+  ('wa, 'qo, 'ro) t ->
+  ('s, 'qi, 'ri, 'qo, 'ro) lts ->
+  ('s, 'qi, 'ri, 'qo, 'ro) lts

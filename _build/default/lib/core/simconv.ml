@@ -1,0 +1,142 @@
+(** Simulation conventions (paper, Definition 2.6), in executable form.
+
+    A simulation convention [R : A1 ⇔ A2] is a set of worlds [W] together
+    with Kripke relations on questions ([R°]) and answers ([R•]). The Coq
+    development uses them purely relationally; to make them executable we
+    additionally equip each convention with {e marshaling} functions that
+    pick canonical related counterparts:
+
+    - [fwd_query q1] chooses a world and a target question related to the
+      source question [q1] (exercising the environment's freedom to choose
+      a valid low-level representation, cf. Appendix A.4);
+    - [fwd_reply w r1] chooses a target answer related to a source answer
+      at world [w] — used when the environment answers an outgoing call at
+      both levels;
+    - [bwd_reply w r2] recovers the source-level answer implied by a
+      target answer — used to read back final results.
+
+    As in the paper, a single world constrains the 4-way relationship
+    between a pair of questions and the corresponding pair of answers
+    (§4.4); conventions whose worlds must remember parts of the questions
+    (e.g. [LM]'s [(sg, rs, m, sp)]) simply store them in ['w]. Conventions
+    that allow world evolution fold the [^] modality into [chk_reply]. *)
+
+type ('w, 'q1, 'q2, 'r1, 'r2) t = {
+  name : string;
+  chk_query : 'w -> 'q1 -> 'q2 -> bool;  (** [w ⊩ q1 R° q2] *)
+  chk_reply : 'w -> 'r1 -> 'r2 -> bool;  (** [w ⊩ r1 R• r2] *)
+  fwd_query : 'q1 -> ('w * 'q2) option;
+  fwd_reply : 'w -> 'r1 -> 'r2 option;
+  bwd_reply : 'w -> 'r2 -> 'r1 option;
+  bwd_query : 'q2 -> 'q1 option;
+      (** Decode a target question into the source question it represents,
+          when the convention permits it ([MA] and [CL] do; [LM] cannot —
+          the signature is not recoverable from an [M] question). *)
+  infer_world : 'q1 -> 'q2 -> 'w option;
+      (** Find a world at which two {e given} questions are related — the
+          existential of Fig. 6(c), used when checking the outgoing calls
+          of two running executions (whose worlds are chosen by the
+          programs, not by the harness). *)
+}
+
+(** The identity convention [id] with the singleton world. *)
+let cc_id ?(name = "id") () : (unit, 'q, 'q, 'r, 'r) t =
+  {
+    name;
+    chk_query = (fun () q1 q2 -> q1 = q2);
+    chk_reply = (fun () r1 r2 -> r1 = r2);
+    fwd_query = (fun q -> Some ((), q));
+    fwd_reply = (fun () r -> Some r);
+    bwd_reply = (fun () r -> Some r);
+    bwd_query = (fun q -> Some q);
+    infer_world = (fun q1 q2 -> if q1 = q2 then Some () else None);
+  }
+
+(** Composition [R · S] (Definition 3.6): worlds are pairs, relations are
+    relational composition. The purely existential checks ([∃ middle])
+    are under-approximated through the canonical marshaling functions;
+    this is sound for the harness (a successful check implies the
+    relation) and is how the checker witnesses the existentials. *)
+let compose (r : ('w1, 'q1, 'q2, 'r1, 'r2) t) (s : ('w2, 'q2, 'q3, 'r2, 'r3) t) :
+    ('w1 * 'w2, 'q1, 'q3, 'r1, 'r3) t =
+  {
+    name = r.name ^ " . " ^ s.name;
+    chk_query =
+      (fun (w1, w2) q1 q3 ->
+        (* Witness the existential middle question: decode it from the
+           target when possible, else marshal it from the source. *)
+        let middle =
+          match s.bwd_query q3 with
+          | Some q2 -> Some q2
+          | None -> Option.map snd (r.fwd_query q1)
+        in
+        match middle with
+        | Some q2 -> r.chk_query w1 q1 q2 && s.chk_query w2 q2 q3
+        | None -> false);
+    chk_reply =
+      (fun (w1, w2) r1 r3 ->
+        (* Witness the existential middle answer from either side. *)
+        let ok r2 = r.chk_reply w1 r1 r2 && s.chk_reply w2 r2 r3 in
+        (match s.bwd_reply w2 r3 with Some r2 -> ok r2 | None -> false)
+        || (match r.fwd_reply w1 r1 with Some r2 -> ok r2 | None -> false));
+    fwd_query =
+      (fun q1 ->
+        match r.fwd_query q1 with
+        | None -> None
+        | Some (w1, q2) -> (
+          match s.fwd_query q2 with
+          | None -> None
+          | Some (w2, q3) -> Some ((w1, w2), q3)));
+    fwd_reply =
+      (fun (w1, w2) r1 ->
+        match r.fwd_reply w1 r1 with
+        | None -> None
+        | Some r2 -> s.fwd_reply w2 r2);
+    bwd_reply =
+      (fun (w1, w2) r3 ->
+        match s.bwd_reply w2 r3 with
+        | None -> None
+        | Some r2 -> r.bwd_reply w1 r2);
+    bwd_query =
+      (fun q3 -> Option.bind (s.bwd_query q3) r.bwd_query);
+    infer_world =
+      (fun q1 q3 ->
+        (* Witness the middle question: decode it from the target when
+           possible, otherwise marshal it canonically from the source. *)
+        let middle =
+          match s.bwd_query q3 with
+          | Some q2 -> Some q2
+          | None -> Option.map snd (r.fwd_query q1)
+        in
+        match middle with
+        | Some q2 -> (
+          match (r.infer_world q1 q2, s.infer_world q2 q3) with
+          | Some w1, Some w2 -> Some (w1, w2)
+          | _ -> None)
+        | None -> None);
+  }
+
+(** Refinement check [R ⊑ S] (Definition 5.1), verified on a finite sample:
+    for every sampled [S]-world and question pair related by [S°], there
+    must exist an [R]-world relating them (found with [R]'s [fwd_query])
+    such that [R•]-related answers are [S•]-related (checked over the
+    sampled answer pairs). The executable counterpart of the paper's
+    refinement judgment, used by property tests of the algebra. *)
+let check_refinement ~(r : ('wr, 'q1, 'q2, 'r1, 'r2) t)
+    ~(s : ('ws, 'q1, 'q2, 'r1, 'r2) t) ~(sample_queries : ('ws * 'q1 * 'q2) list)
+    ~(sample_replies : 'r1 list * 'r2 list) : bool =
+  let r1s, r2s = sample_replies in
+  List.for_all
+    (fun (ws, q1, q2) ->
+      (not (s.chk_query ws q1 q2))
+      ||
+      match r.fwd_query q1 with
+      | None -> false
+      | Some (wr, _) ->
+        List.for_all
+          (fun r1 ->
+            List.for_all
+              (fun r2 -> (not (r.chk_reply wr r1 r2)) || s.chk_reply ws r1 r2)
+              r2s)
+          r1s)
+    sample_queries

@@ -1,0 +1,48 @@
+(** Simulation conventions (paper, Definition 2.6), in executable form:
+    the relations [R° ]/[R•] of a convention [R : A1 ⇔ A2] together with
+    {e marshaling} functions choosing canonical related counterparts,
+    so that conventions can both {e check} relatedness and {e carry}
+    queries between levels. *)
+
+type ('w, 'q1, 'q2, 'r1, 'r2) t = {
+  name : string;
+  chk_query : 'w -> 'q1 -> 'q2 -> bool;  (** [w ⊩ q1 R° q2] *)
+  chk_reply : 'w -> 'r1 -> 'r2 -> bool;
+      (** [w ⊩ r1 R• r2]; conventions allowing world evolution fold the
+          [^] modality (§4.4) into this check. *)
+  fwd_query : 'q1 -> ('w * 'q2) option;
+      (** choose a world and a canonical related target question *)
+  fwd_reply : 'w -> 'r1 -> 'r2 option;
+      (** canonical target answer for a source answer (the environment's
+          side of Fig. 6(c)) *)
+  bwd_reply : 'w -> 'r2 -> 'r1 option;
+      (** read a target answer back at the source level *)
+  bwd_query : 'q2 -> 'q1 option;
+      (** decode a target question when the convention permits it ([MA]
+          and [CL] do; [LM] cannot — the signature is not recoverable
+          from an [M] question) *)
+  infer_world : 'q1 -> 'q2 -> 'w option;
+      (** find a world relating two {e given} questions — the existential
+          of Fig. 6(c), for checking outgoing calls of two running
+          executions *)
+}
+
+(** The identity convention [id] with the singleton world. *)
+val cc_id : ?name:string -> unit -> (unit, 'q, 'q, 'r, 'r) t
+
+(** Composition [R · S] (Definition 3.6): worlds are pairs; the
+    existential middle questions are witnessed by decoding from the
+    target when possible, else by canonical marshaling from the source. *)
+val compose :
+  ('w1, 'q1, 'q2, 'r1, 'r2) t ->
+  ('w2, 'q2, 'q3, 'r2, 'r3) t ->
+  ('w1 * 'w2, 'q1, 'q3, 'r1, 'r3) t
+
+(** Refinement check [R ⊑ S] (Definition 5.1) on a finite sample of
+    question pairs and answer pairs. *)
+val check_refinement :
+  r:('wr, 'q1, 'q2, 'r1, 'r2) t ->
+  s:('ws, 'q1, 'q2, 'r1, 'r2) t ->
+  sample_queries:('ws * 'q1 * 'q2) list ->
+  sample_replies:'r1 list * 'r2 list ->
+  bool

@@ -1,0 +1,153 @@
+(** Open labeled transition systems (paper, Definition 3.1).
+
+    An LTS [L : A ↠ B] describes a component that is activated by
+    questions of the incoming language interface [B], may perform external
+    calls through the outgoing interface [A], and eventually answers with a
+    [B] answer. The type parameters are:
+
+    - ['s]: states,
+    - ['qi]/['ri]: incoming questions and answers (interface [B]),
+    - ['qo]/['ro]: outgoing questions and answers (interface [A]).
+
+    The fields correspond one-to-one to the tuple
+    [⟨S, →, D, I, X, Y, F⟩] of Definition 3.1. Transition relations are
+    represented as list-valued functions; the concrete language semantics
+    of this development are deterministic (singleton or empty lists) but
+    the framework, like the paper's, does not assume it. *)
+
+type ('s, 'qi, 'ri, 'qo, 'ro) lts = {
+  name : string;
+  dom : 'qi -> bool;  (** [D ⊆ B°]: accepted questions *)
+  init : 'qi -> 's list;  (** [I ⊆ D × S]: initial states *)
+  step : 's -> (Events.trace * 's) list;  (** [→ ⊆ S × E* × S] *)
+  at_external : 's -> 'qo option;  (** [X ⊆ S × A°]: external states *)
+  after_external : 's -> 'ro -> 's list;  (** [Y ⊆ S × A• × S] *)
+  final : 's -> 'ri option;  (** [F ⊆ S × B•]: final states *)
+}
+
+(** Transport an LTS along bijections of its states — handy for wrappers. *)
+let map_states ~(fwd : 's -> 't) ~(bwd : 't -> 's) (l : ('s, 'a, 'b, 'c, 'd) lts) :
+    ('t, 'a, 'b, 'c, 'd) lts =
+  {
+    name = l.name;
+    dom = l.dom;
+    init = (fun q -> List.map fwd (l.init q));
+    step = (fun s -> List.map (fun (t, s') -> (t, fwd s')) (l.step (bwd s)));
+    at_external = (fun s -> l.at_external (bwd s));
+    after_external = (fun s r -> List.map fwd (l.after_external (bwd s) r));
+    final = (fun s -> l.final (bwd s));
+  }
+
+(** {1 Deterministic execution}
+
+    The concrete semantics of the pipeline are deterministic; these
+    helpers run an LTS by always taking the first enabled transition.
+    The environment is a partial oracle answering outgoing questions. *)
+
+type ('ri, 'qo) outcome =
+  | Final of Events.trace * 'ri  (** terminated with an answer *)
+  | Goes_wrong of Events.trace * string  (** stuck state (undefined behavior) *)
+  | Env_stuck of Events.trace * 'qo  (** the oracle refused an external call *)
+  | Refused  (** the incoming question is outside [D] or has no initial state *)
+  | Out_of_fuel of Events.trace
+
+let pp_outcome pp_ri fmt = function
+  | Final (_, r) -> Format.fprintf fmt "final %a" pp_ri r
+  | Goes_wrong (_, why) -> Format.fprintf fmt "goes wrong (%s)" why
+  | Env_stuck (_, _) -> Format.fprintf fmt "environment stuck"
+  | Refused -> Format.fprintf fmt "query refused"
+  | Out_of_fuel _ -> Format.fprintf fmt "out of fuel"
+
+let outcome_trace = function
+  | Final (t, _) | Goes_wrong (t, _) | Env_stuck (t, _) | Out_of_fuel t -> t
+  | Refused -> []
+
+(** [run ~fuel lts ~oracle q] activates [lts] on [q] and runs it to
+    completion, answering outgoing questions with [oracle]. *)
+let run ~fuel (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) ~(oracle : 'qo -> 'ro option) q :
+    ('ri, 'qo) outcome =
+  if not (l.dom q) then Refused
+  else
+    match l.init q with
+    | [] -> Refused
+    | s0 :: _ ->
+      let rec go fuel trace s =
+        if fuel <= 0 then Out_of_fuel (List.rev trace)
+        else
+          match l.final s with
+          | Some r -> Final (List.rev trace, r)
+          | None -> (
+            match l.at_external s with
+            | Some qo -> (
+              match oracle qo with
+              | None -> Env_stuck (List.rev trace, qo)
+              | Some ro -> (
+                match l.after_external s ro with
+                | s' :: _ -> go (fuel - 1) trace s'
+                | [] ->
+                  Goes_wrong (List.rev trace, "no resumption after external call")))
+            | None -> (
+              match l.step s with
+              | (t, s') :: _ -> go (fuel - 1) (List.rev_append t trace) s'
+              | [] -> Goes_wrong (List.rev trace, "stuck state")))
+      in
+      go fuel [] s0
+
+(** {1 Running to the next interaction point}
+
+    Used by the co-execution checker: advance a state until it reaches a
+    final state, an external state, gets stuck, or exhausts its fuel. *)
+
+type ('s, 'ri, 'qo) interaction =
+  | Ifinal of 'ri
+  | Iexternal of 'qo * 's  (** external question together with the suspended state *)
+  | Istuck
+  | Ifuel
+
+let run_to_interaction ~fuel (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) s :
+    Events.trace * ('s, 'ri, 'qo) interaction =
+  let rec go fuel trace s =
+    if fuel <= 0 then (List.rev trace, Ifuel)
+    else
+      match l.final s with
+      | Some r -> (List.rev trace, Ifinal r)
+      | None -> (
+        match l.at_external s with
+        | Some qo -> (List.rev trace, Iexternal (qo, s))
+        | None -> (
+          match l.step s with
+          | (t, s') :: _ -> go (fuel - 1) (List.rev_append t trace) s'
+          | [] -> (List.rev trace, Istuck)))
+  in
+  go fuel [] s
+
+(** {1 Reachable-state enumeration}
+
+    Bounded breadth-first exploration of the (possibly nondeterministic)
+    transition relation, used by property-based tests of the framework on
+    toy transition systems. External calls are resumed through all answers
+    produced by [answers]. *)
+
+let reachable ?(bound = 10_000) (l : ('s, 'qi, 'ri, 'qo, 'ro) lts)
+    ~(answers : 'qo -> 'ro list) (q : 'qi) : 's list =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push s =
+    if not (Hashtbl.mem seen (Hashtbl.hash s, s)) then begin
+      Hashtbl.add seen (Hashtbl.hash s, s) ();
+      Queue.add s queue
+    end
+  in
+  List.iter push (l.init q);
+  let out = ref [] in
+  let count = ref 0 in
+  while (not (Queue.is_empty queue)) && !count < bound do
+    incr count;
+    let s = Queue.take queue in
+    out := s :: !out;
+    List.iter (fun (_, s') -> push s') (l.step s);
+    match l.at_external s with
+    | Some qo -> List.iter (fun ro -> List.iter push (l.after_external s ro)) (answers qo)
+    | None -> ()
+  done;
+  List.rev !out

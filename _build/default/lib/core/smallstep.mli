@@ -1,0 +1,75 @@
+(** Open labeled transition systems (paper, Definition 3.1).
+
+    An LTS [L : A ↠ B] describes a component activated by questions of
+    the incoming language interface [B], that may perform external calls
+    through the outgoing interface [A], and eventually answers with a [B]
+    answer. *)
+
+(** The tuple [⟨S, →, D, I, X, Y, F⟩] of Definition 3.1. Type parameters:
+    states ['s]; incoming questions/answers ['qi]/['ri] (interface [B]);
+    outgoing questions/answers ['qo]/['ro] (interface [A]). *)
+type ('s, 'qi, 'ri, 'qo, 'ro) lts = {
+  name : string;
+  dom : 'qi -> bool;  (** [D ⊆ B°]: accepted questions *)
+  init : 'qi -> 's list;  (** [I ⊆ D × S]: initial states *)
+  step : 's -> (Events.trace * 's) list;  (** [→ ⊆ S × E* × S] *)
+  at_external : 's -> 'qo option;  (** [X ⊆ S × A°]: external states *)
+  after_external : 's -> 'ro -> 's list;  (** [Y ⊆ S × A• × S] *)
+  final : 's -> 'ri option;  (** [F ⊆ S × B•]: final states *)
+}
+
+(** Transport an LTS along a bijection of its states. *)
+val map_states :
+  fwd:('s -> 't) ->
+  bwd:('t -> 's) ->
+  ('s, 'a, 'b, 'c, 'd) lts ->
+  ('t, 'a, 'b, 'c, 'd) lts
+
+(** Outcome of a deterministic run (first enabled transition). *)
+type ('ri, 'qo) outcome =
+  | Final of Events.trace * 'ri  (** terminated with an answer *)
+  | Goes_wrong of Events.trace * string  (** stuck state (undefined behavior) *)
+  | Env_stuck of Events.trace * 'qo  (** the oracle refused an external call *)
+  | Refused  (** question outside [D], or no initial state *)
+  | Out_of_fuel of Events.trace
+
+val pp_outcome :
+  (Format.formatter -> 'ri -> unit) ->
+  Format.formatter ->
+  ('ri, 'qo) outcome ->
+  unit
+
+val outcome_trace : ('ri, 'qo) outcome -> Events.trace
+
+(** [run ~fuel lts ~oracle q] activates [lts] on [q] and runs it to
+    completion, answering outgoing questions with [oracle]. *)
+val run :
+  fuel:int ->
+  ('s, 'qi, 'ri, 'qo, 'ro) lts ->
+  oracle:('qo -> 'ro option) ->
+  'qi ->
+  ('ri, 'qo) outcome
+
+(** Interaction points reached by [run_to_interaction]. *)
+type ('s, 'ri, 'qo) interaction =
+  | Ifinal of 'ri
+  | Iexternal of 'qo * 's  (** the question, with the suspended state *)
+  | Istuck
+  | Ifuel
+
+(** Advance a state to its next interaction point (used by the
+    co-execution checker). *)
+val run_to_interaction :
+  fuel:int ->
+  ('s, 'qi, 'ri, 'qo, 'ro) lts ->
+  's ->
+  Events.trace * ('s, 'ri, 'qo) interaction
+
+(** Bounded breadth-first exploration of a (possibly nondeterministic)
+    LTS; external calls are resumed through all answers of [answers]. *)
+val reachable :
+  ?bound:int ->
+  ('s, 'qi, 'ri, 'qo, 'ro) lts ->
+  answers:('qo -> 'ro list) ->
+  'qi ->
+  's list

@@ -1,0 +1,18 @@
+(** Layered composition of open semantics (paper §3.5): the asymmetric
+    operator [∘ : (B ↠ C) × (A ↠ B) → (A ↠ C)] where calls propagate
+    downward only — the shape of heterogeneous stacks such as
+    [driver ∘ io ∘ nic] (Examples 1.1 and 3.10). *)
+
+open Smallstep
+
+type ('s1, 's2) state =
+  | Upper of 's1  (** the upper layer running *)
+  | Lower of 's1 * 's2  (** upper suspended on a call served below *)
+
+(** [layer l1 l2]: questions activate [l1]; [l1]'s external calls are
+    served by [l2] when its domain accepts them (an unaccepted upper call
+    is a stuck state); [l2]'s external calls escape to the environment. *)
+val layer :
+  ('s1, 'qc, 'rc, 'qb, 'rb) lts ->
+  ('s2, 'qb, 'rb, 'qa, 'ra) lts ->
+  (('s1, 's2) state, 'qc, 'rc, 'qa, 'ra) lts

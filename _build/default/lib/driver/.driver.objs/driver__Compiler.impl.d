@@ -1,0 +1,1 @@
+lib/driver/compiler.ml: Backend Cfrontend Middle Passes Support

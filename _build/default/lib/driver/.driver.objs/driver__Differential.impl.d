@@ -1,0 +1,1 @@
+lib/driver/differential.ml: Ast Backend Cfrontend Compiler Format Iface List Middle Runners

@@ -1,0 +1,1 @@
+lib/driver/io_oracle.ml: Conventions Either Format Genv Ident Iface Int32 List Locations Memory Pregfile String Support Target

@@ -1,0 +1,1 @@
+lib/driver/linking.ml: Array Ast Backend Cfrontend Compiler Core Hcomp Ident Iface Li List Runners Support

@@ -1,0 +1,1 @@
+lib/driver/runners.ml: Ast Core Events Genv Ident Iface Memory Simconv Smallstep Support

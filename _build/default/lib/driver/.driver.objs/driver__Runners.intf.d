@@ -1,0 +1,1 @@
+lib/driver/runners.mli: Ast Core Format Ident Iface Memory Simconv Smallstep Support Target

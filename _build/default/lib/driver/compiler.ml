@@ -1,0 +1,105 @@
+(** The compiler driver: composing the passes of Table 3.
+
+    [compile] runs the full pipeline from parsed Clight to Asm, keeping
+    every intermediate program so that tests and benchmarks can co-execute
+    adjacent levels (the executable counterpart of the per-pass simulation
+    proofs). *)
+
+open Support.Errors
+module Errors = Support.Errors
+module C = Cfrontend.Csyntax
+
+type options = {
+  opt_tailcall : bool;
+  opt_inlining : bool;
+  opt_constprop : bool;
+  opt_cse : bool;
+  opt_deadcode : bool;
+}
+
+let all_optims =
+  {
+    opt_tailcall = true;
+    opt_inlining = true;
+    opt_constprop = true;
+    opt_cse = true;
+    opt_deadcode = true;
+  }
+
+let no_optims =
+  {
+    opt_tailcall = false;
+    opt_inlining = false;
+    opt_constprop = false;
+    opt_cse = false;
+    opt_deadcode = false;
+  }
+
+(** Every intermediate program of the pipeline. [clight1] is the source
+    (memory-resident parameters); [clight2] is after [SimplLocals]. *)
+type artifacts = {
+  clight1 : C.program;
+  clight2 : C.program;
+  csharpminor : Cfrontend.Csharpminor.program;
+  cminor : Middle.Cminor.program;
+  cminorsel : Middle.Cminorsel.program;
+  rtl_gen : Middle.Rtl.program;  (** straight out of RTLgen *)
+  rtl : Middle.Rtl.program;  (** after the optional RTL optimizations *)
+  ltl : Backend.Ltl.program;
+  ltl_tunneled : Backend.Ltl.program;
+  linear : Backend.Linear.program;
+  linear_clean : Backend.Linear.program;
+  mach : Backend.Mach.program;
+  asm : Backend.Asm.program;
+}
+
+let when_opt flag pass p = if flag then pass p else ok p
+
+let compile ?(options = all_optims) (p : C.program) : artifacts Errors.t =
+  let* clight2 = Passes.Simpllocals.transf_program p in
+  let* csharpminor = Passes.Cshmgen.transf_program clight2 in
+  let* cminor = Passes.Cminorgen.transf_program csharpminor in
+  let* cminorsel = Passes.Selection.transf_program cminor in
+  let* rtl_gen = Passes.Rtlgen.transf_program cminorsel in
+  let* rtl1 = when_opt options.opt_tailcall Passes.Tailcall.transf_program rtl_gen in
+  let* rtl2 = when_opt options.opt_inlining Passes.Inlining.transf_program rtl1 in
+  let* rtl3 = Passes.Renumber.transf_program rtl2 in
+  let* rtl4 = when_opt options.opt_constprop Passes.Constprop.transf_program rtl3 in
+  let* rtl5 = when_opt options.opt_cse Passes.Cse.transf_program rtl4 in
+  let* rtl = when_opt options.opt_deadcode Passes.Deadcode.transf_program rtl5 in
+  let* ltl = Passes.Allocation.transf_program rtl in
+  (* Translation validation of the untrusted allocator (CompCert-style):
+     a miscompilation in Allocation aborts the compilation here. *)
+  let* () = Passes.Alloc_check.validate_program rtl ltl in
+  let* ltl_tunneled = Passes.Tunneling.transf_program ltl in
+  let* linear = Passes.Linearize.transf_program ltl_tunneled in
+  let* linear_clean = Passes.Cleanuplabels.transf_program linear in
+  let* linear_dbg = Passes.Debugvar.transf_program linear_clean in
+  let* mach = Passes.Stacking.transf_program linear_dbg in
+  let* asm = Passes.Asmgen.transf_program mach in
+  ok
+    {
+      clight1 = p;
+      clight2;
+      csharpminor;
+      cminor;
+      cminorsel;
+      rtl_gen;
+      rtl;
+      ltl;
+      ltl_tunneled;
+      linear;
+      linear_clean;
+      mach;
+      asm;
+    }
+
+(** Parse and compile a C source string. *)
+let compile_source ?options (src : string) : artifacts Errors.t =
+  let p = Cfrontend.Cparser.parse_program src in
+  compile ?options p
+
+(** Compile a C source string to Asm only. *)
+let compile_c_to_asm ?options (src : string) : Backend.Asm.program Errors.t =
+  let* arts = compile_source ?options src in
+  ok arts.asm

@@ -1,0 +1,88 @@
+(** The differential harness: compile a source string and run it at
+    every level of the pipeline through the simulation conventions'
+    marshaling, checking that each level refines the Clight reference.
+    Used by the test suites, the fuzzer, and the [occo fuzz] command. *)
+
+open Iface
+open Iface.Li
+
+let fuel = 3_000_000
+
+type level_result = { level : string; outcome : Runners.c_outcome }
+
+let pp_level_result fmt r =
+  Format.fprintf fmt "%-12s %a" r.level Runners.pp_c_outcome r.outcome
+
+(** Run a compiled program at every level on the given C query. *)
+let run_all_levels ?options (p : Cfrontend.Csyntax.program) (q : c_query) :
+    (level_result list, string) result =
+  let symbols = Ast.prog_defs_names p in
+  match Compiler.compile ?options p with
+  | Error e -> Error ("compile: " ^ e)
+  | Ok arts ->
+    let open Runners in
+    let c lts = Ok (run_c_level lts ~fuel q) in
+    let results =
+      [
+        ("clight1", c (Cfrontend.Clight.semantics ~symbols arts.clight1));
+        ( "clight2",
+          c (Cfrontend.Clight.semantics ~mode:`Temp_params ~symbols arts.clight2)
+        );
+        ("csharpminor", c (Cfrontend.Csharpminor.semantics ~symbols arts.csharpminor));
+        ("cminor", c (Middle.Cminor.semantics ~symbols arts.cminor));
+        ("cminorsel", c (Middle.Cminorsel.semantics ~symbols arts.cminorsel));
+        ("rtl_gen", c (Middle.Rtl.semantics ~symbols arts.rtl_gen));
+        ("rtl_opt", c (Middle.Rtl.semantics ~symbols arts.rtl));
+        ("ltl", run_l_level (Backend.Ltl.semantics ~symbols arts.ltl) ~fuel q);
+        ( "ltl_tunneled",
+          run_l_level (Backend.Ltl.semantics ~symbols arts.ltl_tunneled) ~fuel q );
+        ("linear", run_l_level (Backend.Linear.semantics ~symbols arts.linear) ~fuel q);
+        ( "linear_clean",
+          run_l_level (Backend.Linear.semantics ~symbols arts.linear_clean) ~fuel q );
+        ("mach", run_m_level (Backend.Mach.semantics ~symbols arts.mach) ~fuel q);
+        ("asm", run_a_level (Backend.Asm.semantics ~symbols arts.asm) ~fuel q);
+      ]
+    in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | (level, Ok outcome) :: rest -> collect ({ level; outcome } :: acc) rest
+      | (level, Error e) :: rest ->
+        ignore rest;
+        Error (level ^ ": " ^ e)
+    in
+    collect [] results
+
+(** Check that every level's outcome refines the Clight reference. *)
+let check_all_refine (results : level_result list) : (unit, string) result =
+  match results with
+  | [] -> Error "no results"
+  | reference :: rest ->
+    let rec go = function
+      | [] -> Ok ()
+      | r :: rest ->
+        if Runners.outcome_refines reference.outcome r.outcome then go rest
+        else
+          Error
+            (Format.asprintf "@[<v>%s does not refine the source:@,%a@,%a@]"
+               r.level pp_level_result reference pp_level_result r)
+    in
+    go rest
+
+let main_query_of (p : Cfrontend.Csyntax.program) : c_query option =
+  let symbols = Ast.prog_defs_names p in
+  Runners.main_query ~symbols ~defs:p ()
+
+(** The main differential check: compile [src] and require every level to
+    refine the Clight behavior of [main]. *)
+let differential ?options (src : string) : (level_result list, string) result =
+  let p = Cfrontend.Cparser.parse_program src in
+  match main_query_of p with
+  | None -> Error "cannot build main query"
+  | Some q -> (
+    match run_all_levels ?options p q with
+    | Error e -> Error e
+    | Ok results -> (
+      match check_all_refine results with
+      | Ok () -> Ok results
+      | Error e -> Error e))
+

@@ -1,0 +1,1 @@
+lib/fuzz/gen.ml: Gen List Printf QCheck String

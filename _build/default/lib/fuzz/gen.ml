@@ -1,0 +1,187 @@
+(** A generator of well-defined C programs for differential fuzzing.
+
+    UB avoidance by construction: divisions guarded with [| 1], shifts by
+    literal constants, array indices masked to the (power-of-two) array
+    size, loops bounded by literal counters or count-down locals,
+    recursion excluded (calls only target earlier functions). Signed
+    overflow wraps in this semantics, so arithmetic is unrestricted. *)
+
+open QCheck
+
+type genv = {
+  funs : (string * int) list;  (* name, arity *)
+  locals : string list;  (* assignable *)
+  ro : string list;  (* readable only (loop counters) *)
+}
+
+let gen_const : string Gen.t =
+  Gen.map
+    (fun n -> string_of_int n)
+    (Gen.oneof [ Gen.int_range (-100) 100; Gen.int_range (-100000) 100000 ])
+
+(* Expressions over the integer locals in scope. *)
+let rec gen_expr (env : genv) (depth : int) : string Gen.t =
+  let open Gen in
+  if depth = 0 then
+    oneof
+      (gen_const
+      :: (match env.locals @ env.ro with
+         | [] -> []
+         | vars -> [ oneofl vars ])
+      @ [ return "g" ])
+  else
+    let sub = gen_expr env (depth - 1) in
+    frequency
+      [
+        (2, sub);
+        ( 4,
+          map2
+            (fun (a, b) op -> Printf.sprintf "(%s %s %s)" a op b)
+            (pair sub sub)
+            (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ]) );
+        ( 1,
+          map2
+            (fun (a, b) op -> Printf.sprintf "(%s %s (%s | 1))" a op b)
+            (pair sub sub) (oneofl [ "/"; "%" ]) );
+        ( 1,
+          map2
+            (fun a k -> Printf.sprintf "(%s << %d)" a k)
+            sub (int_range 0 8) );
+        ( 1,
+          map2
+            (fun a k -> Printf.sprintf "(%s >> %d)" a k)
+            sub (int_range 0 8) );
+        ( 2,
+          map2
+            (fun (a, b) op -> Printf.sprintf "(%s %s %s)" a op b)
+            (pair sub sub)
+            (oneofl [ "<"; ">"; "<="; ">="; "=="; "!=" ]) );
+        (1, map (fun a -> Printf.sprintf "(- %s)" a) sub);
+        (1, map (fun a -> Printf.sprintf "(~%s)" a) sub);
+        (1, map (fun a -> Printf.sprintf "(arr[(%s) & 7])" a) sub);
+        ( 2,
+          if env.funs = [] then sub
+          else
+            let* f, arity = oneofl env.funs in
+            let* args = list_repeat arity sub in
+            return (Printf.sprintf "%s(%s)" f (String.concat ", " args)) );
+      ]
+
+let rec gen_stmt (env : genv) (depth : int) : (string * genv) Gen.t =
+  let open Gen in
+  let assign =
+    if env.locals = [] then
+      map (fun e -> (Printf.sprintf "g = %s;" e, env)) (gen_expr env 2)
+    else
+      map2
+        (fun x e -> (Printf.sprintf "%s = %s;" x e, env))
+        (oneofl env.locals) (gen_expr env 2)
+  in
+  let decl =
+    let name = Printf.sprintf "v%d" (List.length env.locals + List.length env.ro) in
+    map
+      (fun e ->
+        ( Printf.sprintf "int %s = %s;" name e,
+          { env with locals = name :: env.locals } ))
+      (gen_expr env 2)
+  in
+  let arr_store =
+    map2
+      (fun i e -> (Printf.sprintf "arr[(%s) & 7] = %s;" i e, env))
+      (gen_expr env 1) (gen_expr env 2)
+  in
+  if depth = 0 then oneof [ assign; decl; arr_store ]
+  else
+    let block d env0 =
+      let* s1, env1 = gen_stmt env0 (d - 1) in
+      let* s2, _ = gen_stmt env1 (d - 1) in
+      (* locals declared inside do not escape *)
+      return (Printf.sprintf "{ %s %s }" s1 s2, env0)
+    in
+    frequency
+      [
+        (3, assign);
+        (2, decl);
+        (1, arr_store);
+        ( 2,
+          let* c = gen_expr env 2 in
+          let* s1, _ = block depth env in
+          let* s2, _ = block depth env in
+          return (Printf.sprintf "if (%s) %s else %s" c s1 s2, env) );
+        ( 2,
+          let* bound = int_range 1 12 in
+          let loopvar = Printf.sprintf "i%d" (List.length env.locals + List.length env.ro) in
+          let env' = { env with ro = loopvar :: env.ro } in
+          let* body, _ = block depth env' in
+          return
+            ( Printf.sprintf "for (int %s = 0; %s < %d; %s++) %s" loopvar
+                loopvar bound loopvar body,
+              env ) );
+        ( 2,
+          let* s1, env1 = gen_stmt env (depth - 1) in
+          let* s2, env2 = gen_stmt env1 (depth - 1) in
+          return (Printf.sprintf "%s %s" s1 s2, env2) );
+        ( 1,
+          (* bounded while: counts down a fresh local *)
+          let w = Printf.sprintf "w%d" (List.length env.locals + List.length env.ro) in
+          let* bound = int_range 1 8 in
+          let env' = { env with locals = w :: env.locals } in
+          let* body, _ =
+            let* s, _ = gen_stmt env' (depth - 1) in
+            return (s, env')
+          in
+          return
+            ( Printf.sprintf
+                "{ int %s = %d; while (%s > 0) { %s %s = %s - 1; } }" w bound w
+                body w w,
+              env ) );
+        ( 1,
+          (* 64-bit arithmetic round-trip *)
+          let* e1 = gen_expr env 1 in
+          let* e2 = gen_expr env 1 in
+          let name =
+            Printf.sprintf "l%d" (List.length env.locals + List.length env.ro)
+          in
+          return
+            ( Printf.sprintf
+                "{ long %s = (long)(%s) * (long)(%s); g = g ^ (int)(%s >> 3); }"
+                name e1 e2 name,
+              env ) );
+      ]
+
+let gen_function (env : genv) (index : int) : (string * (string * int)) Gen.t =
+  let open Gen in
+  let* arity = int_range 0 8 in
+  let name = Printf.sprintf "f%d" index in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let fenv = { env with locals = params; ro = [] } in
+  let* body, benv = gen_stmt fenv 2 in
+  let* ret = gen_expr benv 2 in
+  let proto =
+    Printf.sprintf "int %s(%s)" name
+      (if params = [] then "void"
+       else String.concat ", " (List.map (fun p -> "int " ^ p) params))
+  in
+  return
+    (Printf.sprintf "%s { %s return %s; }" proto body ret, (name, arity))
+
+let gen_program : string Gen.t =
+  let open Gen in
+  let* nfuns = int_range 1 3 in
+  let rec build env i acc =
+    if i >= nfuns then return (List.rev acc, env)
+    else
+      let* src, f = gen_function env i in
+      build { env with funs = f :: env.funs } (i + 1) (src :: acc)
+  in
+  let* funs, env = build { funs = []; locals = []; ro = [] } 0 [] in
+  let* main_body, benv = gen_stmt { env with locals = []; ro = [] } 2 in
+  let* ret = gen_expr benv 2 in
+  return
+    (Printf.sprintf
+       "int g = 1;\nint arr[8] = {1,2,3,4,5,6,7,8};\n%s\nint main(void) { %s return %s; }"
+       (String.concat "\n" funs) main_body ret)
+
+let arb_program =
+  QCheck.make gen_program ~print:(fun s -> s)
+

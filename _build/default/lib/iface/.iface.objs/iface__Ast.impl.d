@@ -1,0 +1,1 @@
+lib/iface/ast.ml: Errors Ident List Memory Support

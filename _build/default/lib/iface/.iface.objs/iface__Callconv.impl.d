@@ -1,0 +1,1 @@
+lib/iface/callconv.ml: Cklr Conventions Core Invariant Li List Locset Mem Memdata Memory Pregfile Regfile Simconv Target

@@ -1,0 +1,1 @@
+lib/iface/genv.ml: Ast Core Ident Int List Map Mem Memdata Memory Support

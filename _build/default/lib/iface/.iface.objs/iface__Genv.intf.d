@@ -1,0 +1,1 @@
+lib/iface/genv.mli: Ast Core Ident Mem Memory Support

@@ -1,0 +1,1 @@
+lib/iface/li.ml: Format List Locations Machregs Map Mem Memory Option Target Values

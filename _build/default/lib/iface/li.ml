@@ -1,0 +1,120 @@
+(** The concrete language interfaces of CompCertO (paper, Table 2).
+
+    - [C]: function calls at the source level — function value, signature,
+      argument values, memory. Used by Clight through RTL.
+    - [L]: abstract locations — the arguments live in a location map.
+      Used by LTL and Linear.
+    - [M]: machine registers plus explicit stack pointer and return
+      address. Used by Mach.
+    - [A]: the full architectural register file (including PC, SP, RA)
+      plus memory. Used by Asm. *)
+
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Target
+
+(** {1 Interface C} *)
+
+type c_query = {
+  cq_vf : value;
+  cq_sg : signature;
+  cq_args : value list;
+  cq_mem : Mem.t;
+}
+
+type c_reply = { cr_res : value; cr_mem : Mem.t }
+
+let pp_c_query fmt q =
+  Format.fprintf fmt "@[%a[%a](%a)@]" Values.pp q.cq_vf pp_signature q.cq_sg
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Values.pp)
+    q.cq_args
+
+let pp_c_reply fmt r = Format.fprintf fmt "%a" Values.pp r.cr_res
+
+(** {1 Interface L} *)
+
+type l_query = {
+  lq_vf : value;
+  lq_sg : signature;
+  lq_ls : Locations.Locset.t;
+  lq_mem : Mem.t;
+}
+
+type l_reply = { lr_ls : Locations.Locset.t; lr_mem : Mem.t }
+
+(** {1 Interface M} *)
+
+type m_query = {
+  mq_vf : value;
+  mq_sp : value;  (** caller stack pointer; stack args live at [sp+0..] *)
+  mq_ra : value;  (** return address *)
+  mq_rs : Machregs.Regfile.t;
+  mq_mem : Mem.t;
+}
+
+type m_reply = { mr_rs : Machregs.Regfile.t; mr_mem : Mem.t }
+
+(** {1 Interface A}
+
+    The architectural register file: machine registers plus the program
+    counter, stack pointer and return-address register. *)
+
+type preg =
+  | PC
+  | SP
+  | RA
+  | SCR  (** assembler scratch register (r11), invisible above Asm *)
+  | Mreg of Machregs.mreg
+
+let pp_preg fmt = function
+  | PC -> Format.pp_print_string fmt "pc"
+  | SP -> Format.pp_print_string fmt "sp"
+  | RA -> Format.pp_print_string fmt "ra"
+  | SCR -> Format.pp_print_string fmt "r11"
+  | Mreg r -> Machregs.pp_mreg fmt r
+
+let all_pregs =
+  PC :: SP :: RA :: SCR :: List.map (fun r -> Mreg r) Machregs.all_mregs
+
+module Pregfile = struct
+  module PMap = Map.Make (struct
+    type t = preg
+
+    let compare = compare
+  end)
+
+  type t = value PMap.t
+
+  let init : t = PMap.empty
+  let get r (rf : t) = Option.value (PMap.find_opt r rf) ~default:Vundef
+  let set r v (rf : t) : t = PMap.add r v rf
+  let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
+
+  let of_regfile (mrs : Machregs.Regfile.t) : t =
+    List.fold_left
+      (fun rf r -> set (Mreg r) (Machregs.Regfile.get r mrs) rf)
+      init Machregs.all_mregs
+
+  let to_regfile (rf : t) : Machregs.Regfile.t =
+    List.fold_left
+      (fun mrs r -> Machregs.Regfile.set r (get (Mreg r) rf) mrs)
+      Machregs.Regfile.init Machregs.all_mregs
+
+  let equal (a : t) (b : t) = List.for_all (fun r -> get r a = get r b) all_pregs
+
+  let pp fmt rf =
+    Format.fprintf fmt "@[<h>{";
+    List.iter
+      (fun r ->
+        match get r rf with
+        | Vundef -> ()
+        | v -> Format.fprintf fmt " %a=%a" pp_preg r Values.pp v)
+      all_pregs;
+    Format.fprintf fmt " }@]"
+end
+
+type a_query = { aq_rs : Pregfile.t; aq_mem : Mem.t }
+type a_reply = { ar_rs : Pregfile.t; ar_mem : Mem.t }

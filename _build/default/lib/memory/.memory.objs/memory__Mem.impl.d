@@ -1,0 +1,1 @@
+lib/memory/mem.ml: Format Int List Map Memdata Option Values

@@ -1,0 +1,1 @@
+lib/memory/mem.mli: Format Memdata Values

@@ -1,0 +1,1 @@
+lib/memory/memdata.ml: Format Int32 Int64 List Mtypes Values

@@ -1,0 +1,1 @@
+lib/memory/meminj.ml: Format Int List Map Mem Memdata Values

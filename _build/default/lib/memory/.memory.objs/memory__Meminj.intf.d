@@ -1,0 +1,1 @@
+lib/memory/meminj.mli: Format Map Mem Memdata Values

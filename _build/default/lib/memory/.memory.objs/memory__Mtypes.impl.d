@@ -1,0 +1,1 @@
+lib/memory/mtypes.ml: Format List Option

@@ -1,0 +1,1 @@
+lib/memory/values.ml: Float Format Int32 Int64 List Mtypes

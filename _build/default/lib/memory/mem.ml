@@ -1,0 +1,239 @@
+(** The CompCert memory model (paper §3.1, Fig. 4).
+
+    A memory state is a finite collection of blocks. Each block has bounds
+    [lo, hi), per-offset permissions, and per-offset contents ([Memdata.memval]).
+    The model is purely functional: every operation returns a new memory
+    state. Operations are partial exactly where CompCert's are: [load] and
+    [store] require permissions and alignment, [free] requires [Freeable]
+    permission over the whole range.
+
+    Permissions form a total order [Nonempty < Readable < Writable <
+    Freeable]; an offset with no permission entry is inaccessible. Per-offset
+    permissions are what later allows the [LM] simulation convention to carve
+    the argument region out of a stack block (paper, Appendix C.2, Fig. 13). *)
+
+open Values
+open Memdata
+
+type permission = Nonempty | Readable | Writable | Freeable
+
+let perm_rank = function
+  | Nonempty -> 0
+  | Readable -> 1
+  | Writable -> 2
+  | Freeable -> 3
+
+(** [perm_order p1 p2]: permission [p1] implies permission [p2]. *)
+let perm_order p1 p2 = perm_rank p1 >= perm_rank p2
+
+let pp_permission fmt p =
+  Format.pp_print_string fmt
+    (match p with
+    | Nonempty -> "nonempty"
+    | Readable -> "readable"
+    | Writable -> "writable"
+    | Freeable -> "freeable")
+
+module IMap = Map.Make (Int)
+
+type block_info = {
+  lo : int;
+  hi : int;
+  contents : memval IMap.t;  (** default [Undef] *)
+  perms : permission IMap.t;  (** absent = no permission *)
+}
+
+type t = { next_block : block; blocks : block_info IMap.t }
+
+let empty = { next_block = 1; blocks = IMap.empty }
+
+let nextblock m = m.next_block
+let valid_block m b = b > 0 && b < m.next_block && IMap.mem b m.blocks
+
+let block_bounds m b =
+  match IMap.find_opt b m.blocks with
+  | Some bi -> Some (bi.lo, bi.hi)
+  | None -> None
+
+(** {1 Permissions} *)
+
+let perm m b ofs p =
+  match IMap.find_opt b m.blocks with
+  | None -> false
+  | Some bi -> (
+    match IMap.find_opt ofs bi.perms with
+    | None -> false
+    | Some p' -> perm_order p' p)
+
+let range_perm m b lo hi p =
+  let rec go ofs = ofs >= hi || (perm m b ofs p && go (ofs + 1)) in
+  go lo
+
+let valid_pointer m b ofs = perm m b ofs Nonempty
+
+(* Weak validity: valid or one-past-the-end, as used by pointer
+   comparisons. *)
+let weak_valid_pointer m b ofs =
+  valid_pointer m b ofs || valid_pointer m b (ofs - 1)
+
+(** {1 Allocation and deallocation} *)
+
+let alloc m lo hi =
+  let b = m.next_block in
+  let perms =
+    let rec fill ofs acc =
+      if ofs >= hi then acc else fill (ofs + 1) (IMap.add ofs Freeable acc)
+    in
+    fill lo IMap.empty
+  in
+  let bi = { lo; hi; contents = IMap.empty; perms } in
+  ({ next_block = b + 1; blocks = IMap.add b bi m.blocks }, b)
+
+let free m b lo hi =
+  if lo >= hi then Some m
+  else if not (range_perm m b lo hi Freeable) then None
+  else
+    match IMap.find_opt b m.blocks with
+    | None -> None
+    | Some bi ->
+      let rec clear ofs perms =
+        if ofs >= hi then perms else clear (ofs + 1) (IMap.remove ofs perms)
+      in
+      let bi = { bi with perms = clear lo bi.perms } in
+      Some { m with blocks = IMap.add b bi m.blocks }
+
+let rec free_list m = function
+  | [] -> Some m
+  | (b, lo, hi) :: rest -> (
+    match free m b lo hi with None -> None | Some m' -> free_list m' rest)
+
+(** Remove permissions on [b, lo..hi) entirely (used by [LM.free_args]). *)
+let drop_range m b lo hi = free m b lo hi
+
+(** Restrict permissions on a range to at most [p]. *)
+let drop_perm m b lo hi p =
+  if not (range_perm m b lo hi p) then None
+  else
+    match IMap.find_opt b m.blocks with
+    | None -> None
+    | Some bi ->
+      let rec set ofs perms =
+        if ofs >= hi then perms else set (ofs + 1) (IMap.add ofs p perms)
+      in
+      let bi = { bi with perms = set lo bi.perms } in
+      Some { m with blocks = IMap.add b bi m.blocks }
+
+(** Re-grant permission [p] on a range (used by [LM.mix] to restore the
+    argument region after an external call returns). *)
+let grant_perm m b lo hi p =
+  match IMap.find_opt b m.blocks with
+  | None -> None
+  | Some bi ->
+    let rec set ofs perms =
+      if ofs >= hi then perms else set (ofs + 1) (IMap.add ofs p perms)
+    in
+    let bi = { bi with perms = set lo bi.perms } in
+    Some { m with blocks = IMap.add b bi m.blocks }
+
+(** {1 Loads and stores} *)
+
+let getN bi ofs n =
+  List.init n (fun i ->
+      Option.value (IMap.find_opt (ofs + i) bi.contents) ~default:Undef)
+
+let setN bi ofs mvl =
+  let contents, _ =
+    List.fold_left
+      (fun (c, i) mv -> (IMap.add (ofs + i) mv c, i + 1))
+      (bi.contents, 0) mvl
+  in
+  { bi with contents }
+
+let aligned chunk ofs = ofs mod align_chunk chunk = 0
+
+let loadbytes m b ofs n =
+  if n < 0 then None
+  else if not (range_perm m b ofs (ofs + n) Readable) then None
+  else
+    match IMap.find_opt b m.blocks with
+    | None -> None
+    | Some bi -> Some (getN bi ofs n)
+
+let storebytes m b ofs mvl =
+  let n = List.length mvl in
+  if not (range_perm m b ofs (ofs + n) Writable) then None
+  else
+    match IMap.find_opt b m.blocks with
+    | None -> None
+    | Some bi ->
+      Some { m with blocks = IMap.add b (setN bi ofs mvl) m.blocks }
+
+let load chunk m b ofs =
+  if not (aligned chunk ofs) then None
+  else
+    match loadbytes m b ofs (size_chunk chunk) with
+    | None -> None
+    | Some mvl -> Some (decode_val chunk mvl)
+
+let store chunk m b ofs v =
+  if not (aligned chunk ofs) then None
+  else if not (range_perm m b ofs (ofs + size_chunk chunk) Writable) then None
+  else storebytes m b ofs (encode_val chunk v)
+
+let loadv chunk m = function
+  | Vptr (b, ofs) -> load chunk m b ofs
+  | _ -> None
+
+let storev chunk m a v =
+  match a with Vptr (b, ofs) -> store chunk m b ofs v | _ -> None
+
+(** {1 Observation helpers used by relational checks} *)
+
+(** All (block, offset) pairs that hold at least [Nonempty] permission.
+    Only used by bounded relational checks in tests; memories there are
+    small. *)
+let fold_live_offsets m f acc =
+  IMap.fold
+    (fun b bi acc ->
+      IMap.fold (fun ofs _ acc -> f b ofs acc) bi.perms acc)
+    m.blocks acc
+
+let contents_at m b ofs =
+  match IMap.find_opt b m.blocks with
+  | None -> Undef
+  | Some bi -> Option.value (IMap.find_opt ofs bi.contents) ~default:Undef
+
+let perm_at m b ofs =
+  match IMap.find_opt b m.blocks with
+  | None -> None
+  | Some bi -> IMap.find_opt ofs bi.perms
+
+(** [unchanged_on pred m m'] holds when every location satisfying [pred]
+    keeps its permission and contents from [m] to [m']. This is CompCert's
+    [Mem.unchanged_on], the workhorse of the [injp] accessibility relation
+    (paper, Fig. 9). *)
+let unchanged_on (pred : block -> int -> bool) m m' =
+  m.next_block <= m'.next_block
+  && fold_live_offsets m
+       (fun b ofs ok ->
+         ok
+         && ((not (pred b ofs))
+            || perm_at m b ofs = perm_at m' b ofs
+               && contents_at m b ofs = contents_at m' b ofs))
+       true
+
+let equal m1 m2 =
+  m1.next_block = m2.next_block
+  && IMap.equal
+       (fun b1 b2 ->
+         b1.lo = b2.lo && b1.hi = b2.hi
+         && IMap.equal ( = ) b1.contents b2.contents
+         && IMap.equal ( = ) b1.perms b2.perms)
+       m1.blocks m2.blocks
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>mem (next=b%d)" m.next_block;
+  IMap.iter
+    (fun b bi -> Format.fprintf fmt "@ b%d: [%d,%d)" b bi.lo bi.hi)
+    m.blocks;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,84 @@
+(** The CompCert memory model (paper §3.1, Fig. 4): a purely functional
+    collection of blocks with per-offset permissions and byte-level
+    contents. Operations are partial exactly where CompCert's are. *)
+
+open Values
+open Memdata
+
+(** Permissions form a total order
+    [Nonempty < Readable < Writable < Freeable]. *)
+type permission = Nonempty | Readable | Writable | Freeable
+
+(** [perm_order p1 p2]: permission [p1] implies permission [p2]. *)
+val perm_order : permission -> permission -> bool
+
+val pp_permission : Format.formatter -> permission -> unit
+
+type t
+
+(** The empty memory; block identifiers start at 1. *)
+val empty : t
+
+val nextblock : t -> block
+val valid_block : t -> block -> bool
+
+(** Bounds [(lo, hi)] a block was allocated with. *)
+val block_bounds : t -> block -> (int * int) option
+
+(** {1 Permissions} *)
+
+(** [perm m b ofs p]: offset [ofs] of block [b] has at least permission
+    [p]. *)
+val perm : t -> block -> int -> permission -> bool
+
+val range_perm : t -> block -> int -> int -> permission -> bool
+val valid_pointer : t -> block -> int -> bool
+
+(** Valid or one-past-the-end (used by pointer comparisons). *)
+val weak_valid_pointer : t -> block -> int -> bool
+
+(** {1 Allocation and deallocation} *)
+
+(** [alloc m lo hi] returns the new memory and the fresh block, with
+    [Freeable] permission on [lo, hi). *)
+val alloc : t -> int -> int -> t * block
+
+(** [free m b lo hi] requires [Freeable] permission over the range. *)
+val free : t -> block -> int -> int -> t option
+
+val free_list : t -> (block * int * int) list -> t option
+
+(** Remove all permissions on a range (the [LM] convention's
+    [free_args], Fig. 13). *)
+val drop_range : t -> block -> int -> int -> t option
+
+(** Restrict permissions on a range to at most [p]. *)
+val drop_perm : t -> block -> int -> int -> permission -> t option
+
+(** Re-grant permission on a range (the [LM] convention's [mix]). *)
+val grant_perm : t -> block -> int -> int -> permission -> t option
+
+(** {1 Loads and stores} *)
+
+val load : chunk -> t -> block -> int -> value option
+val store : chunk -> t -> block -> int -> value -> t option
+val loadv : chunk -> t -> value -> value option
+val storev : chunk -> t -> value -> value -> t option
+val loadbytes : t -> block -> int -> int -> memval list option
+val storebytes : t -> block -> int -> memval list -> t option
+
+(** {1 Observation (used by relational checks)} *)
+
+(** Fold over every (block, offset) with at least [Nonempty] permission. *)
+val fold_live_offsets : t -> (block -> int -> 'a -> 'a) -> 'a -> 'a
+
+val contents_at : t -> block -> int -> memval
+val perm_at : t -> block -> int -> permission option
+
+(** [unchanged_on pred m m']: every location satisfying [pred] keeps its
+    permission and contents from [m] to [m'] (CompCert's
+    [Mem.unchanged_on], the workhorse of [injp], Fig. 9). *)
+val unchanged_on : (block -> int -> bool) -> t -> t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

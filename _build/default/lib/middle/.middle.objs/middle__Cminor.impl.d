@@ -1,0 +1,1 @@
+lib/middle/cminor.ml: Ast Cfrontend Cmops Core Genv Ident Iface List Mem Memory Support

@@ -1,0 +1,1 @@
+lib/middle/cminorsel.ml: Ast Core Genv Ident Iface List Mem Memory Op Support

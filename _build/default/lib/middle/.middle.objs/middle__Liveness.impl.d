@@ -1,0 +1,1 @@
+lib/middle/liveness.ml: Int List Rtl Set Support

@@ -1,0 +1,1 @@
+lib/middle/op.ml: Format Ident Int64 Mem Memory Support

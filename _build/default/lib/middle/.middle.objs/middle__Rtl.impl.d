@@ -1,0 +1,1 @@
+lib/middle/rtl.ml: Ast Core Format Genv Ident Iface Int List Map Mem Memory Op Option Support

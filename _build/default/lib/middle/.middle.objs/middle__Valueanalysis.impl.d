@@ -1,0 +1,1 @@
+lib/middle/valueanalysis.ml: Int List Map Memory Op Option Rtl Support

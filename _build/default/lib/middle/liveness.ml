@@ -1,0 +1,56 @@
+(** Liveness analysis over RTL (backward dataflow, CompCert's [Liveness]).
+
+    Used by register allocation (interference construction) and by the
+    dead-code elimination pass. *)
+
+module RSet = Set.Make (Int)
+
+module L = struct
+  type t = RSet.t
+
+  let bot = RSet.empty
+  let equal = RSet.equal
+  let lub = RSet.union
+end
+
+module Solver = Support.Fixpoint.Make (L)
+
+(* Transfer function at node [n] holding instruction [i]:
+   live-in = (live-out \ defs) ∪ uses. *)
+let transfer (f : Rtl.coq_function) n (live_out : RSet.t) : RSet.t =
+  match Rtl.Regmap.find_opt n f.Rtl.fn_code with
+  | None -> RSet.empty
+  | Some i ->
+    let defs = RSet.of_list (Rtl.instr_defs i) in
+    let uses = RSet.of_list (Rtl.instr_uses i) in
+    RSet.union (RSet.diff live_out defs) uses
+
+(** [analyze f] returns [live_in]: for each node, the registers live at
+    the entrance of the node's instruction. *)
+let analyze (f : Rtl.coq_function) : int -> RSet.t =
+  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
+  let successors n =
+    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
+    | Some i -> Rtl.successors_instr i
+    | None -> []
+  in
+  (* solve_backward gives the fact at the exit of each node: the join of
+     live-ins of successors. live-in is then one transfer application. *)
+  let live_out =
+    Solver.solve_backward ~successors
+      ~transfer:(fun n out -> transfer f n out)
+      ~entries:[] nodes
+  in
+  fun n -> transfer f n (live_out n)
+
+(** Live-out of each node. *)
+let analyze_out (f : Rtl.coq_function) : int -> RSet.t =
+  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
+  let successors n =
+    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
+    | Some i -> Rtl.successors_instr i
+    | None -> []
+  in
+  Solver.solve_backward ~successors
+    ~transfer:(fun n out -> transfer f n out)
+    ~entries:[] nodes

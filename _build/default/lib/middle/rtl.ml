@@ -1,0 +1,271 @@
+(** RTL: register transfer language over a control-flow graph (CompCert's
+    [RTL]).
+
+    Functions are CFGs of instructions over an unbounded supply of
+    pseudo-registers. This is the representation on which all scalar
+    optimizations (constant propagation, CSE, dead code, inlining,
+    tail-call recognition) operate. *)
+
+open Support
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Memory.Memdata
+open Iface
+open Iface.Li
+
+type reg = int
+
+let pp_reg fmt r = Format.fprintf fmt "x%d" r
+
+module Regmap = Map.Make (Int)
+
+type node = int
+
+(** Call targets: register-indirect or by symbol. *)
+type ros = Rreg of reg | Rsymbol of Ident.t
+
+type instruction =
+  | Inop of node
+  | Iop of Op.operation * reg list * reg * node
+  | Iload of chunk * Op.addressing * reg list * reg * node
+  | Istore of chunk * Op.addressing * reg list * reg * node
+  | Icall of signature * ros * reg list * reg * node
+  | Itailcall of signature * ros * reg list
+  | Icond of Op.condition * reg list * node * node
+  | Ireturn of reg option
+
+type code = instruction Regmap.t
+
+type coq_function = {
+  fn_sig : signature;
+  fn_params : reg list;
+  fn_stacksize : int;
+  fn_code : code;
+  fn_entrypoint : node;
+}
+
+type program = (coq_function, unit) Ast.program
+
+let internal_sig f = f.fn_sig
+let link p1 p2 = Ast.link ~internal_sig p1 p2
+
+let successors_instr = function
+  | Inop n | Iop (_, _, _, n) | Iload (_, _, _, _, n) | Istore (_, _, _, _, n)
+  | Icall (_, _, _, _, n) ->
+    [ n ]
+  | Icond (_, _, n1, n2) -> [ n1; n2 ]
+  | Itailcall _ | Ireturn _ -> []
+
+let instr_uses = function
+  | Inop _ -> []
+  | Iop (_, args, _, _) -> args
+  | Iload (_, _, args, _, _) -> args
+  | Istore (_, _, args, src, _) -> args @ [ src ]
+  | Icall (_, ros, args, _, _) -> (
+    match ros with Rreg r -> r :: args | Rsymbol _ -> args)
+  | Itailcall (_, ros, args) -> (
+    match ros with Rreg r -> r :: args | Rsymbol _ -> args)
+  | Icond (_, args, _, _) -> args
+  | Ireturn (Some r) -> [ r ]
+  | Ireturn None -> []
+
+let instr_defs = function
+  | Iop (_, _, res, _) | Iload (_, _, _, res, _) | Icall (_, _, _, res, _) ->
+    [ res ]
+  | _ -> []
+
+let max_reg_function (f : coq_function) =
+  let m = List.fold_left max 0 f.fn_params in
+  Regmap.fold
+    (fun _ i acc ->
+      List.fold_left max acc (instr_uses i @ instr_defs i))
+    f.fn_code m
+
+let max_node (f : coq_function) = Regmap.fold (fun n _ acc -> max n acc) f.fn_code 0
+
+(** {1 Semantics} *)
+
+type regset = value Regmap.t
+
+let rget r (rs : regset) = Option.value (Regmap.find_opt r rs) ~default:Vundef
+let rset r v (rs : regset) = Regmap.add r v rs
+let rget_list rl rs = List.map (fun r -> rget r rs) rl
+
+let init_regs args params =
+  let rec go rs params args =
+    match (params, args) with
+    | p :: params', a :: args' -> go (rset p a rs) params' args'
+    | _, _ -> rs
+  in
+  go Regmap.empty params args
+
+type stackframe = {
+  sf_res : reg;
+  sf_f : coq_function;
+  sf_sp : value;
+  sf_pc : node;
+  sf_rs : regset;
+}
+
+type state =
+  | State of stackframe list * coq_function * value * node * regset * Mem.t
+  | Callstate of stackframe list * value * signature * value list * Mem.t
+  | Returnstate of stackframe list * value * Mem.t
+
+type genv = (coq_function, unit) Genv.t
+
+let genv_view (ge : genv) : Op.genv_view =
+  { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
+
+let ros_address (ge : genv) ros (rs : regset) =
+  match ros with
+  | Rreg r -> Some (rget r rs)
+  | Rsymbol id -> (
+    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
+
+let free_stack m sp sz =
+  match sp with
+  | Vptr (b, 0) -> Mem.free m b 0 sz
+  | _ -> if sz = 0 then Some m else None
+
+let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
+  let ret s' = [ (Core.Events.e0, s') ] in
+  match s with
+  | State (stack, f, sp, pc, rs, m) -> (
+    match Regmap.find_opt pc f.fn_code with
+    | None -> []
+    | Some instr -> (
+      match instr with
+      | Inop n -> ret (State (stack, f, sp, n, rs, m))
+      | Iop (op, args, res, n) -> (
+        match Op.eval_operation (genv_view ge) sp op (rget_list args rs) m with
+        | Some v -> ret (State (stack, f, sp, n, rset res v rs, m))
+        | None -> [])
+      | Iload (chunk, addr, args, dst, n) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (rget_list args rs) with
+        | Some va -> (
+          match Mem.loadv chunk m va with
+          | Some v -> ret (State (stack, f, sp, n, rset dst v rs, m))
+          | None -> [])
+        | None -> [])
+      | Istore (chunk, addr, args, src, n) -> (
+        match Op.eval_addressing (genv_view ge) sp addr (rget_list args rs) with
+        | Some va -> (
+          match Mem.storev chunk m va (rget src rs) with
+          | Some m' -> ret (State (stack, f, sp, n, rs, m'))
+          | None -> [])
+        | None -> [])
+      | Icall (sg, ros, args, res, n) -> (
+        match ros_address ge ros rs with
+        | Some vf ->
+          let frame = { sf_res = res; sf_f = f; sf_sp = sp; sf_pc = n; sf_rs = rs } in
+          ret (Callstate (frame :: stack, vf, sg, rget_list args rs, m))
+        | None -> [])
+      | Itailcall (sg, ros, args) -> (
+        match ros_address ge ros rs with
+        | Some vf -> (
+          match free_stack m sp f.fn_stacksize with
+          | Some m' -> ret (Callstate (stack, vf, sg, rget_list args rs, m'))
+          | None -> [])
+        | None -> [])
+      | Icond (cond, args, n1, n2) -> (
+        match Op.eval_condition cond (rget_list args rs) m with
+        | Some b -> ret (State (stack, f, sp, (if b then n1 else n2), rs, m))
+        | None -> [])
+      | Ireturn optr -> (
+        match free_stack m sp f.fn_stacksize with
+        | Some m' ->
+          let v = match optr with Some r -> rget r rs | None -> Vundef in
+          ret (Returnstate (stack, v, m'))
+        | None -> [])))
+  | Callstate (stack, vf, sg, args, m) -> (
+    match Genv.find_funct ge vf with
+    | Some (Ast.Internal f) ->
+      if not (signature_equal sg f.fn_sig) then []
+      else
+        let m1, b = Mem.alloc m 0 f.fn_stacksize in
+        ret
+          (State
+             (stack, f, Vptr (b, 0), f.fn_entrypoint, init_regs args f.fn_params, m1))
+    | Some (Ast.External _) | None -> [])
+  | Returnstate (stack, v, m) -> (
+    match stack with
+    | frame :: stack' ->
+      ret
+        (State
+           ( stack',
+             frame.sf_f,
+             frame.sf_sp,
+             frame.sf_pc,
+             rset frame.sf_res v frame.sf_rs,
+             m ))
+    | [] -> [])
+
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (state, c_query, c_reply, c_query, c_reply) Core.Smallstep.lts =
+  let ge = Genv.globalenv ~symbols p in
+  {
+    Core.Smallstep.name = "RTL";
+    dom =
+      (fun q ->
+        match Genv.find_funct ge q.cq_vf with
+        | Some (Ast.Internal f) -> signature_equal q.cq_sg f.fn_sig
+        | _ -> false);
+    init = (fun q -> [ Callstate ([], q.cq_vf, q.cq_sg, q.cq_args, q.cq_mem) ]);
+    step = (fun s -> step ge s);
+    at_external =
+      (fun s ->
+        match s with
+        | Callstate (_, vf, sg, args, m) when Genv.plausible_funct ge vf && not (Genv.defines_internal ge vf) ->
+          Some { cq_vf = vf; cq_sg = sg; cq_args = args; cq_mem = m }
+        | _ -> None);
+    after_external =
+      (fun s r ->
+        match s with
+        | Callstate (stack, _, _, _, _) -> [ Returnstate (stack, r.cr_res, r.cr_mem) ]
+        | _ -> []);
+    final =
+      (fun s ->
+        match s with
+        | Returnstate ([], v, m) -> Some { cr_res = v; cr_mem = m }
+        | _ -> None);
+  }
+
+(** {1 Printing} *)
+
+let pp_ros fmt = function
+  | Rreg r -> pp_reg fmt r
+  | Rsymbol id -> Ident.pp fmt id
+
+let pp_instruction fmt (i : instruction) =
+  let regs fmt rl =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      pp_reg fmt rl
+  in
+  match i with
+  | Inop n -> Format.fprintf fmt "nop -> %d" n
+  | Iop (op, args, res, n) ->
+    Format.fprintf fmt "%a = %a(%a) -> %d" pp_reg res Op.pp_operation op regs args n
+  | Iload (chunk, addr, args, dst, n) ->
+    Format.fprintf fmt "%a = load %a %a(%a) -> %d" pp_reg dst pp_chunk chunk
+      Op.pp_addressing addr regs args n
+  | Istore (chunk, addr, args, src, n) ->
+    Format.fprintf fmt "store %a %a(%a) := %a -> %d" pp_chunk chunk
+      Op.pp_addressing addr regs args pp_reg src n
+  | Icall (_, ros, args, res, n) ->
+    Format.fprintf fmt "%a = call %a(%a) -> %d" pp_reg res pp_ros ros regs args n
+  | Itailcall (_, ros, args) ->
+    Format.fprintf fmt "tailcall %a(%a)" pp_ros ros regs args
+  | Icond (cond, args, n1, n2) ->
+    Format.fprintf fmt "if %a(%a) -> %d else %d" Op.pp_condition cond regs args n1 n2
+  | Ireturn None -> Format.fprintf fmt "return"
+  | Ireturn (Some r) -> Format.fprintf fmt "return %a" pp_reg r
+
+let pp_function fmt (f : coq_function) =
+  Format.fprintf fmt "@[<v>function(%a) stack %d entry %d@," pp_signature f.fn_sig
+    f.fn_stacksize f.fn_entrypoint;
+  let nodes = List.sort (fun (a, _) (b, _) -> compare b a) (Regmap.bindings f.fn_code) in
+  List.iter (fun (n, i) -> Format.fprintf fmt "  %4d: %a@," n pp_instruction i) nodes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,137 @@
+(** Value analysis: forward constant/interval-free abstract interpretation
+    over RTL registers (a restriction of CompCert's [ValueAnalysis]).
+
+    The abstract domain tracks known constant values per register. Memory
+    is treated conservatively (loads return ⊤); read-only global data is
+    the province of the [va] invariant checked at interaction boundaries
+    (paper, Appendix B.3). Used by [Constprop] and [Deadcode]. *)
+
+open Memory.Values
+
+type aval =
+  | Vbot  (** unreachable / no value *)
+  | Const of value  (** known constant (never a pointer) *)
+  | Vtop
+
+let aval_equal a b =
+  match (a, b) with
+  | Vbot, Vbot | Vtop, Vtop -> true
+  | Const v1, Const v2 -> v1 = v2
+  | _ -> false
+
+let aval_lub a b =
+  match (a, b) with
+  | Vbot, x | x, Vbot -> x
+  | Const v1, Const v2 -> if v1 = v2 then a else Vtop
+  | _ -> Vtop
+
+module AMap = Map.Make (Int)
+
+(* Abstract register environments. [None] encodes unreachable (⊥). *)
+type aenv = aval AMap.t option
+
+let aenv_get r (ae : aenv) =
+  match ae with
+  | None -> Vbot
+  | Some m -> Option.value (AMap.find_opt r m) ~default:Vtop
+
+let aenv_set r v (ae : aenv) =
+  match ae with None -> None | Some m -> Some (AMap.add r v m)
+
+module L = struct
+  type t = aenv
+
+  let bot : t = None
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some m1, Some m2 -> AMap.equal aval_equal m1 m2
+    | _ -> false
+
+  let lub a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some m1, Some m2 ->
+      Some
+        (AMap.merge
+           (fun _ v1 v2 ->
+             match (v1, v2) with
+             | Some v1, Some v2 -> Some (aval_lub v1 v2)
+             | _ -> Some Vtop)
+           m1 m2)
+end
+
+module Solver = Support.Fixpoint.Make (L)
+
+(* Abstract evaluation of an operation over known constants: delegate to
+   the concrete evaluator on constant arguments (no pointers, no sp, no
+   symbols, no memory dependence). *)
+let abstract_op (op : Op.operation) (args : aval list) : aval =
+  let pure_op =
+    match op with
+    | Op.Oaddrsymbol _ | Op.Oaddrstack _ | Op.Olea _ | Op.Ocmp (Op.Ccomplu _)
+    | Op.Ocmp (Op.Ccompluimm _) | Op.Omove ->
+      false
+    | _ -> true
+  in
+  if not pure_op then Vtop
+  else
+    let concrete =
+      List.fold_right
+        (fun a acc ->
+          match (a, acc) with
+          | Const v, Some vs -> Some (v :: vs)
+          | _ -> None)
+        args (Some [])
+    in
+    match concrete with
+    | None -> Vtop
+    | Some vl -> (
+      let ge = { Op.find_symbol = (fun _ -> None) } in
+      match Op.eval_operation ge Vundef op vl Memory.Mem.empty with
+      | Some ((Vint _ | Vlong _ | Vfloat _ | Vsingle _) as v) -> Const v
+      | _ -> Vtop)
+
+let abstract_cond (cond : Op.condition) (args : aval list) : bool option =
+  match cond with
+  | Op.Ccomplu _ | Op.Ccompluimm _ -> None
+  | _ -> (
+    let concrete =
+      List.fold_right
+        (fun a acc ->
+          match (a, acc) with
+          | Const v, Some vs -> Some (v :: vs)
+          | _ -> None)
+        args (Some [])
+    in
+    match concrete with
+    | None -> None
+    | Some vl -> Op.eval_condition cond vl Memory.Mem.empty)
+
+let transfer (f : Rtl.coq_function) n (ae : aenv) : aenv =
+  match (ae, Rtl.Regmap.find_opt n f.Rtl.fn_code) with
+  | None, _ | _, None -> ae
+  | Some _, Some i -> (
+    match i with
+    | Rtl.Iop (Op.Omove, [ src ], res, _) -> aenv_set res (aenv_get src ae) ae
+    | Rtl.Iop (op, args, res, _) ->
+      aenv_set res (abstract_op op (List.map (fun r -> aenv_get r ae) args)) ae
+    | Rtl.Iload (_, _, _, dst, _) -> aenv_set dst Vtop ae
+    | Rtl.Icall (_, _, _, res, _) -> aenv_set res Vtop ae
+    | _ -> ae)
+
+(** [analyze f] returns the abstract environment at the entrance of each
+    node. *)
+let analyze (f : Rtl.coq_function) : int -> aenv =
+  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
+  let successors n =
+    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
+    | Some i -> Rtl.successors_instr i
+    | None -> []
+  in
+  Solver.solve
+    ~successors
+    ~transfer:(fun n ae -> transfer f n ae)
+    ~entries:[ (f.Rtl.fn_entrypoint, Some AMap.empty) ]
+    nodes

@@ -1,0 +1,1 @@
+lib/passes/alloc_check.ml: Allocation Backend Format Iface List Memory Middle Option Printf Support Target

@@ -1,0 +1,1 @@
+lib/passes/allocation.ml: Array Backend Errors Hashtbl Iface List Memory Middle Option Support Target

@@ -1,0 +1,1 @@
+lib/passes/asmgen.ml: Array Backend Iface List Memory Middle Support

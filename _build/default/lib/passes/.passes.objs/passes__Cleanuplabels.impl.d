@@ -1,0 +1,1 @@
+lib/passes/cleanuplabels.ml: Backend Iface List Support

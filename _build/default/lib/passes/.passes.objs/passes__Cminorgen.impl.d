@@ -1,0 +1,1 @@
+lib/passes/cminorgen.ml: Cfrontend Errors Ident Iface List Middle Support

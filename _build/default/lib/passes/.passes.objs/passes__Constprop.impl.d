@@ -1,0 +1,1 @@
+lib/passes/constprop.ml: Iface List Memory Middle Support

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Hashtbl Iface List Map Marshal Middle Option String Support

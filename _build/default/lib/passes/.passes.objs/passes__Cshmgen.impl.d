@@ -1,0 +1,1 @@
+lib/passes/cshmgen.ml: Cfrontend Cop Errors Ident Iface Int64 List Memory Option Support

@@ -1,0 +1,1 @@
+lib/passes/deadcode.ml: Iface Middle Support

@@ -1,0 +1,1 @@
+lib/passes/debugvar.ml: Backend Iface Support

@@ -1,0 +1,1 @@
+lib/passes/inlining.ml: Errors Hashtbl Ident Iface List Memory Middle Support

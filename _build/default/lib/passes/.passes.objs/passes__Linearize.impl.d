@@ -1,0 +1,1 @@
+lib/passes/linearize.ml: Backend Hashtbl Iface List Support

@@ -1,0 +1,1 @@
+lib/passes/renumber.ml: Hashtbl Iface List Middle Option Support

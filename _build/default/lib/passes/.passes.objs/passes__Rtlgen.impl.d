@@ -1,0 +1,1 @@
+lib/passes/rtlgen.ml: Errors Ident Iface List Middle Support

@@ -1,0 +1,1 @@
+lib/passes/selection.ml: Cfrontend Iface Int32 Int64 List Memory Middle Support

@@ -1,0 +1,1 @@
+lib/passes/simpllocals.ml: Cfrontend Errors Ident Iface List Support

@@ -1,0 +1,1 @@
+lib/passes/stacking.ml: Array Backend Iface List Memory Middle Support Target

@@ -1,0 +1,1 @@
+lib/passes/tailcall.ml: Iface Middle Support Target

@@ -1,0 +1,1 @@
+lib/passes/tunneling.ml: Backend Hashtbl Iface List Support

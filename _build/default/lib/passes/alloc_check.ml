@@ -1,0 +1,337 @@
+(** Translation validation for register allocation.
+
+    CompCert validates its (untrusted, heuristic) register allocator a
+    posteriori; this module plays the same role for [Allocation]. Given
+    the RTL function, the allocator's assignment and the produced LTL
+    code, two independent checks are performed:
+
+    1. {b Assignment well-formedness} ([check_assignment]): liveness and
+       interference are {e recomputed here} and the coloring is checked
+       against them — interfering pseudo-registers get non-overlapping
+       locations, values live across calls avoid caller-save registers,
+       reserved scratch registers are never assigned.
+
+    2. {b Code correspondence} ([check_code]): for every RTL instruction,
+       the corresponding LTL expansion (the chain of fresh nodes up to
+       the next RTL boundary node) is executed {e symbolically} over an
+       abstract map from locations to value tags. A tag [Tentry r] means
+       "the value pseudo-register [r] had at instruction entry"; [Tdef]
+       is the value defined by this instruction. The expansion must
+       apply the RTL operation to the right tags, route the defined value
+       into the result's location, place [Tentry]-tagged arguments into
+       the calling convention's locations at calls, invalidate
+       caller-save locations across calls, and leave every live-out
+       pseudo-register's current value in its assigned location at each
+       boundary.
+
+    [validate] runs both; a buggy allocator change is caught at compile
+    time rather than at run time. *)
+
+open Support.Errors
+module Errors = Support.Errors
+open Memory.Mtypes
+open Target.Machregs
+open Target.Locations
+open Target.Conventions
+module R = Middle.Rtl
+module L = Backend.Ltl
+module Op = Middle.Op
+module RSet = Middle.Liveness.RSet
+
+open Allocation (* the [assignment] type *)
+
+let loc_of = function Lreg r -> R r | Lslot (i, t) -> S (Local, i, t)
+
+let scratches = [ R10; SI; X2; X3 ]
+
+(** {1 Check 1: the coloring} *)
+
+let check_assignment (f : R.coq_function) (assign : assignment R.Regmap.t) :
+    unit Errors.t =
+  let live_out = Middle.Liveness.analyze_out f in
+  let get r = R.Regmap.find_opt r assign in
+  let loc r = Option.map loc_of (get r) in
+  (* Reserved scratch registers must not be allocated. *)
+  let* () =
+    R.Regmap.fold
+      (fun r a acc ->
+        let* () = acc in
+        match a with
+        | Lreg m when List.mem m scratches ->
+          error "pseudo-register x%d assigned the scratch register %s" r
+            (mreg_name m)
+        | _ -> ok ())
+      assign (ok ())
+  in
+  (* Interference: at every definition point, the defined register's
+     location must not overlap any live-out register's location (except
+     the moved-from register of a move). *)
+  let* () =
+    R.Regmap.fold
+      (fun n i acc ->
+        let* () = acc in
+        let defs = R.instr_defs i in
+        let out = live_out n in
+        let exempt =
+          match i with R.Iop (Op.Omove, [ src ], _, _) -> Some src | _ -> None
+        in
+        fold_list
+          (fun () d ->
+            RSet.fold
+              (fun r acc ->
+                let* () = acc in
+                if r = d || exempt = Some r then ok ()
+                else
+                  match (loc d, loc r) with
+                  | Some ld, Some lr when locs_overlap ld lr ->
+                    error
+                      "interference violated at node %d: x%d and x%d share %s"
+                      n d r
+                      (Format.asprintf "%a" pp_loc ld)
+                  | _ -> ok ())
+              out (ok ()))
+          () defs)
+      f.R.fn_code (ok ())
+  in
+  (* Values live across calls must not sit in caller-save registers. *)
+  R.Regmap.fold
+    (fun n i acc ->
+      let* () = acc in
+      match i with
+      | R.Icall (_, _, _, res, _) ->
+        RSet.fold
+          (fun r acc ->
+            let* () = acc in
+            if r = res then ok ()
+            else
+              match get r with
+              | Some (Lreg m) when not (is_callee_save m) ->
+                error
+                  "x%d is live across the call at node %d but assigned the \
+                   caller-save register %s"
+                  r n (mreg_name m)
+              | _ -> ok ())
+          (live_out n) (ok ())
+      | _ -> ok ())
+    f.R.fn_code (ok ())
+
+(** {1 Check 2: the code} *)
+
+type tag =
+  | Tentry of R.reg  (** the value [r] had at instruction entry *)
+  | Tdef  (** the value defined by this instruction *)
+  | Topaque
+
+(* The abstract state is a set of equations [(l, t)]: location [l] holds
+   the value denoted by tag [t]. One location may satisfy several
+   equations at once — this is exactly what validates move coalescing,
+   where several pseudo-registers with provably equal values share a
+   machine register. *)
+module AbsState = struct
+  type t = (loc * tag) list
+
+  let empty : t = []
+  let holds l tag (a : t) = List.exists (fun (l', t') -> loc_equal l l' && t' = tag) a
+  let tags_of l (a : t) = List.filter_map (fun (l', t) -> if loc_equal l l' then Some t else None) a
+
+  (* Writing [l] invalidates every equation on an overlapping location. *)
+  let assign_tags l tags (a : t) : t =
+    let a = List.filter (fun (l', _) -> not (locs_overlap l l')) a in
+    List.map (fun t -> (l, t)) tags @ a
+
+  let set l tag a = assign_tags l [ tag ] a
+
+  (* Record an equation without invalidating others (used only when
+     building the initial state, whose equations hold simultaneously). *)
+  let add l tag (a : t) : t = (l, tag) :: a
+
+  (* Copy: the destination receives every equation of the source. *)
+  let move ~src ~dst (a : t) : t = assign_tags dst (tags_of src a) a
+
+  let kill_caller_save (a : t) : t =
+    List.filter
+      (fun (l, _) ->
+        match l with
+        | R m -> is_callee_save m
+        | S (Local, _, _) -> true
+        | S ((Incoming | Outgoing), _, _) -> false)
+      a
+end
+
+(* What each live pseudo-register's value is after the instruction. *)
+let out_tag (instr : R.instruction) (r : R.reg) : tag =
+  match instr with
+  | R.Iop (Op.Omove, [ src ], dst, _) when r = dst -> Tentry src
+  | _ -> if List.mem r (R.instr_defs instr) then Tdef else Tentry r
+
+let boundary (f : R.coq_function) n = R.Regmap.mem n f.R.fn_code
+
+let check_boundary (f : R.coq_function) (assign : assignment R.Regmap.t)
+    (instr : R.instruction) (live : RSet.t) (a : AbsState.t) ~(ctx : string) :
+    unit Errors.t =
+  ignore f;
+  RSet.fold
+    (fun r acc ->
+      let* () = acc in
+      match R.Regmap.find_opt r assign with
+      | None -> error "%s: live pseudo-register x%d has no location" ctx r
+      | Some loc ->
+        if AbsState.holds (loc_of loc) (out_tag instr r) a then ok ()
+        else
+          error "%s: x%d is not in its location %a" ctx r pp_loc (loc_of loc))
+    live (ok ())
+
+let args_hold (a : AbsState.t) (margs : mreg list) (rargs : R.reg list) : bool =
+  List.length margs = List.length rargs
+  && List.for_all2 (fun m r -> AbsState.holds (R m) (Tentry r) a) margs rargs
+
+(* Symbolically execute the LTL chain from [n] until boundary nodes. *)
+let rec walk (f : R.coq_function) (ltl : L.coq_function) (instr : R.instruction)
+    (n : L.node) (a : AbsState.t) ~(performed : bool) ~(fuel : int) :
+    (L.node * AbsState.t) list Errors.t =
+  if fuel = 0 then error "expansion does not terminate"
+  else
+    match L.Nodemap.find_opt n ltl.L.fn_code with
+    | None -> error "missing LTL node %d" n
+    | Some li -> (
+      let continue n' a ~performed =
+        if boundary f n' then
+          if performed then ok [ (n', a) ]
+          else
+            error "expansion reaches node %d without performing its instruction"
+              n'
+        else walk f ltl instr n' a ~performed ~fuel:(fuel - 1)
+      in
+      match (li, instr) with
+      (* The instruction-specific step. *)
+      | L.Lnop n', R.Inop _ -> continue n' a ~performed:true
+      | L.Lop (op, margs, res, n'), R.Iop (rop, rargs, _, _)
+        when op = rop && op <> Op.Omove && not performed ->
+        if args_hold a margs rargs then
+          continue n' (AbsState.set (R res) Tdef a) ~performed:true
+        else error "operation arguments mismatched at LTL node %d" n
+      | L.Lload (chunk, addr, margs, dst, n'), R.Iload (rchunk, raddr, rargs, _, _)
+        when chunk = rchunk && addr = raddr && not performed ->
+        if args_hold a margs rargs then
+          continue n' (AbsState.set (R dst) Tdef a) ~performed:true
+        else error "load arguments mismatched at LTL node %d" n
+      | L.Lstore (chunk, addr, margs, src, n'), R.Istore (rchunk, raddr, rargs, rsrc, _)
+        when chunk = rchunk && not performed ->
+        (* Either the direct form (same addressing, args and source hold
+           the RTL values) or the collapsed form (address materialized by
+           a preceding [Olea], source reloaded through a scratch). *)
+        let direct =
+          addr = raddr
+          && args_hold a margs rargs
+          && AbsState.holds (R src) (Tentry rsrc) a
+        in
+        let collapsed =
+          addr = Op.Aindexed 0 && AbsState.holds (R src) (Tentry rsrc) a
+        in
+        if direct || collapsed then continue n' a ~performed:true
+        else error "store operands mismatched at LTL node %d" n
+      | L.Lop (Op.Olea addr, margs, res, n'), R.Istore (_, raddr, rargs, _, _)
+        when addr = raddr && not performed ->
+        (* Address materialization for the collapsed store form. *)
+        if args_hold a margs rargs then
+          continue n' (AbsState.set (R res) Topaque a) ~performed
+        else error "lea arguments mismatched at LTL node %d" n
+      | L.Lcond (cond, margs, n1, n2), R.Icond (rcond, rargs, rn1, rn2)
+        when cond = rcond ->
+        if not (args_hold a margs rargs) then
+          error "condition arguments mismatched at LTL node %d" n
+        else if n1 <> rn1 || n2 <> rn2 then
+          error "condition targets changed at LTL node %d" n
+        else ok [ (n1, a); (n2, a) ]
+      | L.Lcall (sg, _, n'), R.Icall (rsg, _, rargs, _, _)
+        when signature_equal sg rsg && not performed ->
+        let ok_args =
+          List.length (loc_arguments sg) = List.length rargs
+          && List.for_all2
+               (fun l r -> AbsState.holds l (Tentry r) a)
+               (loc_arguments sg) rargs
+        in
+        if not ok_args then error "call arguments misplaced at LTL node %d" n
+        else
+          let a = AbsState.kill_caller_save a in
+          let a = AbsState.set (R (loc_result sg)) Tdef a in
+          continue n' a ~performed:true
+      | L.Ltailcall (sg, _), R.Itailcall (rsg, _, rargs)
+        when signature_equal sg rsg ->
+        let ok_args =
+          List.length (loc_arguments sg) = List.length rargs
+          && List.for_all2
+               (fun l r -> AbsState.holds l (Tentry r) a)
+               (loc_arguments sg) rargs
+        in
+        if ok_args then ok [] else error "tailcall arguments misplaced at node %d" n
+      | L.Lreturn, R.Ireturn ropt -> (
+        match ropt with
+        | None -> ok []
+        | Some r ->
+          if AbsState.holds (R (loc_result f.R.fn_sig)) (Tentry r) a then ok []
+          else error "return value not in the result register")
+      (* Generic data movement within the expansion. *)
+      | L.Lnop n', _ -> continue n' a ~performed
+      | L.Lop (Op.Omove, [ src ], dst, n'), _ ->
+        continue n' (AbsState.move ~src:(R src) ~dst:(R dst) a) ~performed
+      | L.Lgetstack (k, o, t, dst, n'), _ ->
+        continue n' (AbsState.move ~src:(S (k, o, t)) ~dst:(R dst) a) ~performed
+      | L.Lsetstack (src, k, o, t, n'), _ ->
+        continue n' (AbsState.move ~src:(R src) ~dst:(S (k, o, t)) a) ~performed
+      | _ -> error "unexpected LTL instruction at node %d" n)
+
+(* Initial abstract state at an RTL node: every live-in register's entry
+   value sits in its assigned location. *)
+let init_state (assign : assignment R.Regmap.t) (live_in : RSet.t) : AbsState.t =
+  RSet.fold
+    (fun r a ->
+      match R.Regmap.find_opt r assign with
+      | Some loc -> AbsState.add (loc_of loc) (Tentry r) a
+      | None -> a)
+    live_in AbsState.empty
+
+(* A move instruction "performs" by routing: special-case it since its
+   expansion contains no distinguished operation. *)
+let is_move = function R.Iop (Op.Omove, [ _ ], _, _) -> true | _ -> false
+
+let check_code (f : R.coq_function) (assign : assignment R.Regmap.t)
+    (ltl : L.coq_function) : unit Errors.t =
+  let live_in = Middle.Liveness.analyze f in
+  R.Regmap.fold
+    (fun n instr acc ->
+      let* () = acc in
+      let a0 = init_state assign (live_in n) in
+      let* boundaries =
+        walk f ltl instr n a0 ~performed:(is_move instr) ~fuel:64
+      in
+      fold_list
+        (fun () (b, a) ->
+          check_boundary f assign instr (live_in b) a
+            ~ctx:(Printf.sprintf "after node %d, entering %d" n b))
+        () boundaries)
+    f.R.fn_code (ok ())
+
+(** Run both validation passes on one function. *)
+let validate (f : R.coq_function) (assign : assignment R.Regmap.t)
+    (ltl : L.coq_function) : unit Errors.t =
+  let* () = check_assignment f assign in
+  check_code f assign ltl
+
+(** Validate a whole program against [Allocation]: re-run the allocator's
+    (deterministic) coloring to obtain the assignment, then check the
+    generated LTL against it. *)
+let validate_program (rtl : R.program) (ltl : L.program) : unit Errors.t =
+  fold_list
+    (fun () (id, d) ->
+      match d with
+      | Iface.Ast.Gfun (Iface.Ast.Internal rf) -> (
+        match Iface.Ast.find_def ltl id with
+        | Some (Iface.Ast.Gfun (Iface.Ast.Internal lf)) ->
+          let assign, _ = Allocation.allocate rf in
+          (match validate rf assign lf with
+          | Ok () -> ok ()
+          | Error e -> error "%s: %s" (Support.Ident.name id) e)
+        | _ -> error "%s: missing from the LTL program" (Support.Ident.name id))
+      | _ -> ok ())
+    () rtl.Iface.Ast.prog_defs

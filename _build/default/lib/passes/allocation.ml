@@ -1,0 +1,466 @@
+(** Register allocation: RTL to LTL (CompCert's [Allocation]).
+
+    Simulation convention: [wt · ext · CL ↠ wt · ext · CL] (Table 3):
+    arguments move from abstract values to locations ([CL]), under the
+    typing invariant [wt].
+
+    The allocator is a greedy graph coloring over the liveness-based
+    interference graph:
+    - pseudo-registers live across a call may only receive callee-save
+      machine registers (or spill), since the LTL semantics clobbers
+      nothing but the convention gives no guarantee on caller-save
+      registers across calls;
+    - spilled pseudo-registers live in [Local] stack slots; operations on
+      spilled values go through reserved scratch registers (r10/rsi for
+      integers, x2/x3 for floats), which are excluded from allocation;
+    - calls marshal arguments with a parallel-move sequence (cycles are
+      broken through a reserved Local slot), mirroring CompCert's
+      [Parmov]. *)
+
+open Support
+open Support.Errors
+open Memory.Mtypes
+open Target.Machregs
+open Target.Locations
+open Target.Conventions
+module R = Middle.Rtl
+module L = Backend.Ltl
+module Op = Middle.Op
+module RSet = Middle.Liveness.RSet
+
+(* Scratch registers, reserved (never allocated). *)
+let int_scratch1 = R10
+let int_scratch2 = SI
+let float_scratch1 = X2
+let float_scratch2 = X3
+
+let allocatable_int = [ AX; BX; CX; DX; DI; R8; R9; R12; R13; R14; R15 ]
+let allocatable_float = [ X0; X1; X4; X5; X6; X7 ]
+
+let is_float_typ = function
+  | Tfloat | Tsingle -> true
+  | Tint | Tlong | Tany64 -> false
+
+(** {1 Type inference for pseudo-registers} *)
+
+let infer_types (f : R.coq_function) : typ R.Regmap.t =
+  let types = ref R.Regmap.empty in
+  let set r t =
+    match R.Regmap.find_opt r !types with
+    | Some _ -> false
+    | None ->
+      types := R.Regmap.add r t !types;
+      true
+  in
+  List.iter2
+    (fun r t -> ignore (set r t))
+    f.R.fn_params f.R.fn_sig.sig_args;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    R.Regmap.iter
+      (fun _ i ->
+        match i with
+        | R.Iop (Op.Omove, [ src ], res, _) -> (
+          match R.Regmap.find_opt src !types with
+          | Some t -> if set res t then changed := true
+          | None -> ())
+        | R.Iop (op, _, res, _) -> (
+          match Op.type_of_operation op with
+          | Some t -> if set res t then changed := true
+          | None -> ())
+        | R.Iload (chunk, _, _, dst, _) ->
+          if set dst (Memory.Memdata.type_of_chunk chunk) then changed := true
+        | R.Icall (sg, _, _, res, _) ->
+          if set res (proj_sig_res sg) then changed := true
+        | _ -> ())
+      f.R.fn_code
+  done;
+  !types
+
+(** {1 Interference and coloring} *)
+
+type assignment = Lreg of mreg | Lslot of int * typ
+
+let loc_of_assignment = function
+  | Lreg r -> R r
+  | Lslot (i, t) -> S (Local, i, t)
+
+let allocate (f : R.coq_function) :
+    assignment R.Regmap.t * int (* number of Local slots used, incl. temps *) =
+  let types = infer_types f in
+  let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
+  let live_out = Middle.Liveness.analyze_out f in
+  (* Registers live across some call. *)
+  let across_call = ref RSet.empty in
+  R.Regmap.iter
+    (fun n i ->
+      match i with
+      | R.Icall (_, _, _, res, _) ->
+        across_call :=
+          RSet.union !across_call (RSet.remove res (live_out n))
+      | _ -> ())
+    f.R.fn_code;
+  (* Interference edges: at each definition, the defined register
+     interferes with everything live after it (except itself, and except
+     the source of a move). *)
+  let interf : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge a b =
+    if a <> b then begin
+      Hashtbl.replace interf a
+        (RSet.add b (Option.value (Hashtbl.find_opt interf a) ~default:RSet.empty));
+      Hashtbl.replace interf b
+        (RSet.add a (Option.value (Hashtbl.find_opt interf b) ~default:RSet.empty))
+    end
+  in
+  R.Regmap.iter
+    (fun n i ->
+      let out = live_out n in
+      match i with
+      | R.Iop (Op.Omove, [ src ], res, _) ->
+        RSet.iter (fun r -> if r <> src then add_edge res r) (RSet.remove res out)
+      | R.Iop (_, _, res, _) | R.Iload (_, _, _, res, _) | R.Icall (_, _, _, res, _)
+        ->
+        RSet.iter (add_edge res) (RSet.remove res out)
+      | _ -> ())
+    f.R.fn_code;
+  (* Parameters are defined simultaneously at entry. *)
+  let rec pairwise = function
+    | [] -> ()
+    | p :: rest ->
+      List.iter (add_edge p) rest;
+      pairwise rest
+  in
+  pairwise f.R.fn_params;
+  (* All registers, ordered by decreasing interference degree. *)
+  let all_regs =
+    RSet.elements
+      (R.Regmap.fold
+         (fun _ i acc ->
+           RSet.union acc (RSet.of_list (R.instr_uses i @ R.instr_defs i)))
+         f.R.fn_code
+         (RSet.of_list f.R.fn_params))
+  in
+  let degree r =
+    RSet.cardinal (Option.value (Hashtbl.find_opt interf r) ~default:RSet.empty)
+  in
+  let ordered = List.sort (fun a b -> compare (degree b) (degree a)) all_regs in
+  let assignment = ref R.Regmap.empty in
+  let next_slot = ref 0 in
+  List.iter
+    (fun r ->
+      let t = typ_of r in
+      let neighbors =
+        Option.value (Hashtbl.find_opt interf r) ~default:RSet.empty
+      in
+      let used_regs =
+        RSet.fold
+          (fun r' acc ->
+            match R.Regmap.find_opt r' !assignment with
+            | Some (Lreg m) -> m :: acc
+            | _ -> acc)
+          neighbors []
+      in
+      let candidates =
+        let pool = if is_float_typ t then allocatable_float else allocatable_int in
+        let pool =
+          if RSet.mem r !across_call then List.filter is_callee_save pool
+          else
+            (* Prefer caller-save registers for values not live across
+               calls, keeping callee-saves (which cost a save/restore)
+               for when they are needed. *)
+            List.filter (fun m -> not (is_callee_save m)) pool
+            @ List.filter is_callee_save pool
+        in
+        List.filter (fun m -> not (List.mem m used_regs)) pool
+      in
+      let a =
+        match candidates with
+        | m :: _ -> Lreg m
+        | [] ->
+          let i = !next_slot in
+          incr next_slot;
+          Lslot (i, t)
+      in
+      assignment := R.Regmap.add r a !assignment)
+    ordered;
+  (!assignment, !next_slot)
+
+(** {1 Parallel moves}
+
+    Sources and destinations are locations; all destinations are
+    distinct. Cycles are broken through a reserved [Local] slot. *)
+
+(* Each move carries the machine type of the datum it transfers, so that
+   the parking slot used for cycle breaking normalizes correctly. *)
+let compile_parallel_move ~(temp_slot : int) (moves : (loc * loc * typ) list) :
+    (loc * loc) list =
+  let n = List.length moves in
+  let src = Array.of_list (List.map (fun (s, _, _) -> s) moves) in
+  let dst = Array.of_list (List.map (fun (_, d, _) -> d) moves) in
+  let tys = Array.of_list (List.map (fun (_, _, t) -> t) moves) in
+  let status = Array.make n `To_move in
+  let out = ref [] in
+  let emit s d = if not (loc_equal s d) then out := (s, d) :: !out in
+  let rec move_one i =
+    status.(i) <- `Being_moved;
+    for j = 0 to n - 1 do
+      if j <> i && locs_overlap src.(j) dst.(i) then begin
+        match status.(j) with
+        | `To_move -> move_one j
+        | `Being_moved ->
+          (* Cycle: park j's source in the temp slot, typed by the datum. *)
+          let tmp = S (Local, temp_slot, tys.(j)) in
+          emit src.(j) tmp;
+          src.(j) <- tmp
+        | `Moved -> ()
+      end
+    done;
+    emit src.(i) dst.(i);
+    status.(i) <- `Moved
+  in
+  for i = 0 to n - 1 do
+    if status.(i) = `To_move then
+      if loc_equal src.(i) dst.(i) then status.(i) <- `Moved else move_one i
+  done;
+  List.rev !out
+
+(** {1 Code generation} *)
+
+type gen_state = {
+  mutable code : L.code;
+  mutable next_node : int;
+}
+
+(* Emit a chain of instructions ending at [cont]; returns the entry. Each
+   element is a function from successor node to instruction. *)
+let emit_chain (st : gen_state) (builders : (L.node -> L.instruction) list)
+    (cont : L.node) : L.node =
+  List.fold_right
+    (fun mk cont ->
+      let n = st.next_node in
+      st.next_node <- n + 1;
+      st.code <- L.Nodemap.add n (mk cont) st.code;
+      n)
+    builders cont
+
+let scratch_for t which =
+  if is_float_typ t then (if which = 0 then float_scratch1 else float_scratch2)
+  else if which = 0 then int_scratch1
+  else int_scratch2
+
+(* Instructions realizing a single move between locations. *)
+let move_loc (src : loc) (dst : loc) : (L.node -> L.instruction) list =
+  match (src, dst) with
+  | R r1, R r2 -> [ (fun n -> L.Lop (Op.Omove, [ r1 ], r2, n)) ]
+  | R r1, S (k, o, t) -> [ (fun n -> L.Lsetstack (r1, k, o, t, n)) ]
+  | S (k, o, t), R r2 -> [ (fun n -> L.Lgetstack (k, o, t, r2, n)) ]
+  | S (k1, o1, t1), S (k2, o2, t2) ->
+    let sc = scratch_for t1 0 in
+    [
+      (fun n -> L.Lgetstack (k1, o1, t1, sc, n));
+      (fun n -> L.Lsetstack (sc, k2, o2, t2, n));
+    ]
+
+let moves_code moves = List.concat_map (fun (s, d) -> move_loc s d) moves
+
+(* Read the pseudo-registers [args] into machine registers, spilled ones
+   through scratches. Returns (prefix builders, machine registers). *)
+let read_args (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ)
+    (args : R.reg list) : (L.node -> L.instruction) list * mreg list =
+  let next_scratch = ref 0 in
+  let prefix = ref [] in
+  let regs =
+    List.map
+      (fun r ->
+        match R.Regmap.find_opt r assign with
+        | Some (Lreg m) -> m
+        | Some (Lslot (i, t)) ->
+          let sc = scratch_for t !next_scratch in
+          incr next_scratch;
+          prefix := !prefix @ [ (fun n -> L.Lgetstack (Local, i, t, sc, n)) ];
+          sc
+        | None ->
+          (* Never-assigned register: undefined value; read a scratch. *)
+          scratch_for (typ_of r) 0)
+      args
+  in
+  (!prefix, regs)
+
+(* Write machine register result into the location of [res]. Returns the
+   destination machine register for the op and suffix builders. *)
+let write_res (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ)
+    (res : R.reg) : mreg * (L.node -> L.instruction) list =
+  match R.Regmap.find_opt res assign with
+  | Some (Lreg m) -> (m, [])
+  | Some (Lslot (i, t)) ->
+    let sc = scratch_for t 0 in
+    (sc, [ (fun n -> L.Lsetstack (sc, Local, i, t, n)) ])
+  | None -> (scratch_for (typ_of res) 0, [])
+
+let loc_of (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ) (r : R.reg) :
+    loc =
+  match R.Regmap.find_opt r assign with
+  | Some a -> loc_of_assignment a
+  | None -> R (scratch_for (typ_of r) 0)
+
+let transf_function (f : R.coq_function) : L.coq_function Errors.t =
+  let types = infer_types f in
+  let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
+  let assign, nslots = allocate f in
+  let temp_slot = nslots in
+  let callee_slot = nslots + 1 in
+  let st = { code = L.Nodemap.empty; next_node = R.max_node f + 1 } in
+  let transl_node (i : R.instruction) : L.instruction =
+    (* The first instruction of the expansion occupies node [n]; the rest
+       chain through fresh nodes. We build the tail first. *)
+    let with_chain (builders : (L.node -> L.instruction) list) (cont : L.node) :
+        L.instruction =
+      match builders with
+      | [] -> L.Lnop cont
+      | first :: rest -> first (emit_chain st rest cont)
+    in
+    match i with
+    | R.Inop n' -> L.Lnop n'
+    | R.Iop (Op.Omove, [ src ], res, n') ->
+      let s = loc_of assign typ_of src and d = loc_of assign typ_of res in
+      with_chain (move_loc s d) n'
+    | R.Iop (op, args, res, n') ->
+      let prefix, margs = read_args assign typ_of args in
+      let mres, suffix = write_res assign typ_of res in
+      with_chain
+        (prefix @ [ (fun n -> L.Lop (op, margs, mres, n)) ] @ suffix)
+        n'
+    | R.Iload (chunk, addr, args, dst, n') ->
+      let prefix, margs = read_args assign typ_of args in
+      let mres, suffix = write_res assign typ_of dst in
+      with_chain
+        (prefix @ [ (fun n -> L.Lload (chunk, addr, margs, mres, n)) ] @ suffix)
+        n'
+    | R.Istore (chunk, addr, args, src, n') -> (
+      let prefix, margs = read_args assign typ_of args in
+      match R.Regmap.find_opt src assign with
+      | Some (Lreg msrc) ->
+        with_chain
+          (prefix @ [ (fun n -> L.Lstore (chunk, addr, margs, msrc, n)) ])
+          n'
+      | _ ->
+        (* Spilled source: collapse the address into the first integer
+           scratch, freeing the second for the stored value. *)
+        let t = typ_of src in
+        let ssrc = if is_float_typ t then float_scratch1 else int_scratch2 in
+        let sloc =
+          match R.Regmap.find_opt src assign with
+          | Some (Lslot (i, st')) -> Some (i, st')
+          | _ -> None
+        in
+        let load_src n =
+          match sloc with
+          | Some (i, st') -> L.Lgetstack (Local, i, st', ssrc, n)
+          | None -> L.Lop (Op.Omove, [ ssrc ], ssrc, n)
+        in
+        with_chain
+          (prefix
+          @ [
+              (fun n -> L.Lop (Op.Olea addr, margs, int_scratch1, n));
+              load_src;
+              (fun n ->
+                L.Lstore (chunk, Op.Aindexed 0, [ int_scratch1 ], ssrc, n));
+            ])
+          n')
+    | R.Icall (sg, ros, args, res, n') ->
+      let arg_locs = loc_arguments sg in
+      let moves =
+        List.map2
+          (fun r l -> (loc_of assign typ_of r, l, typ_of r))
+          args arg_locs
+      in
+      let par = compile_parallel_move ~temp_slot moves in
+      let ros', ros_park, ros_fetch =
+        match ros with
+        | R.Rsymbol id -> (L.Rsymbol id, [], [])
+        | R.Rreg r ->
+          (* Park the function value in a dedicated Local slot before the
+             argument moves (which may clobber both its register and the
+             scratches), and fetch it just before the call. *)
+          ( L.Rreg int_scratch1,
+            move_loc (loc_of assign typ_of r) (S (Local, callee_slot, Tlong)),
+            move_loc (S (Local, callee_slot, Tlong)) (R int_scratch1) )
+      in
+      let res_loc = loc_of assign typ_of res in
+      let result_moves = move_loc (R (loc_result sg)) res_loc in
+      with_chain
+        (ros_park @ moves_code par @ ros_fetch
+        @ [ (fun n -> L.Lcall (sg, ros', n)) ]
+        @ result_moves)
+        n'
+    | R.Itailcall (sg, ros, args) ->
+      let arg_locs = loc_arguments sg in
+      let moves =
+        List.map2
+          (fun r l -> (loc_of assign typ_of r, l, typ_of r))
+          args arg_locs
+      in
+      let par = compile_parallel_move ~temp_slot moves in
+      let ros', ros_prefix =
+        match ros with
+        | R.Rsymbol id -> (L.Rsymbol id, [])
+        | R.Rreg r ->
+          ( L.Rreg int_scratch1,
+            move_loc (loc_of assign typ_of r) (R int_scratch1) )
+      in
+      (match ros_prefix @ moves_code par with
+      | [] -> L.Ltailcall (sg, ros')
+      | first :: rest ->
+        first (emit_chain st rest (emit_chain st [ (fun _ -> L.Ltailcall (sg, ros')) ] 0)))
+    | R.Icond (cond, args, n1, n2) -> (
+      let prefix, margs = read_args assign typ_of args in
+      match prefix with
+      | [] -> L.Lcond (cond, margs, n1, n2)
+      | first :: rest ->
+        first
+          (emit_chain st rest
+             (emit_chain st [ (fun _ -> L.Lcond (cond, margs, n1, n2)) ] 0)))
+    | R.Ireturn optr -> (
+      let moves =
+        match optr with
+        | Some r -> move_loc (loc_of assign typ_of r) (R (loc_result f.R.fn_sig))
+        | None -> []
+      in
+      match moves with
+      | [] -> L.Lreturn
+      | first :: rest -> first (emit_chain st rest (emit_chain st [ (fun _ -> L.Lreturn) ] 0)))
+  in
+  (* Translate each RTL node; expansions allocate fresh LTL nodes. *)
+  R.Regmap.iter
+    (fun n i ->
+      (* Evaluate the expansion first: it allocates fresh chain nodes in
+         [st.code], which the final add must not discard. *)
+      let ins = transl_node i in
+      st.code <- L.Nodemap.add n ins st.code)
+    f.R.fn_code;
+  (* Entry: marshal incoming arguments from calling-convention locations
+     (registers and Incoming slots) to the parameters' locations. *)
+  let entry_moves =
+    let arg_locs = loc_arguments f.R.fn_sig in
+    let incoming =
+      List.map
+        (function S (Outgoing, o, t) -> S (Incoming, o, t) | l -> l)
+        arg_locs
+    in
+    List.map2
+      (fun l p -> (l, loc_of assign typ_of p, typ_of p))
+      incoming f.R.fn_params
+  in
+  let par = compile_parallel_move ~temp_slot entry_moves in
+  let entry = emit_chain st (moves_code par) f.R.fn_entrypoint in
+  ok
+    {
+      L.fn_sig = f.R.fn_sig;
+      fn_stacksize = f.R.fn_stacksize;
+      fn_code = st.code;
+      fn_entrypoint = entry;
+    }
+
+let transf_program (p : R.program) : L.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,70 @@
+(** Asmgen: Mach to Asm (CompCert's [Asmgen]).
+
+    Simulation convention: [ext · MA ↠ ext · MA] (Table 3): the stack
+    pointer, return address and program counter become explicit registers
+    ([MA], Appendix C.3).
+
+    The frame-allocating behavior that the Mach semantics performs at
+    call states becomes an explicit [Pallocframe] prologue; [Mreturn]
+    becomes [Pfreeframe] followed by [Pret]. [Mgetparam] reads the back
+    link through the scratch register. *)
+
+open Memory.Mtypes
+open Iface.Li
+module Errors = Support.Errors
+module M = Backend.Mach
+module A = Backend.Asm
+module Op = Middle.Op
+
+let chunk_of_typ = function
+  | Tint -> Memory.Memdata.Mint32
+  | Tlong -> Memory.Memdata.Mint64
+  | Tfloat -> Memory.Memdata.Mfloat64
+  | Tsingle -> Memory.Memdata.Mfloat32
+  | Tany64 -> Memory.Memdata.Many64
+
+let preg r = Mreg r
+let pregs rl = List.map preg rl
+
+let transl_instr (fl : M.frame_layout) (i : M.instruction) : A.instruction list
+    =
+  match i with
+  | M.Mgetstack (ofs, ty, dst) ->
+    [ A.Pload (chunk_of_typ ty, Op.Ainstack ofs, [], preg dst) ]
+  | M.Msetstack (src, ofs, ty) ->
+    [ A.Pstore (chunk_of_typ ty, Op.Ainstack ofs, [], preg src) ]
+  | M.Mgetparam (ofs, ty, dst) ->
+    [
+      (* Load the back link, then the caller's outgoing slot. *)
+      A.Pload (Memory.Memdata.Mint64, Op.Ainstack fl.M.fl_ofs_link, [], SCR);
+      A.Pload (chunk_of_typ ty, Op.Aindexed ofs, [ SCR ], preg dst);
+    ]
+  | M.Mop (op, args, res) -> [ A.Pop (op, pregs args, preg res) ]
+  | M.Mload (chunk, addr, args, dst) ->
+    [ A.Pload (chunk, addr, pregs args, preg dst) ]
+  | M.Mstore (chunk, addr, args, src) ->
+    [ A.Pstore (chunk, addr, pregs args, preg src) ]
+  | M.Mcall (_, ros) ->
+    [ A.Pcall (match ros with M.Rreg r -> A.Rreg (preg r) | M.Rsymbol s -> A.Rsymbol s) ]
+  | M.Mtailcall (_, ros) ->
+    [
+      A.Pfreeframe (fl.M.fl_size, fl.M.fl_ofs_link, fl.M.fl_ofs_ra);
+      A.Pjmp_tail
+        (match ros with M.Rreg r -> A.Rreg (preg r) | M.Rsymbol s -> A.Rsymbol s);
+    ]
+  | M.Mlabel l -> [ A.Plabel l ]
+  | M.Mgoto l -> [ A.Pjmp l ]
+  | M.Mcond (c, args, l) -> [ A.Pjcc (c, pregs args, l) ]
+  | M.Mreturn ->
+    [ A.Pfreeframe (fl.M.fl_size, fl.M.fl_ofs_link, fl.M.fl_ofs_ra); A.Pret ]
+
+let transf_function (f : M.coq_function) : A.coq_function Errors.t =
+  let fl = f.M.fn_layout in
+  let body = Array.to_list f.M.fn_code |> List.concat_map (transl_instr fl) in
+  let code =
+    A.Pallocframe (fl.M.fl_size, fl.M.fl_ofs_link, fl.M.fl_ofs_ra) :: body
+  in
+  Errors.ok { A.fn_sig = f.M.fn_sig; fn_code = Array.of_list code }
+
+let transf_program (p : M.program) : A.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,25 @@
+(** CleanupLabels: remove labels that no branch references (CompCert's
+    [CleanupLabels]). Simulation convention: [id ↠ id]. *)
+
+module Errors = Support.Errors
+module Lin = Backend.Linear
+
+let referenced_labels (code : Lin.code) =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Lin.Lgoto l | Lin.Lcond (_, _, l) -> l :: acc
+      | _ -> acc)
+    [] code
+
+let transf_function (f : Lin.coq_function) : Lin.coq_function Errors.t =
+  let used = referenced_labels f.Lin.fn_code in
+  let code =
+    List.filter
+      (function Lin.Llabel l -> List.mem l used | _ -> true)
+      f.Lin.fn_code
+  in
+  Errors.ok { f with Lin.fn_code = code }
+
+let transf_program (p : Lin.program) : Lin.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,90 @@
+(** Cminorgen: collapse the per-variable memory blocks of Csharpminor into
+    a single stack block per function (CompCert's [Cminorgen]).
+
+    Simulation convention: [injp ↠ inj] (Table 3) — the n source blocks
+    of a function are injected at offsets into the single target block. *)
+
+open Support
+open Support.Errors
+module Cs = Cfrontend.Csharpminor
+module Cm = Middle.Cminor
+
+(* Assign 8-byte-aligned offsets to the local variables. *)
+let layout_vars (vars : (Ident.t * int) list) : int Ident.Map.t * int =
+  List.fold_left
+    (fun (env, ofs) (id, sz) ->
+      let ofs = (ofs + 7) / 8 * 8 in
+      (Ident.Map.add id ofs env, ofs + max sz 1))
+    (Ident.Map.empty, 0) vars
+
+let rec transl_expr (cenv : int Ident.Map.t) (a : Cs.expr) : Cm.expr Errors.t =
+  match a with
+  | Cs.Evar id -> ok (Cm.Evar id)
+  | Cs.Eaddrof id -> (
+    match Ident.Map.find_opt id cenv with
+    | Some ofs -> ok (Cm.Econst (Cm.Oaddrstack ofs))
+    | None -> ok (Cm.Econst (Cm.Oaddrsymbol (id, 0))))
+  | Cs.Econst (Cs.Ointconst n) -> ok (Cm.Econst (Cm.Ointconst n))
+  | Cs.Econst (Cs.Olongconst n) -> ok (Cm.Econst (Cm.Olongconst n))
+  | Cs.Econst (Cs.Ofloatconst f) -> ok (Cm.Econst (Cm.Ofloatconst f))
+  | Cs.Econst (Cs.Osingleconst f) -> ok (Cm.Econst (Cm.Osingleconst f))
+  | Cs.Eunop (op, a1) ->
+    let* e1 = transl_expr cenv a1 in
+    ok (Cm.Eunop (op, e1))
+  | Cs.Ebinop (op, a1, a2) ->
+    let* e1 = transl_expr cenv a1 in
+    let* e2 = transl_expr cenv a2 in
+    ok (Cm.Ebinop (op, e1, e2))
+  | Cs.Eload (chunk, a1) ->
+    let* e1 = transl_expr cenv a1 in
+    ok (Cm.Eload (chunk, e1))
+
+let rec transl_stmt (cenv : int Ident.Map.t) (s : Cs.stmt) : Cm.stmt Errors.t =
+  match s with
+  | Cs.Sskip -> ok Cm.Sskip
+  | Cs.Sset (id, a) ->
+    let* e = transl_expr cenv a in
+    ok (Cm.Sassign (id, e))
+  | Cs.Sstore (chunk, addr, a) ->
+    let* eaddr = transl_expr cenv addr in
+    let* e = transl_expr cenv a in
+    ok (Cm.Sstore (chunk, eaddr, e))
+  | Cs.Scall (optid, sg, a, args) ->
+    let* ef = transl_expr cenv a in
+    let* eargs = map_list (transl_expr cenv) args in
+    ok (Cm.Scall (optid, sg, ef, eargs))
+  | Cs.Sseq (s1, s2) ->
+    let* s1' = transl_stmt cenv s1 in
+    let* s2' = transl_stmt cenv s2 in
+    ok (Cm.Sseq (s1', s2'))
+  | Cs.Sifthenelse (a, s1, s2) ->
+    let* e = transl_expr cenv a in
+    let* s1' = transl_stmt cenv s1 in
+    let* s2' = transl_stmt cenv s2 in
+    ok (Cm.Sifthenelse (e, s1', s2'))
+  | Cs.Sloop s1 ->
+    let* s1' = transl_stmt cenv s1 in
+    ok (Cm.Sloop s1')
+  | Cs.Sblock s1 ->
+    let* s1' = transl_stmt cenv s1 in
+    ok (Cm.Sblock s1')
+  | Cs.Sexit n -> ok (Cm.Sexit n)
+  | Cs.Sreturn None -> ok (Cm.Sreturn None)
+  | Cs.Sreturn (Some a) ->
+    let* e = transl_expr cenv a in
+    ok (Cm.Sreturn (Some e))
+
+let transf_function (f : Cs.coq_function) : Cm.coq_function Errors.t =
+  let cenv, size = layout_vars f.Cs.fn_vars in
+  let* body = transl_stmt cenv f.Cs.fn_body in
+  ok
+    {
+      Cm.fn_sig = f.Cs.fn_sig;
+      fn_params = f.Cs.fn_params;
+      fn_vars = f.Cs.fn_temps;
+      fn_stackspace = (size + 7) / 8 * 8;
+      fn_body = body;
+    }
+
+let transf_program (p : Cs.program) : Cm.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,160 @@
+(** Common subexpression elimination by local value numbering (a
+    restriction of CompCert's [CSE] to extended basic blocks).
+
+    Simulation convention: [va·ext ↠ va·ext] (Table 3).
+
+    Within each extended basic block (maximal single-predecessor chain),
+    pure operations already computed are replaced by moves from the
+    register holding the previous result. Loads are reused until a store
+    or call invalidates memory equations. *)
+
+open Support.Errors
+module Errors = Support.Errors
+module R = Middle.Rtl
+module Op = Middle.Op
+
+module RhsMap = Map.Make (struct
+  type t = string
+
+  let compare = String.compare
+end)
+
+(* Value-numbering keys: a printable encoding of the right-hand side over
+   the value numbers of arguments. *)
+type numbering = {
+  num_of_reg : int R.Regmap.t;  (** register → value number *)
+  reg_of_rhs : (R.reg * int) RhsMap.t;  (** available rhs → holding reg, vn of reg *)
+  next_vn : int;
+}
+
+let empty_numbering = { num_of_reg = R.Regmap.empty; reg_of_rhs = RhsMap.empty; next_vn = 1 }
+
+let vn_of (n : numbering) r =
+  match R.Regmap.find_opt r n.num_of_reg with Some v -> (v, n) | None ->
+    (* Assign a fresh value number lazily. *)
+    (n.next_vn, { n with num_of_reg = R.Regmap.add r n.next_vn n.num_of_reg;
+                  next_vn = n.next_vn + 1 })
+
+let vns_of n args =
+  List.fold_right
+    (fun r (vs, n) ->
+      let v, n = vn_of n r in
+      (v :: vs, n))
+    args ([], n)
+
+(* Keys must distinguish operations exactly: a printable encoding is
+   ambiguous (e.g. the int constant 0 and the float constant 0.0 print
+   identically), so the structural marshaling of the operation is used. *)
+let rhs_key_op (op : Op.operation) (vns : int list) =
+  "op:" ^ Marshal.to_string op [] ^ ":"
+  ^ String.concat "," (List.map string_of_int vns)
+
+let rhs_key_load chunk addr (vns : int list) =
+  "ld:"
+  ^ Marshal.to_string (chunk, addr) []
+  ^ ":"
+  ^ String.concat "," (List.map string_of_int vns)
+
+(* Operations whose result depends on more than their arguments cannot be
+   numbered. *)
+let op_is_pure = function
+  | Op.Omove -> false (* handled as an alias, not an equation *)
+  | _ -> true
+
+(* Set [res := fresh vn] after an opaque definition. *)
+let set_unknown n res =
+  { n with num_of_reg = R.Regmap.add res n.next_vn n.num_of_reg; next_vn = n.next_vn + 1 }
+
+let set_known n res vn = { n with num_of_reg = R.Regmap.add res vn n.num_of_reg }
+
+let kill_loads n =
+  {
+    n with
+    reg_of_rhs = RhsMap.filter (fun k _ -> not (String.length k > 2 && String.sub k 0 3 = "ld:")) n.reg_of_rhs;
+  }
+
+(* Predecessor counts, to delimit extended basic blocks. *)
+let predecessor_counts (f : R.coq_function) : (int, int) Hashtbl.t =
+  let preds = Hashtbl.create 64 in
+  R.Regmap.iter
+    (fun _ i ->
+      List.iter
+        (fun s -> Hashtbl.replace preds s (1 + Option.value (Hashtbl.find_opt preds s) ~default:0))
+        (R.successors_instr i))
+    f.R.fn_code;
+  Hashtbl.replace preds f.R.fn_entrypoint
+    (1 + Option.value (Hashtbl.find_opt preds f.R.fn_entrypoint) ~default:0);
+  preds
+
+let transf_function (f : R.coq_function) : R.coq_function Errors.t =
+  let preds = predecessor_counts f in
+  let code = ref f.R.fn_code in
+  let visited = Hashtbl.create 64 in
+  (* Walk extended basic blocks carrying the numbering; restart with the
+     empty numbering at join points. *)
+  let rec walk n (num : numbering) =
+    if Hashtbl.mem visited n then ()
+    else begin
+      Hashtbl.add visited n ();
+      let num =
+        if Option.value (Hashtbl.find_opt preds n) ~default:0 > 1 then
+          empty_numbering
+        else num
+      in
+      match R.Regmap.find_opt n !code with
+      | None -> ()
+      | Some i -> (
+        match i with
+        | R.Iop (Op.Omove, [ src ], res, n') ->
+          let v, num = vn_of num src in
+          walk n' (set_known num res v)
+        | R.Iop (op, args, res, n') when op_is_pure op ->
+          let vns, num = vns_of num args in
+          let key = rhs_key_op op vns in
+          (match RhsMap.find_opt key num.reg_of_rhs with
+          | Some (r0, vn0)
+            when R.Regmap.find_opt r0 num.num_of_reg = Some vn0 ->
+            (* Previous result still available: replace by a move. *)
+            code := R.Regmap.add n (R.Iop (Op.Omove, [ r0 ], res, n')) !code;
+            walk n' (set_known num res vn0)
+          | _ ->
+            let num = set_unknown num res in
+            let vn, num = vn_of num res in
+            let num =
+              { num with reg_of_rhs = RhsMap.add key (res, vn) num.reg_of_rhs }
+            in
+            walk n' num)
+        | R.Iop (_, _, res, n') -> walk n' (set_unknown num res)
+        | R.Iload (chunk, addr, args, dst, n') ->
+          let vns, num = vns_of num args in
+          let key = rhs_key_load chunk addr vns in
+          (match RhsMap.find_opt key num.reg_of_rhs with
+          | Some (r0, vn0)
+            when R.Regmap.find_opt r0 num.num_of_reg = Some vn0 ->
+            code := R.Regmap.add n (R.Iop (Op.Omove, [ r0 ], dst, n')) !code;
+            walk n' (set_known num dst vn0)
+          | _ ->
+            let num = set_unknown num dst in
+            let vn, num = vn_of num dst in
+            let num =
+              { num with reg_of_rhs = RhsMap.add key (dst, vn) num.reg_of_rhs }
+            in
+            walk n' num)
+        | R.Istore (_, _, _, _, n') -> walk n' (kill_loads num)
+        | R.Icall (_, _, _, res, n') ->
+          (* Calls may change memory arbitrarily (including allocation
+             and deallocation, which affect pointer-comparison results):
+             drop all equations. *)
+          walk n' (set_unknown empty_numbering res)
+        | R.Inop n' -> walk n' num
+        | R.Icond (_, _, n1, n2) ->
+          walk n1 num;
+          walk n2 num
+        | R.Itailcall _ | R.Ireturn _ -> ())
+    end
+  in
+  walk f.R.fn_entrypoint empty_numbering;
+  ok { f with R.fn_code = !code }
+
+let transf_program (p : R.program) : R.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,399 @@
+(** Cshmgen: type-directed lowering of Clight to Csharpminor (CompCert's
+    [Cshmgen]). Simulation convention: [id ↠ id] (Table 3) — the memory
+    behavior is preserved exactly.
+
+    The pass makes all implicit operations explicit: memory chunks for
+    variable accesses, arithmetic promotions, pointer arithmetic scaling,
+    and the [Sblock]/[Sexit] encoding of [break]/[continue]. *)
+
+open Support
+open Support.Errors
+open Cfrontend
+open Cfrontend.Ctypes
+module C = Cfrontend.Csyntax
+module Cs = Cfrontend.Csharpminor
+open Cfrontend.Cmops
+
+type env = {
+  temps : Ident.Set.t;  (** register-like identifiers *)
+  ret_ty : ty;
+}
+
+(** {1 Casts} *)
+
+(* Explicit conversion from type [tf] to type [tt], mirroring
+   [Cop.sem_cast]. *)
+let make_cast (tf : ty) (tt : ty) (e : Cs.expr) : Cs.expr Errors.t =
+  let u op e = Cs.Eunop (op, e) in
+  match (tf, tt) with
+  | _, Tvoid -> ok e
+  | Tint _, Tint (I8, Signed) -> ok (u Ocast8signed e)
+  | Tint _, Tint (I8, Unsigned) -> ok (u Ocast8unsigned e)
+  | Tint _, Tint (I16, Signed) -> ok (u Ocast16signed e)
+  | Tint _, Tint (I16, Unsigned) -> ok (u Ocast16unsigned e)
+  | Tint _, Tint (I32, _) -> ok e
+  | Tlong _, Tint (sz, sg) ->
+    let e = u Ointoflong e in
+    (match (sz, sg) with
+    | I8, Signed -> ok (u Ocast8signed e)
+    | I8, Unsigned -> ok (u Ocast8unsigned e)
+    | I16, Signed -> ok (u Ocast16signed e)
+    | I16, Unsigned -> ok (u Ocast16unsigned e)
+    | I32, _ -> ok e)
+  | Tfloat, Tint (sz, sg) ->
+    let e = u Ointoffloat e in
+    (match (sz, sg) with
+    | I8, Signed -> ok (u Ocast8signed e)
+    | I8, Unsigned -> ok (u Ocast8unsigned e)
+    | I16, Signed -> ok (u Ocast16signed e)
+    | I16, Unsigned -> ok (u Ocast16unsigned e)
+    | I32, _ -> ok e)
+  | Tsingle, Tint (sz, sg) ->
+    let e = u Ointofsingle e in
+    (match (sz, sg) with
+    | I8, Signed -> ok (u Ocast8signed e)
+    | I8, Unsigned -> ok (u Ocast8unsigned e)
+    | I16, Signed -> ok (u Ocast16signed e)
+    | I16, Unsigned -> ok (u Ocast16unsigned e)
+    | I32, _ -> ok e)
+  | Tint (_, Signed), Tlong _ -> ok (u Olongofint e)
+  | Tint (_, Unsigned), Tlong _ -> ok (u Olongofintu e)
+  | Tlong _, Tlong _ -> ok e
+  | Tfloat, Tlong _ -> ok (u Olongoffloat e)
+  | Tsingle, Tlong _ -> ok (u Olongoffloat (u Ofloatofsingle e))
+  | Tint (_, Signed), Tfloat -> ok (u Ofloatofint e)
+  | Tint (_, Unsigned), Tfloat ->
+    ok (u Ofloatoflong (u Olongofintu e))
+  | Tlong _, Tfloat -> ok (u Ofloatoflong e)
+  | Tfloat, Tfloat -> ok e
+  | Tsingle, Tfloat -> ok (u Ofloatofsingle e)
+  | Tint (_, Signed), Tsingle -> ok (u Osingleofint e)
+  | Tint (_, Unsigned), Tsingle ->
+    ok (u Osingleoffloat (u Ofloatoflong (u Olongofintu e)))
+  | Tlong _, Tsingle -> ok (u Osingleoffloat (u Ofloatoflong e))
+  | Tfloat, Tsingle -> ok (u Osingleoffloat e)
+  | Tsingle, Tsingle -> ok e
+  | (Tpointer _ | Tarray _ | Tfunction _), (Tpointer _ | Tlong _) -> ok e
+  | Tlong _, Tpointer _ -> ok e
+  | Tint _, Tpointer _ ->
+    (* Null-pointer constants only; materialize as 0L. The dynamic check
+       of [sem_cast] is approximated by the zero extension. *)
+    ok (u Olongofint e)
+  | _ -> error "unsupported cast"
+
+(** {1 Operators} *)
+
+let classify = Cop.classify_arith
+
+(* Convert operand [e : t] to the arithmetic class [cls]. *)
+let conv_arith cls t e =
+  match cls with
+  | Cop.Cl_i _ -> make_cast t tint e
+  | Cop.Cl_l g -> make_cast t (Tlong g) e
+  | Cop.Cl_f -> make_cast t Tfloat e
+  | Cop.Cl_s -> make_cast t Tsingle e
+  | _ -> error "bad arithmetic classification"
+
+let make_binarith ~i ~iu ~l ~lu ~f ~s t1 e1 t2 e2 =
+  let cls = classify t1 t2 in
+  let* e1' = conv_arith cls t1 e1 in
+  let* e2' = conv_arith cls t2 e2 in
+  let op =
+    match cls with
+    | Cop.Cl_i Signed -> Some i
+    | Cop.Cl_i Unsigned -> Some iu
+    | Cop.Cl_l Signed -> Some l
+    | Cop.Cl_l Unsigned -> Some lu
+    | Cop.Cl_f -> Some f
+    | Cop.Cl_s -> Some s
+    | _ -> None
+  in
+  match op with
+  | Some op -> ok (Cs.Ebinop (op, e1', e2'))
+  | None -> error "ill-typed arithmetic"
+
+let longconst n = Cs.Econst (Cs.Olongconst n)
+
+(* Index scaling for pointer arithmetic: [e * sizeof te] as a 64-bit
+   value, where [e : t] is an integer expression. *)
+let scaled_index te t e =
+  let* e64 =
+    match t with
+    | Tint (_, Unsigned) -> ok (Cs.Eunop (Olongofintu, e))
+    | Tint _ -> ok (Cs.Eunop (Olongofint, e))
+    | Tlong _ -> ok e
+    | _ -> error "pointer arithmetic with non-integer index"
+  in
+  ok (Cs.Ebinop (Omull, e64, longconst (Int64.of_int (sizeof te))))
+
+let make_add t1 e1 t2 e2 =
+  if Cop.is_pointer_ty t1 && not (Cop.is_pointer_ty t2) then
+    let te = Option.get (Cop.pointee t1) in
+    let* idx = scaled_index te t2 e2 in
+    ok (Cs.Ebinop (Oaddl, e1, idx))
+  else if Cop.is_pointer_ty t2 && not (Cop.is_pointer_ty t1) then
+    let te = Option.get (Cop.pointee t2) in
+    let* idx = scaled_index te t1 e1 in
+    ok (Cs.Ebinop (Oaddl, e2, idx))
+  else
+    make_binarith ~i:Oadd ~iu:Oadd ~l:Oaddl ~lu:Oaddl ~f:Oaddf ~s:Oaddfs t1 e1
+      t2 e2
+
+let make_sub t1 e1 t2 e2 =
+  if Cop.is_pointer_ty t1 && Cop.is_pointer_ty t2 then
+    let te = Option.get (Cop.pointee t1) in
+    ok
+      (Cs.Ebinop
+         ( Odivl,
+           Cs.Ebinop (Osubl, e1, e2),
+           longconst (Int64.of_int (sizeof te)) ))
+  else if Cop.is_pointer_ty t1 then
+    let te = Option.get (Cop.pointee t1) in
+    let* idx = scaled_index te t2 e2 in
+    ok (Cs.Ebinop (Osubl, e1, idx))
+  else
+    make_binarith ~i:Osub ~iu:Osub ~l:Osubl ~lu:Osubl ~f:Osubf ~s:Osubfs t1 e1
+      t2 e2
+
+(* Comparisons. Pointer comparisons are performed on 64-bit values. *)
+let make_cmp c t1 e1 t2 e2 =
+  if Cop.is_pointer_ty t1 || Cop.is_pointer_ty t2 then
+    let norm t e =
+      match t with
+      | Tint (_, Unsigned) -> ok (Cs.Eunop (Olongofintu, e))
+      | Tint _ -> ok (Cs.Eunop (Olongofint, e))
+      | _ -> ok e
+    in
+    let* e1' = norm t1 e1 in
+    let* e2' = norm t2 e2 in
+    ok (Cs.Ebinop (Ocmplu c, e1', e2'))
+  else
+    make_binarith ~i:(Ocmp c) ~iu:(Ocmpu c) ~l:(Ocmpl c) ~lu:(Ocmplu c)
+      ~f:(Ocmpf c) ~s:(Ocmpfs c) t1 e1 t2 e2
+
+let make_binop op t1 e1 t2 e2 =
+  match op with
+  | Cop.Oadd -> make_add t1 e1 t2 e2
+  | Cop.Osub -> make_sub t1 e1 t2 e2
+  | Cop.Omul ->
+    make_binarith ~i:Omul ~iu:Omul ~l:Omull ~lu:Omull ~f:Omulf ~s:Omulfs t1 e1 t2 e2
+  | Cop.Odiv ->
+    make_binarith ~i:Odiv ~iu:Odivu ~l:Odivl ~lu:Odivlu ~f:Odivf ~s:Odivfs t1 e1 t2 e2
+  | Cop.Omod ->
+    let err = error "floating-point modulo" in
+    let cls = classify t1 t2 in
+    (match cls with
+    | Cop.Cl_f | Cop.Cl_s -> err
+    | _ ->
+      make_binarith ~i:Omod ~iu:Omodu ~l:Omodl ~lu:Omodlu ~f:Oaddf ~s:Oaddfs t1
+        e1 t2 e2)
+  | Cop.Oand ->
+    make_binarith ~i:Oand ~iu:Oand ~l:Oandl ~lu:Oandl ~f:Oaddf ~s:Oaddfs t1 e1 t2 e2
+  | Cop.Oor ->
+    make_binarith ~i:Oor ~iu:Oor ~l:Oorl ~lu:Oorl ~f:Oaddf ~s:Oaddfs t1 e1 t2 e2
+  | Cop.Oxor ->
+    make_binarith ~i:Oxor ~iu:Oxor ~l:Oxorl ~lu:Oxorl ~f:Oaddf ~s:Oaddfs t1 e1 t2 e2
+  | Cop.Oshl -> (
+    (* Shifts: no usual conversions on the right operand; normalize the
+       amount to a 32-bit integer. *)
+    let amount t2 e2 =
+      match t2 with
+      | Tint _ -> ok e2
+      | Tlong _ -> ok (Cs.Eunop (Ointoflong, e2))
+      | _ -> error "bad shift amount"
+    in
+    let* e2' = amount t2 e2 in
+    match classify t1 t1 with
+    | Cop.Cl_i _ -> ok (Cs.Ebinop (Oshl, e1, e2'))
+    | Cop.Cl_l _ -> ok (Cs.Ebinop (Oshll, e1, e2'))
+    | _ -> error "bad shift")
+  | Cop.Oshr -> (
+    let amount t2 e2 =
+      match t2 with
+      | Tint _ -> ok e2
+      | Tlong _ -> ok (Cs.Eunop (Ointoflong, e2))
+      | _ -> error "bad shift amount"
+    in
+    let* e2' = amount t2 e2 in
+    match classify t1 t1 with
+    | Cop.Cl_i Signed -> ok (Cs.Ebinop (Oshr, e1, e2'))
+    | Cop.Cl_i Unsigned -> ok (Cs.Ebinop (Oshru, e1, e2'))
+    | Cop.Cl_l Signed -> ok (Cs.Ebinop (Oshrl, e1, e2'))
+    | Cop.Cl_l Unsigned -> ok (Cs.Ebinop (Oshrlu, e1, e2'))
+    | _ -> error "bad shift")
+  | Cop.Oeq -> make_cmp Memory.Mtypes.Ceq t1 e1 t2 e2
+  | Cop.One -> make_cmp Memory.Mtypes.Cne t1 e1 t2 e2
+  | Cop.Olt -> make_cmp Memory.Mtypes.Clt t1 e1 t2 e2
+  | Cop.Ogt -> make_cmp Memory.Mtypes.Cgt t1 e1 t2 e2
+  | Cop.Ole -> make_cmp Memory.Mtypes.Cle t1 e1 t2 e2
+  | Cop.Oge -> make_cmp Memory.Mtypes.Cge t1 e1 t2 e2
+
+(* Truth-value tests for conditions: produce a 32-bit 0/1. *)
+let make_boolean (t : ty) (e : Cs.expr) : Cs.expr Errors.t =
+  match t with
+  | Tint _ -> ok e
+  | Tlong _ -> ok (Cs.Ebinop (Ocmpl Memory.Mtypes.Cne, e, longconst 0L))
+  | Tfloat ->
+    ok (Cs.Ebinop (Ocmpf Memory.Mtypes.Cne, e, Cs.Econst (Cs.Ofloatconst 0.0)))
+  | Tsingle ->
+    ok (Cs.Ebinop (Ocmpfs Memory.Mtypes.Cne, e, Cs.Econst (Cs.Osingleconst 0.0)))
+  | Tpointer _ | Tarray _ | Tfunction _ ->
+    ok (Cs.Ebinop (Ocmplu Memory.Mtypes.Cne, e, longconst 0L))
+  | Tvoid -> error "void used as condition"
+
+(** {1 Expressions} *)
+
+let chunk_of_ty t =
+  match access_mode t with
+  | By_value chunk -> Some chunk
+  | _ -> None
+
+let rec transl_expr (env : env) (a : C.expr) : Cs.expr Errors.t =
+  match a with
+  | C.Econst_int (n, _) -> ok (Cs.Econst (Cs.Ointconst n))
+  | C.Econst_long (n, _) -> ok (Cs.Econst (Cs.Olongconst n))
+  | C.Econst_float (f, _) -> ok (Cs.Econst (Cs.Ofloatconst f))
+  | C.Econst_single (f, _) -> ok (Cs.Econst (Cs.Osingleconst f))
+  | C.Etempvar (id, _) -> ok (Cs.Evar id)
+  | C.Esizeof (t, _) -> ok (longconst (Int64.of_int (sizeof t)))
+  | C.Evar (id, t) when Ident.Set.mem id env.temps ->
+    ignore t;
+    ok (Cs.Evar id)
+  | C.Evar (_, t) | C.Ederef (_, t) -> (
+    let* addr = transl_lvalue env a in
+    match access_mode t with
+    | By_value chunk -> ok (Cs.Eload (chunk, addr))
+    | By_reference -> ok addr
+    | By_nothing -> error "bad dereference")
+  | C.Eaddrof (a1, _) -> transl_lvalue env a1
+  | C.Eunop (op, a1, _) -> (
+    let t1 = C.typeof a1 in
+    let* e1 = transl_expr env a1 in
+    match op with
+    | Cop.Onotbool ->
+      let* b = make_boolean t1 e1 in
+      ok (Cs.Ebinop (Ocmp Memory.Mtypes.Ceq, b, Cs.Econst (Cs.Ointconst 0l)))
+    | Cop.Onotint -> (
+      match classify t1 t1 with
+      | Cop.Cl_i _ -> ok (Cs.Eunop (Onotint, e1))
+      | Cop.Cl_l _ -> ok (Cs.Eunop (Onotl, e1))
+      | _ -> error "~ on non-integer")
+    | Cop.Oneg -> (
+      match classify t1 t1 with
+      | Cop.Cl_i _ -> ok (Cs.Eunop (Onegint, e1))
+      | Cop.Cl_l _ -> ok (Cs.Eunop (Onegl, e1))
+      | Cop.Cl_f -> ok (Cs.Eunop (Onegf, e1))
+      | Cop.Cl_s -> ok (Cs.Eunop (Onegfs, e1))
+      | _ -> error "- on non-arithmetic")
+    | Cop.Oabsfloat ->
+      let* e1' = make_cast t1 Tfloat e1 in
+      ok (Cs.Eunop (Oabsf, e1')))
+  | C.Ebinop (op, a1, a2, _) ->
+    let* e1 = transl_expr env a1 in
+    let* e2 = transl_expr env a2 in
+    make_binop op (C.typeof a1) e1 (C.typeof a2) e2
+  | C.Ecast (a1, t) ->
+    let* e1 = transl_expr env a1 in
+    make_cast (C.typeof a1) t e1
+
+and transl_lvalue (env : env) (a : C.expr) : Cs.expr Errors.t =
+  match a with
+  | C.Evar (id, _) ->
+    if Ident.Set.mem id env.temps then error "temporary used as l-value"
+    else ok (Cs.Eaddrof id)
+  | C.Ederef (a1, _) -> transl_expr env a1
+  | _ -> error "expression is not an l-value"
+
+let transl_exprlist env args tys =
+  let rec go args tys =
+    match (args, tys) with
+    | [], [] -> ok []
+    | a :: args', t :: tys' ->
+      let* e = transl_expr env a in
+      let* e' = make_cast (C.typeof a) t e in
+      let* rest = go args' tys' in
+      ok (e' :: rest)
+    | _ -> error "wrong number of arguments"
+  in
+  go args tys
+
+(** {1 Statements}
+
+    [nbrk]/[ncnt]: number of blocks to exit for [break]/[continue]
+    (CompCert's encoding). *)
+
+let rec transl_stmt (env : env) (nbrk : int) (ncnt : int) (s : C.stmt) :
+    Cs.stmt Errors.t =
+  match s with
+  | C.Sskip -> ok Cs.Sskip
+  | C.Sassign (a1, a2) -> (
+    let t1 = C.typeof a1 in
+    let* addr = transl_lvalue env a1 in
+    let* e2 = transl_expr env a2 in
+    let* e2' = make_cast (C.typeof a2) t1 e2 in
+    match chunk_of_ty t1 with
+    | Some chunk -> ok (Cs.Sstore (chunk, addr, e2'))
+    | None -> error "unsupported assignment")
+  | C.Sset (id, a) ->
+    let* e = transl_expr env a in
+    ok (Cs.Sset (id, e))
+  | C.Scall (optid, a, args) -> (
+    match C.typeof a with
+    | Tfunction (targs, tres) | Tpointer (Tfunction (targs, tres)) ->
+      let* ef = transl_expr env a in
+      let* eargs = transl_exprlist env args targs in
+      ok (Cs.Scall (optid, signature_of_type targs tres, ef, eargs))
+    | _ -> error "call of a non-function")
+  | C.Ssequence (s1, s2) ->
+    let* s1' = transl_stmt env nbrk ncnt s1 in
+    let* s2' = transl_stmt env nbrk ncnt s2 in
+    ok (Cs.Sseq (s1', s2'))
+  | C.Sifthenelse (a, s1, s2) ->
+    let* e = transl_expr env a in
+    let* b = make_boolean (C.typeof a) e in
+    let* s1' = transl_stmt env nbrk ncnt s1 in
+    let* s2' = transl_stmt env nbrk ncnt s2 in
+    ok (Cs.Sifthenelse (b, s1', s2'))
+  | C.Sloop (s1, s2) ->
+    let* s1' = transl_stmt env 1 0 s1 in
+    let* s2' = transl_stmt env 0 1 s2 in
+    ok (Cs.Sblock (Cs.Sloop (Cs.Sseq (Cs.Sblock s1', s2'))))
+  | C.Sbreak -> ok (Cs.Sexit nbrk)
+  | C.Scontinue -> ok (Cs.Sexit ncnt)
+  | C.Sreturn None -> ok (Cs.Sreturn None)
+  | C.Sreturn (Some a) ->
+    let* e = transl_expr env a in
+    let* e' = make_cast (C.typeof a) env.ret_ty e in
+    ok (Cs.Sreturn (Some e'))
+
+let transf_function (f : C.coq_function) : Cs.coq_function Errors.t =
+  let temps =
+    Ident.Set.of_list (List.map fst (f.C.fn_params @ f.C.fn_temps))
+  in
+  let env = { temps; ret_ty = f.C.fn_return } in
+  let* body = transl_stmt env 0 0 f.C.fn_body in
+  ok
+    {
+      Cs.fn_sig = C.fn_sig f;
+      fn_params = List.map fst f.C.fn_params;
+      fn_vars = List.map (fun (id, t) -> (id, sizeof t)) f.C.fn_vars;
+      fn_temps = List.map fst f.C.fn_temps;
+      fn_body = body;
+    }
+
+let transf_program (p : C.program) : Cs.program Errors.t =
+  let open Errors in
+  let* defs =
+    map_list
+      (fun (id, d) ->
+        match d with
+        | Iface.Ast.Gfun (Iface.Ast.Internal fn) ->
+          let* fn' = transf_function fn in
+          ok (id, Iface.Ast.Gfun (Iface.Ast.Internal fn'))
+        | Iface.Ast.Gfun (Iface.Ast.External ef) ->
+          ok (id, Iface.Ast.Gfun (Iface.Ast.External ef))
+        | Iface.Ast.Gvar gv ->
+          ok (id, Iface.Ast.Gvar { gv with Iface.Ast.gvar_info = () }))
+      p.Iface.Ast.prog_defs
+  in
+  ok { Iface.Ast.prog_defs = defs; prog_main = p.Iface.Ast.prog_main }

@@ -1,0 +1,16 @@
+(** Debugvar: propagate debug annotations for location tracking
+    (CompCert's [Debugvar]). Simulation convention: [id ↠ id] (Table 3).
+
+    Our Linear has no debug annotations (the frontend does not generate
+    [Lannot]-style instructions), so the pass is the identity on code; it
+    exists so that the pipeline and the convention algebra match the
+    paper's Table 3 row for row. *)
+
+module Errors = Support.Errors
+module Lin = Backend.Linear
+
+let transf_function (f : Lin.coq_function) : Lin.coq_function Errors.t =
+  Errors.ok f
+
+let transf_program (p : Lin.program) : Lin.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,126 @@
+(** Function inlining (a restricted version of CompCert's [Inlining]).
+
+    Simulation convention: [injp ↠ inj] (Table 3) — in full CompCert the
+    inlined callee's stack block is merged into the caller's, which is
+    what makes the pass injection-based. Our implementation restricts
+    inlining to {e stackless leaf} functions (no stack data, no calls),
+    so the block structure changes only by the disappearance of the
+    callee's empty stack block; the convention assignment is preserved.
+
+    Candidates: internal, small ([max_size] instructions), no stack data,
+    no calls or tail calls, defined in the same translation unit. *)
+
+open Support
+open Support.Errors
+module R = Middle.Rtl
+module Op = Middle.Op
+
+let max_size = 16
+
+let is_inlinable (f : R.coq_function) : bool =
+  f.R.fn_stacksize = 0
+  && R.Regmap.cardinal f.R.fn_code <= max_size
+  && R.Regmap.for_all
+       (fun _ i ->
+         match i with
+         | R.Icall _ | R.Itailcall _ -> false
+         | _ -> true)
+       f.R.fn_code
+
+(* Splice [callee]'s body into [st]'s code graph. Registers are shifted
+   by [reg_base], nodes are remapped to fresh ones. Returns the entry
+   node; [Ireturn]s become moves of the result into [res] followed by a
+   jump to [cont]. *)
+type splice_state = {
+  mutable code : R.code;
+  mutable next_node : int;
+  mutable next_reg : int;
+}
+
+let splice (st : splice_state) (callee : R.coq_function) (args : R.reg list)
+    (res : R.reg) (cont : R.node) : R.node =
+  let reg_base = st.next_reg in
+  st.next_reg <- st.next_reg + R.max_reg_function callee + 1;
+  let shift_reg r = reg_base + r in
+  let node_map = Hashtbl.create 16 in
+  R.Regmap.iter
+    (fun n _ ->
+      Hashtbl.add node_map n st.next_node;
+      st.next_node <- st.next_node + 1)
+    callee.R.fn_code;
+  let shift_node n = Hashtbl.find node_map n in
+  let fresh_node () =
+    let n = st.next_node in
+    st.next_node <- n + 1;
+    n
+  in
+  R.Regmap.iter
+    (fun n i ->
+      let i' =
+        match i with
+        | R.Inop n' -> R.Inop (shift_node n')
+        | R.Iop (op, iargs, ires, n') ->
+          R.Iop (op, List.map shift_reg iargs, shift_reg ires, shift_node n')
+        | R.Iload (c, a, iargs, d, n') ->
+          R.Iload (c, a, List.map shift_reg iargs, shift_reg d, shift_node n')
+        | R.Istore (c, a, iargs, s, n') ->
+          R.Istore (c, a, List.map shift_reg iargs, shift_reg s, shift_node n')
+        | R.Icond (c, iargs, n1, n2) ->
+          R.Icond (c, List.map shift_reg iargs, shift_node n1, shift_node n2)
+        | R.Ireturn (Some r) ->
+          R.Iop (Op.Omove, [ shift_reg r ], res, cont)
+        | R.Ireturn None -> R.Inop cont
+        | R.Icall _ | R.Itailcall _ -> assert false
+      in
+      st.code <- R.Regmap.add (shift_node n) i' st.code)
+    callee.R.fn_code;
+  (* Parameter binding: moves from the argument registers. *)
+  let entry = shift_node callee.R.fn_entrypoint in
+  let rec bind params args cont =
+    match (params, args) with
+    | [], [] -> cont
+    | p :: params', a :: args' ->
+      (* Evaluate the tail first: it mutates [st.code]. *)
+      let cont' = bind params' args' cont in
+      let n = fresh_node () in
+      st.code <- R.Regmap.add n (R.Iop (Op.Omove, [ a ], shift_reg p, cont')) st.code;
+      n
+    | _ -> cont
+  in
+  (* Bind right-to-left so the first move executes first. *)
+  bind callee.R.fn_params args entry
+
+let transf_function (candidates : R.coq_function Ident.Map.t)
+    (f : R.coq_function) : R.coq_function Errors.t =
+  let st =
+    {
+      code = f.R.fn_code;
+      next_node = R.max_node f + 1;
+      next_reg = R.max_reg_function f + 1;
+    }
+  in
+  R.Regmap.iter
+    (fun n i ->
+      match i with
+      | R.Icall (sg, R.Rsymbol id, args, res, cont) -> (
+        match Ident.Map.find_opt id candidates with
+        | Some callee when Memory.Mtypes.signature_equal sg callee.R.fn_sig
+                           && List.length args = List.length callee.R.fn_params ->
+          let entry = splice st callee args res cont in
+          st.code <- R.Regmap.add n (R.Inop entry) st.code
+        | _ -> ())
+      | _ -> ())
+    f.R.fn_code;
+  ok { f with R.fn_code = st.code }
+
+let transf_program (p : R.program) : R.program Errors.t =
+  let candidates =
+    List.fold_left
+      (fun acc (id, d) ->
+        match d with
+        | Iface.Ast.Gfun (Iface.Ast.Internal fn) when is_inlinable fn ->
+          Ident.Map.add id fn acc
+        | _ -> acc)
+      Ident.Map.empty p.Iface.Ast.prog_defs
+  in
+  Iface.Ast.transform_program (transf_function candidates) p

@@ -1,0 +1,93 @@
+(** Linearize: lay out the LTL control-flow graph as a list of Linear
+    instructions (CompCert's [Linearize]). Simulation convention:
+    [id ↠ id].
+
+    Reachable nodes are enumerated depth-first; each node becomes a label
+    followed by its instruction, with explicit [Lgoto]s where the chosen
+    order does not fall through. *)
+
+module Errors = Support.Errors
+module L = Backend.Ltl
+module Lin = Backend.Linear
+
+let enumerate (f : L.coq_function) : int list =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      order := n :: !order;
+      match L.Nodemap.find_opt n f.L.fn_code with
+      | Some i -> List.iter dfs (L.successors_instr i)
+      | None -> ()
+    end
+  in
+  dfs f.L.fn_entrypoint;
+  List.rev !order
+
+let transf_function (f : L.coq_function) : Lin.coq_function Errors.t =
+  let order = enumerate f in
+  (* Labels are node numbers. *)
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let rec fills = function
+    | [] -> ()
+    | n :: rest ->
+      emit (Lin.Llabel n);
+      (match L.Nodemap.find_opt n f.L.fn_code with
+      | None -> ()
+      | Some i -> (
+        let goto_unless_next target =
+          match rest with
+          | next :: _ when next = target -> ()
+          | _ -> emit (Lin.Lgoto target)
+        in
+        match i with
+        | L.Lnop n' -> goto_unless_next n'
+        | L.Lop (op, args, res, n') ->
+          emit (Lin.Lop (op, args, res));
+          goto_unless_next n'
+        | L.Lload (c, a, args, d, n') ->
+          emit (Lin.Lload (c, a, args, d));
+          goto_unless_next n'
+        | L.Lstore (c, a, args, s, n') ->
+          emit (Lin.Lstore (c, a, args, s));
+          goto_unless_next n'
+        | L.Lgetstack (k, o, ty, d, n') ->
+          emit (Lin.Lgetstack (k, o, ty, d));
+          goto_unless_next n'
+        | L.Lsetstack (s, k, o, ty, n') ->
+          emit (Lin.Lsetstack (s, k, o, ty));
+          goto_unless_next n'
+        | L.Lcall (sg, ros, n') ->
+          emit
+            (Lin.Lcall
+               ( sg,
+                 match ros with
+                 | L.Rreg r -> Lin.Rreg r
+                 | L.Rsymbol id -> Lin.Rsymbol id ));
+          goto_unless_next n'
+        | L.Ltailcall (sg, ros) ->
+          emit
+            (Lin.Ltailcall
+               ( sg,
+                 match ros with
+                 | L.Rreg r -> Lin.Rreg r
+                 | L.Rsymbol id -> Lin.Rsymbol id ))
+        | L.Lcond (c, args, n1, n2) ->
+          (* Branch to n1, fall through (or goto) n2. *)
+          emit (Lin.Lcond (c, args, n1));
+          goto_unless_next n2
+        | L.Lreturn -> emit Lin.Lreturn));
+      fills rest
+  in
+  fills order;
+  Errors.ok
+    {
+      Lin.fn_sig = f.L.fn_sig;
+      fn_stacksize = f.L.fn_stacksize;
+      fn_code = List.rev !code;
+    }
+
+let transf_program (p : L.program) : Lin.program Errors.t =
+  Iface.Ast.transform_program transf_function p

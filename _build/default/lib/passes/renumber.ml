@@ -1,0 +1,44 @@
+(** Renumber: renumber CFG nodes densely in reachability order
+    (CompCert's [Renumber]). Simulation convention: [id ↠ id]. *)
+
+open Support.Errors
+module Errors = Support.Errors
+module R = Middle.Rtl
+
+let transf_function (f : R.coq_function) : R.coq_function Errors.t =
+  (* Depth-first enumeration from the entry point. *)
+  let mapping = Hashtbl.create 64 in
+  let next = ref 1 in
+  let rec visit n =
+    if not (Hashtbl.mem mapping n) then begin
+      Hashtbl.add mapping n !next;
+      incr next;
+      match R.Regmap.find_opt n f.R.fn_code with
+      | Some i -> List.iter visit (R.successors_instr i)
+      | None -> ()
+    end
+  in
+  visit f.R.fn_entrypoint;
+  let renum n = Option.value (Hashtbl.find_opt mapping n) ~default:n in
+  let renum_instr = function
+    | R.Inop n -> R.Inop (renum n)
+    | R.Iop (op, args, res, n) -> R.Iop (op, args, res, renum n)
+    | R.Iload (c, a, args, d, n) -> R.Iload (c, a, args, d, renum n)
+    | R.Istore (c, a, args, s, n) -> R.Istore (c, a, args, s, renum n)
+    | R.Icall (sg, ros, args, res, n) -> R.Icall (sg, ros, args, res, renum n)
+    | R.Itailcall _ as i -> i
+    | R.Icond (c, args, n1, n2) -> R.Icond (c, args, renum n1, renum n2)
+    | R.Ireturn _ as i -> i
+  in
+  let code =
+    R.Regmap.fold
+      (fun n i acc ->
+        if Hashtbl.mem mapping n then
+          R.Regmap.add (renum n) (renum_instr i) acc
+        else acc (* unreachable node: dropped *))
+      f.R.fn_code R.Regmap.empty
+  in
+  ok { f with R.fn_code = code; fn_entrypoint = renum f.R.fn_entrypoint }
+
+let transf_program (p : R.program) : R.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,130 @@
+(** Stacking: lay out activation records and concretize abstract stack
+    slots (CompCert's [Stacking]).
+
+    Simulation convention: [injp · LM ↠ LM · inj] (Table 3) — the
+    frame regions introduced here (locals, callee-save area, link/RA)
+    exist only in the target memory, and the [LM] component carves the
+    in-memory argument region out of the source view (Appendix C.2).
+
+    Frame layout (byte offsets from sp):
+    {v
+    0 .. 8*out-1        outgoing argument area
+    8*out               back link (caller sp)
+    8*out+8             return address
+    ...                 callee-save area (one 8-byte slot per saved reg)
+    ...                 Local slots
+    ...                 source-level stack data (Cminor block)
+    v} *)
+
+
+open Target.Machregs
+open Target.Locations
+module Errors = Support.Errors
+module Lin = Backend.Linear
+module M = Backend.Mach
+module Op = Middle.Op
+
+(* Scan the code for the resources the frame must provide. *)
+let measure (f : Lin.coq_function) =
+  let outgoing = ref 0 in
+  let max_local = ref (-1) in
+  let saved = ref [] in
+  let note_write r =
+    if is_callee_save r && not (List.mem r !saved) then saved := r :: !saved
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Lin.Lcall (sg, _) | Lin.Ltailcall (sg, _) ->
+        outgoing := max !outgoing (Target.Conventions.size_arguments sg)
+      | Lin.Lgetstack (Local, ofs, _, r) ->
+        max_local := max !max_local ofs;
+        note_write r
+      | Lin.Lsetstack (_, Local, ofs, _) -> max_local := max !max_local ofs
+      | Lin.Lgetstack (_, _, _, r) -> note_write r
+      | Lin.Lop (_, _, r) | Lin.Lload (_, _, _, r) -> note_write r
+      | _ -> ())
+    f.Lin.fn_code;
+  (!outgoing, !max_local + 1, List.rev !saved)
+
+let make_layout (f : Lin.coq_function) : M.frame_layout =
+  let outgoing, nlocals, saved = measure f in
+  let ofs_link = 8 * outgoing in
+  let ofs_ra = ofs_link + 8 in
+  let ofs_saved = ofs_ra + 8 in
+  let fl_saved = List.mapi (fun i r -> (r, ofs_saved + (8 * i))) saved in
+  let fl_locals = ofs_saved + (8 * List.length saved) in
+  let fl_stackdata = fl_locals + (8 * nlocals) in
+  let fl_size = fl_stackdata + ((f.Lin.fn_stacksize + 7) / 8 * 8) in
+  {
+    M.fl_outgoing = outgoing;
+    fl_ofs_link = ofs_link;
+    fl_ofs_ra = ofs_ra;
+    fl_saved;
+    fl_locals;
+    fl_stackdata;
+    fl_size;
+  }
+
+(* Shift [Ainstack]/[Oaddrstack] offsets: the source stack data now lives
+   at [fl_stackdata] within the frame. *)
+let shift_addressing (fl : M.frame_layout) = function
+  | Op.Ainstack ofs -> Op.Ainstack (fl.M.fl_stackdata + ofs)
+  | a -> a
+
+let shift_operation (fl : M.frame_layout) = function
+  | Op.Oaddrstack ofs -> Op.Oaddrstack (fl.M.fl_stackdata + ofs)
+  | Op.Olea a -> Op.Olea (shift_addressing fl a)
+  | op -> op
+
+let transl_instr (fl : M.frame_layout) (i : Lin.instruction) :
+    M.instruction list Errors.t =
+  let open Errors in
+  match i with
+  | Lin.Lgetstack (Local, ofs, ty, r) ->
+    ok [ M.Mgetstack (fl.M.fl_locals + (8 * ofs), ty, r) ]
+  | Lin.Lgetstack (Incoming, ofs, ty, r) -> ok [ M.Mgetparam (8 * ofs, ty, r) ]
+  | Lin.Lgetstack (Outgoing, ofs, ty, r) -> ok [ M.Mgetstack (8 * ofs, ty, r) ]
+  | Lin.Lsetstack (r, Local, ofs, ty) ->
+    ok [ M.Msetstack (r, fl.M.fl_locals + (8 * ofs), ty) ]
+  | Lin.Lsetstack (r, Outgoing, ofs, ty) -> ok [ M.Msetstack (r, 8 * ofs, ty) ]
+  | Lin.Lsetstack (_, Incoming, _, _) ->
+    error "Stacking: write to an Incoming slot"
+  | Lin.Lop (op, args, res) -> ok [ M.Mop (shift_operation fl op, args, res) ]
+  | Lin.Lload (chunk, addr, args, dst) ->
+    ok [ M.Mload (chunk, shift_addressing fl addr, args, dst) ]
+  | Lin.Lstore (chunk, addr, args, src) ->
+    ok [ M.Mstore (chunk, shift_addressing fl addr, args, src) ]
+  | Lin.Lcall (sg, ros) ->
+    ok
+      [ M.Mcall (sg, match ros with Lin.Rreg r -> M.Rreg r | Lin.Rsymbol s -> M.Rsymbol s) ]
+  | Lin.Ltailcall (sg, ros) ->
+    (* Restore callee-save registers before the tail jump. *)
+    ok
+      (List.map (fun (r, ofs) -> M.Mgetstack (ofs, Memory.Mtypes.Tany64, r)) fl.M.fl_saved
+      @ [ M.Mtailcall (sg, match ros with Lin.Rreg r -> M.Rreg r | Lin.Rsymbol s -> M.Rsymbol s) ])
+  | Lin.Llabel l -> ok [ M.Mlabel l ]
+  | Lin.Lgoto l -> ok [ M.Mgoto l ]
+  | Lin.Lcond (c, args, l) -> ok [ M.Mcond (c, args, l) ]
+  | Lin.Lreturn ->
+    ok
+      (List.map (fun (r, ofs) -> M.Mgetstack (ofs, Memory.Mtypes.Tany64, r)) fl.M.fl_saved
+      @ [ M.Mreturn ])
+
+let transf_function (f : Lin.coq_function) : M.coq_function Errors.t =
+  let open Errors in
+  let fl = make_layout f in
+  let* body = map_list (transl_instr fl) f.Lin.fn_code in
+  (* Prologue: save the used callee-save registers. *)
+  let prologue =
+    List.map (fun (r, ofs) -> M.Msetstack (r, ofs, Memory.Mtypes.Tany64)) fl.M.fl_saved
+  in
+  ok
+    {
+      M.fn_sig = f.Lin.fn_sig;
+      fn_code = Array.of_list (prologue @ List.concat body);
+      fn_layout = fl;
+    }
+
+let transf_program (p : Lin.program) : M.program Errors.t =
+  Iface.Ast.transform_program transf_function p

@@ -1,0 +1,1 @@
+lib/sloc/sloc.ml: Array Filename List String Sys

@@ -1,0 +1,1 @@
+lib/support/fixpoint.ml: Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/support/ident.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,126 @@
+(** Generic worklist fixpoint solver over integer-indexed flow graphs.
+
+    This is the analogue of CompCert's [Kildall] library. Dataflow analyses
+    (liveness, constant propagation, value analysis, neededness) instantiate
+    the [SEMILATTICE] signature and solve either in the forward or the
+    backward direction. Nodes are plain integers (RTL nodes, Linear labels). *)
+
+module type SEMILATTICE = sig
+  type t
+
+  val bot : t
+  val equal : t -> t -> bool
+
+  (** Least upper bound. Must be monotone; the solver iterates to a
+      post-fixpoint and relies on finite ascending chains for termination
+      (analyses with infinite-height lattices must widen in [lub]). *)
+  val lub : t -> t -> t
+end
+
+module type SOLVER = sig
+  type fact
+
+  (** [solve ~successors ~transfer ~entries nodes] returns the least solution
+      [s] such that for every node [n] and successor [m] of [n],
+      [transfer n s(n) <= s(m)], and [v <= s(n)] for every entry [(n, v)].
+      The returned function gives the fact at the *entrance* of each node. *)
+  val solve :
+    successors:(int -> int list) ->
+    transfer:(int -> fact -> fact) ->
+    entries:(int * fact) list ->
+    int list ->
+    int -> fact
+
+  (** Backward analysis: facts flow from successors to predecessors. The
+      returned function gives the fact at the *exit* of each node, i.e. the
+      join of the transferred facts of all successors. *)
+  val solve_backward :
+    successors:(int -> int list) ->
+    transfer:(int -> fact -> fact) ->
+    entries:(int * fact) list ->
+    int list ->
+    int -> fact
+end
+
+module Make (L : SEMILATTICE) : SOLVER with type fact = L.t = struct
+  type fact = L.t
+
+  let solve ~successors ~transfer ~entries nodes =
+    let value : (int, L.t) Hashtbl.t = Hashtbl.create 64 in
+    let get n = Option.value (Hashtbl.find_opt value n) ~default:L.bot in
+    let queue = Queue.create () in
+    let in_queue : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let enqueue n =
+      if not (Hashtbl.mem in_queue n) then begin
+        Hashtbl.add in_queue n ();
+        Queue.add n queue
+      end
+    in
+    let augment n v =
+      let old = get n in
+      let merged = L.lub old v in
+      if not (L.equal old merged) then begin
+        Hashtbl.replace value n merged;
+        enqueue n
+      end
+    in
+    List.iter (fun (n, v) -> augment n v) entries;
+    (* Seed every node once so unreachable nodes still get [bot] and
+       self-stabilize. *)
+    List.iter enqueue nodes;
+    let rec loop () =
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some n ->
+        Hashtbl.remove in_queue n;
+        let out = transfer n (get n) in
+        List.iter (fun m -> augment m out) (successors n);
+        loop ()
+    in
+    loop ();
+    get
+
+  let solve_backward ~successors ~transfer ~entries nodes =
+    (* Invert the graph, then run the forward engine on it. *)
+    let preds : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        List.iter
+          (fun m ->
+            let cur = Option.value (Hashtbl.find_opt preds m) ~default:[] in
+            Hashtbl.replace preds m (n :: cur))
+          (successors n))
+      nodes;
+    let value : (int, L.t) Hashtbl.t = Hashtbl.create 64 in
+    let get n = Option.value (Hashtbl.find_opt value n) ~default:L.bot in
+    let queue = Queue.create () in
+    let in_queue : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let enqueue n =
+      if not (Hashtbl.mem in_queue n) then begin
+        Hashtbl.add in_queue n ();
+        Queue.add n queue
+      end
+    in
+    let augment n v =
+      let old = get n in
+      let merged = L.lub old v in
+      if not (L.equal old merged) then begin
+        Hashtbl.replace value n merged;
+        enqueue n
+      end
+    in
+    List.iter (fun (n, v) -> augment n v) entries;
+    List.iter enqueue nodes;
+    let rec loop () =
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some n ->
+        Hashtbl.remove in_queue n;
+        let out = transfer n (get n) in
+        let ps = Option.value (Hashtbl.find_opt preds n) ~default:[] in
+        List.iter (fun p -> augment p out) ps;
+        loop ()
+    in
+    loop ();
+    get
+end

@@ -1,0 +1,38 @@
+(** Generic worklist fixpoint solver over integer-indexed flow graphs
+    (the analogue of CompCert's [Kildall]); used by liveness, value
+    analysis and dead-code elimination. *)
+
+module type SEMILATTICE = sig
+  type t
+
+  val bot : t
+  val equal : t -> t -> bool
+
+  (** Least upper bound; must be monotone, with finite ascending chains
+      (widen in [lub] otherwise). *)
+  val lub : t -> t -> t
+end
+
+module type SOLVER = sig
+  type fact
+
+  (** Forward analysis; the returned function gives the fact at the
+      {e entrance} of each node. *)
+  val solve :
+    successors:(int -> int list) ->
+    transfer:(int -> fact -> fact) ->
+    entries:(int * fact) list ->
+    int list ->
+    int -> fact
+
+  (** Backward analysis; the returned function gives the fact at the
+      {e exit} of each node. *)
+  val solve_backward :
+    successors:(int -> int list) ->
+    transfer:(int -> fact -> fact) ->
+    entries:(int * fact) list ->
+    int list ->
+    int -> fact
+end
+
+module Make (L : SEMILATTICE) : SOLVER with type fact = L.t

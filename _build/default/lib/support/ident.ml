@@ -1,0 +1,54 @@
+(** Interned identifiers.
+
+    All languages in the pipeline refer to functions, global variables and
+    temporaries through identifiers. We intern strings into integers so that
+    identifier comparison is O(1) and identifiers can index efficient maps,
+    while retaining a way to print the original name. Fresh identifiers (for
+    compiler-generated temporaries) are allocated past the interned ones and
+    print as [$n]. *)
+
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+let next = ref 1
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    Hashtbl.add table s id;
+    Hashtbl.add names id s;
+    id
+
+let fresh () =
+  let id = !next in
+  incr next;
+  id
+
+let fresh_named prefix =
+  let id = !next in
+  incr next;
+  Hashtbl.add names id (Printf.sprintf "%s$%d" prefix id);
+  id
+
+let name id =
+  match Hashtbl.find_opt names id with
+  | Some s -> s
+  | None -> Printf.sprintf "$%d" id
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp fmt id = Format.pp_print_string fmt (name id)
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

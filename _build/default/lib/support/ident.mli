@@ -1,0 +1,26 @@
+(** Interned identifiers: O(1) comparison, efficient maps, printable
+    names. Fresh identifiers (compiler temporaries) are allocated past
+    the interned ones. *)
+
+type t = int
+
+(** Intern a source-level name (idempotent). *)
+val intern : string -> t
+
+(** A fresh identifier, never equal to any interned one. *)
+val fresh : unit -> t
+
+(** A fresh identifier printing as [prefix$n]. *)
+val fresh_named : string -> t
+
+(** The name an identifier prints as. *)
+val name : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

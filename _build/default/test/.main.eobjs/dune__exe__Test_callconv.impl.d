@@ -1,0 +1,1 @@
+test/test_callconv.ml: Alcotest Cklr Conventions Core Iface Int32 Invariant List Locset Mem Memdata Meminj Memory Option Pregfile Regfile Simconv Target

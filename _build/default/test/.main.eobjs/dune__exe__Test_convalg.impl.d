@@ -1,0 +1,1 @@
+test/test_convalg.ml: Alcotest Convalg Derive List Rules String

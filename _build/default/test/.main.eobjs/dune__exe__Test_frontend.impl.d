@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Cfrontend Clexer Clight Core Cparser Genv Ident Iface List Memory Pp_util Support

@@ -1,0 +1,1 @@
+test/test_linking.ml: Alcotest Ast Cfrontend Core Driver Errors Genv Ident Iface Int32 List Memory QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Int32 Int64 List Mem Memory Option QCheck QCheck_alcotest

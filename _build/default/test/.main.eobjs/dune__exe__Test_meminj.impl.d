@@ -1,0 +1,1 @@
+test/test_meminj.ml: Alcotest Int32 List Mem Meminj Memory Option QCheck QCheck_alcotest

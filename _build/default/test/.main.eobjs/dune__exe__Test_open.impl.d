@@ -1,0 +1,1 @@
+test/test_open.ml: Alcotest Ast Backend Cfrontend Core Driver Errors Genv Ident Iface Int32 List Memory Option Passes Support Testlib

@@ -1,0 +1,1 @@
+test/test_parametricity.ml: Alcotest Ast Backend Cfrontend Core Driver Errors Genv Ident Iface Int32 List Mem Meminj Memory Middle Option QCheck QCheck_alcotest Support

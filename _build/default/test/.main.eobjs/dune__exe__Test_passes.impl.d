@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Backend Cfrontend Driver Errors Ident Iface Int32 List Locset Memory Middle Passes QCheck QCheck_alcotest Support Target

@@ -1,0 +1,1 @@
+test/test_perpass.ml: Alcotest Cfrontend Core Driver Iface List Mem Meminj Memory Middle Option Support

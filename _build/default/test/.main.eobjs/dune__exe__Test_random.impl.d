@@ -1,0 +1,1 @@
+test/test_random.ml: Cfrontend Driver Iface Int32 List Memory QCheck QCheck_alcotest Support Testlib

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Cklr Core Iface List Mem Memdata Meminj Memory Option Simconv

@@ -1,0 +1,1 @@
+test/test_smallstep.ml: Alcotest Closed Core Events Format Hcomp Int32 List QCheck QCheck_alcotest Vcomp

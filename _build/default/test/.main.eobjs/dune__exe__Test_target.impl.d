@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest List Locset Memory QCheck QCheck_alcotest Target

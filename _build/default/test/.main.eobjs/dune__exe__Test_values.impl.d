@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Int32 Int64 List Memory Option QCheck QCheck_alcotest

@@ -1,0 +1,23 @@
+(** Test runner: all suites. *)
+
+let () =
+  Alcotest.run "compcerto"
+    [
+      Test_values.suite;
+      Test_mem.suite;
+      Test_meminj.suite;
+      Test_target.suite;
+      Test_smallstep.suite;
+      Test_callconv.suite;
+      Test_frontend.suite;
+      Test_pipeline.suite;
+      Test_programs.suite;
+      Test_perpass.suite;
+      Test_linking.suite;
+      Test_open.suite;
+      Test_parametricity.suite;
+      Test_passes.suite;
+      Test_convalg.suite;
+      Test_refinement.suite;
+      Test_random.suite;
+    ]

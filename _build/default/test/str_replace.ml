@@ -1,0 +1,30 @@
+(** Tiny helper: rename [main] to [main0] in generated sources so a
+    driver unit can call into them. *)
+
+let replace_main (src : string) : string =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 4 <= n
+      && String.sub src !i 4 = "main"
+      && ((!i = 0) || not (( function
+                            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                            | _ -> false )
+                            src.[!i - 1]))
+      && (!i + 4 = n
+         || not (( function
+                   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                   | _ -> false )
+                   src.[!i + 4]))
+    then begin
+      Buffer.add_string buf "main0";
+      i := !i + 4
+    end
+    else begin
+      Buffer.add_char buf src.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

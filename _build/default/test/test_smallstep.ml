@@ -1,0 +1,218 @@
+(** Tests for the open-semantics framework: LTS execution, horizontal
+    composition (Def. 3.2 / Fig. 5), layered composition (§3.5) and the
+    closed semantics (Table 4, row 1).
+
+    Toy components over a tiny "arithmetic server" interface: questions
+    are [(name, argument)] pairs and answers are integers. *)
+
+open Core
+open Core.Smallstep
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+type q = string * int
+type r = int
+
+(* A component handling [names]: on [(f, n)], if [f] is one of its
+   functions it computes locally, possibly making one outgoing call. *)
+type toy_state =
+  | Start of q
+  | Waiting of string * int  (** made an outgoing call, will add [k] *)
+  | Done of int
+
+(* [double] computes 2n directly; [quad] calls [double n] and doubles the
+   answer; [inc] computes n+1; [loopy] diverges. *)
+let toy_component (name : string) : (toy_state, q, r, q, r) lts =
+  let handles f = match name with
+    | "doubler" -> f = "double" || f = "quad"
+    | "incr" -> f = "inc"
+    | "loopy" -> f = "loop"
+    | _ -> false
+  in
+  {
+    name;
+    dom = (fun (f, _) -> handles f);
+    init = (fun q -> [ Start q ]);
+    step =
+      (fun s ->
+        match s with
+        | Start ("double", n) -> [ (Events.e0, Done (2 * n)) ]
+        | Start ("inc", n) -> [ (Events.e0, Done (n + 1)) ]
+        | Start ("loop", n) -> [ (Events.e0, Start ("loop", n)) ]
+        | Start ("quad", _) -> []
+        | Start _ -> []
+        | Waiting _ -> []
+        | Done _ -> []);
+    at_external =
+      (fun s ->
+        match s with
+        | Start ("quad", n) -> Some ("double", n)
+        | _ -> None);
+    after_external =
+      (fun s ans ->
+        match s with
+        | Start ("quad", _) -> [ Done (2 * ans) ]
+        | _ -> []);
+    final = (fun s -> match s with Done r -> Some r | _ -> None);
+  }
+
+let doubler = toy_component "doubler"
+let incr = toy_component "incr"
+let loopy = toy_component "loopy"
+
+let run_toy lts ?(oracle = fun _ -> None) q =
+  run ~fuel:1000 lts ~oracle q
+
+let unit_tests =
+  [
+    Alcotest.test_case "direct computation" `Quick (fun () ->
+        match run_toy doubler ("double", 21) with
+        | Final (_, r) -> checki "42" 42 r
+        | _ -> Alcotest.fail "expected final");
+    Alcotest.test_case "refused outside domain" `Quick (fun () ->
+        check "refused" true (run_toy doubler ("inc", 1) = Refused));
+    Alcotest.test_case "environment answers external call" `Quick (fun () ->
+        let oracle (f, n) = if f = "double" then Some (2 * n) else None in
+        match run_toy doubler ~oracle ("quad", 5) with
+        | Final (_, r) -> checki "20" 20 r
+        | _ -> Alcotest.fail "expected final");
+    Alcotest.test_case "env refusal reported" `Quick (fun () ->
+        match run_toy doubler ("quad", 5) with
+        | Env_stuck (_, ("double", 5)) -> ()
+        | _ -> Alcotest.fail "expected env_stuck");
+    Alcotest.test_case "divergence consumes fuel" `Quick (fun () ->
+        match run_toy loopy ("loop", 0) with
+        | Out_of_fuel _ -> ()
+        | _ -> Alcotest.fail "expected out of fuel");
+    Alcotest.test_case "run_to_interaction finds external state" `Quick
+      (fun () ->
+        match doubler.init ("quad", 3) with
+        | [ s0 ] -> (
+          match run_to_interaction ~fuel:100 doubler s0 with
+          | _, Iexternal (("double", 3), _) -> ()
+          | _ -> Alcotest.fail "expected external")
+        | _ -> Alcotest.fail "expected one initial state");
+  ]
+
+(* Horizontal composition: [quad] of the doubler resolves internally once
+   composed with itself; composing with [incr] widens the domain. *)
+let hcomp_tests =
+  [
+    Alcotest.test_case "push/pop resolves internal call" `Quick (fun () ->
+        let both = Hcomp.compose doubler incr in
+        (* quad calls double, which the composition itself accepts. *)
+        match run_toy both ("quad", 5) with
+        | Final (_, r) -> checki "20" 20 r
+        | o ->
+          Alcotest.failf "expected final, got %a"
+            (pp_outcome Format.pp_print_int) o);
+    Alcotest.test_case "union of domains" `Quick (fun () ->
+        let both = Hcomp.compose doubler incr in
+        check "doubler side" true (both.dom ("double", 0));
+        check "incr side" true (both.dom ("inc", 0));
+        check "neither" false (both.dom ("dec", 0)));
+    Alcotest.test_case "x°: unknown calls escape (Fig. 5)" `Quick (fun () ->
+        (* a quad-only component whose double must come from outside *)
+        let both = Hcomp.compose doubler loopy in
+        let oracle (f, n) = if f = "inc" then Some (n + 1) else None in
+        match run ~fuel:1000 both ~oracle ("quad", 1) with
+        | Final (_, r) -> checki "internal resolution preferred" 4 r
+        | _ -> Alcotest.fail "expected final");
+    Alcotest.test_case "compose_all agrees with binary compose" `Quick
+      (fun () ->
+        let nary = Hcomp.compose_all [| doubler; incr |] in
+        let bin = Hcomp.compose doubler incr in
+        List.iter
+          (fun q ->
+            let o1 = run_toy nary q and o2 = run_toy bin q in
+            let same =
+              match (o1, o2) with
+              | Final (_, a), Final (_, b) -> a = b
+              | Refused, Refused -> true
+              | _ -> false
+            in
+            check "agree" true same)
+          [ ("double", 3); ("quad", 3); ("inc", 7) ]);
+    Alcotest.test_case "associativity of ⊕ (behavioral)" `Quick (fun () ->
+        let l1 = Hcomp.compose (Hcomp.compose doubler incr) loopy in
+        let l2 = Hcomp.compose doubler (Hcomp.compose incr loopy) in
+        List.iter
+          (fun q ->
+            let o1 = run_toy l1 q and o2 = run_toy l2 q in
+            let same =
+              match (o1, o2) with
+              | Final (_, a), Final (_, b) -> a = b
+              | Refused, Refused -> true
+              | Out_of_fuel _, Out_of_fuel _ -> true
+              | _ -> false
+            in
+            check "agree" true same)
+          [ ("double", 3); ("quad", 3); ("inc", 7); ("loop", 0) ]);
+  ]
+
+(* Layered composition (§3.5): calls flow downward only. *)
+let vcomp_tests =
+  [
+    Alcotest.test_case "layered call flows down" `Quick (fun () ->
+        (* doubler on top of incr: quad's outgoing call has nowhere to go
+           (incr does not serve double) — stuck; but doubler's own direct
+           questions still work. *)
+        let stack = Vcomp.layer doubler incr in
+        (match run_toy stack ("double", 10) with
+        | Final (_, r) -> checki "20" 20 r
+        | _ -> Alcotest.fail "expected final");
+        match run_toy stack ("quad", 10) with
+        | Goes_wrong _ -> ()
+        | _ -> Alcotest.fail "expected stuck (call not served below)");
+    Alcotest.test_case "layered serving" `Quick (fun () ->
+        (* quad served by a lower layer providing double. *)
+        let stack = Vcomp.layer doubler doubler in
+        match run_toy stack ("quad", 6) with
+        | Final (_, r) -> checki "24" 24 r
+        | _ -> Alcotest.fail "expected final");
+    Alcotest.test_case "lower layer's externals escape" `Quick (fun () ->
+        (* top quad -> bottom quad? bottom only; build: top = doubler
+           (quad calls double); bottom = component that forwards. *)
+        let stack = Vcomp.layer doubler loopy in
+        match run_toy stack ("quad", 1) with
+        | Goes_wrong _ -> ()
+        | _ -> Alcotest.fail "expected stuck");
+  ]
+
+let closed_tests =
+  [
+    Alcotest.test_case "closing an open semantics (Table 4)" `Quick (fun () ->
+        let closed =
+          Closed.close doubler ~entry:("double", 21)
+            ~decode:(fun r -> Some (Int32.of_int r))
+        in
+        match run ~fuel:100 closed ~oracle:(fun _ -> None) () with
+        | Final (_, code) -> check "42" true (code = 42l)
+        | _ -> Alcotest.fail "expected final");
+  ]
+
+(* Property: in ⊕, every behavior of a component on its own domain is
+   preserved (no interference) — a lightweight take on Thm. 3.4. *)
+let prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"⊕ preserves standalone behavior" ~count:100
+        (QCheck.int_bound 1000) (fun n ->
+          let alone = run_toy doubler ("double", n) in
+          let composed = run_toy (Hcomp.compose doubler incr) ("double", n) in
+          match (alone, composed) with
+          | Final (_, a), Final (_, b) -> a = b
+          | _ -> false);
+      QCheck.Test.make ~name:"⊕ resolves what the oracle would" ~count:100
+        (QCheck.int_bound 1000) (fun n ->
+          let oracle (f, k) = if f = "double" then Some (2 * k) else None in
+          let with_env = run_toy doubler ~oracle ("quad", n) in
+          let composed = run_toy (Hcomp.compose doubler incr) ("quad", n) in
+          match (with_env, composed) with
+          | Final (_, a), Final (_, b) -> a = b
+          | _ -> false);
+    ]
+
+let suite =
+  ("smallstep", unit_tests @ hcomp_tests @ vcomp_tests @ closed_tests @ prop_tests)

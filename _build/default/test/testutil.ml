@@ -1,0 +1,20 @@
+(** Test-suite glue around [Driver.Differential]. *)
+
+include Driver.Differential
+
+(** Alcotest case asserting the differential check passes and the final
+    result is [Final expected]. *)
+let diff_case ?options name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match differential ?options src with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok results -> (
+        match results with
+        | { outcome =
+              Core.Smallstep.Final (_, { Iface.Li.cr_res = Memory.Values.Vint n; _ });
+            _ }
+          :: _ ->
+          Alcotest.(check int32) name expected n
+        | r :: _ ->
+          Alcotest.failf "%s: source outcome %a" name pp_level_result r
+        | [] -> Alcotest.fail "no results"))
