@@ -134,61 +134,34 @@ let table2 () =
 (* Table 3                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-pass compile time on the workload: time each pass's
-   transf_program on its (precomputed) input. *)
-let pass_times () =
-  let a = workload_arts in
-  let time name f = (name, estimate_ns ("pass:" ^ name) f) in
-  [
-    time "SimplLocals" (fun () ->
-        ignore (Passes.Simpllocals.transf_program a.Driver.Compiler.clight1));
-    time "Cshmgen" (fun () ->
-        ignore (Passes.Cshmgen.transf_program a.Driver.Compiler.clight2));
-    time "Cminorgen" (fun () ->
-        ignore (Passes.Cminorgen.transf_program a.Driver.Compiler.csharpminor));
-    time "Selection" (fun () ->
-        ignore (Passes.Selection.transf_program a.Driver.Compiler.cminor));
-    time "RTLgen" (fun () ->
-        ignore (Passes.Rtlgen.transf_program a.Driver.Compiler.cminorsel));
-    time "Tailcall" (fun () ->
-        ignore (Passes.Tailcall.transf_program a.Driver.Compiler.rtl_gen));
-    time "Inlining" (fun () ->
-        ignore (Passes.Inlining.transf_program a.Driver.Compiler.rtl_gen));
-    time "Renumber" (fun () ->
-        ignore (Passes.Renumber.transf_program a.Driver.Compiler.rtl_gen));
-    time "Constprop" (fun () ->
-        ignore (Passes.Constprop.transf_program a.Driver.Compiler.rtl_gen));
-    time "CSE" (fun () ->
-        ignore (Passes.Cse.transf_program a.Driver.Compiler.rtl_gen));
-    time "Deadcode" (fun () ->
-        ignore (Passes.Deadcode.transf_program a.Driver.Compiler.rtl_gen));
-    time "Allocation" (fun () ->
-        ignore (Passes.Allocation.transf_program a.Driver.Compiler.rtl));
-    time "Tunneling" (fun () ->
-        ignore (Passes.Tunneling.transf_program a.Driver.Compiler.ltl));
-    time "Linearize" (fun () ->
-        ignore (Passes.Linearize.transf_program a.Driver.Compiler.ltl_tunneled));
-    time "CleanupLabels" (fun () ->
-        ignore (Passes.Cleanuplabels.transf_program a.Driver.Compiler.linear));
-    time "Debugvar" (fun () ->
-        ignore (Passes.Debugvar.transf_program a.Driver.Compiler.linear_clean));
-    time "Stacking" (fun () ->
-        ignore (Passes.Stacking.transf_program a.Driver.Compiler.linear_clean));
-    time "Asmgen" (fun () ->
-        ignore (Passes.Asmgen.transf_program a.Driver.Compiler.mach));
-  ]
+(* Per-pass compile time on the workload, sourced from the shared
+   metrics registry (ISSUE 1): run the instrumented pipeline a few
+   times and read back the per-pass duration histograms the driver
+   itself records — the bench no longer times passes on its own. *)
+let pass_hist_runs = 20
+
+let warm_pass_histograms () =
+  Obs.with_enabled (fun () ->
+      for _ = 1 to pass_hist_runs do
+        ignore (Driver.Compiler.compile workload)
+      done)
+
+let pass_time_ns name =
+  Option.map
+    (fun (s : Obs.Metrics.stats) -> s.Obs.Metrics.mean *. 1e3)
+    (Obs.Metrics.histogram_stats ("pass." ^ name))
 
 let table3 () =
   section
     "Table 3: passes of CompCertO (conventions as in the paper; SLOC of our \
      implementation; per-pass compile time on the workload)";
-  let times = pass_times () in
+  warm_pass_histograms ();
   table
     ([ "Pass"; "Outgoing ->> Incoming"; "SLOC"; "Compile time" ]
     :: List.map
          (fun (p : Convalg.Derive.pass_info) ->
            let t =
-             match List.assoc_opt p.Convalg.Derive.pass_name times with
+             match pass_time_ns p.Convalg.Derive.pass_name with
              | Some ns -> pp_ns ns
              | None -> "-"
            in
@@ -508,6 +481,13 @@ let bench_pipeline () =
     estimate_ns "interp-asm" (fun () ->
         ignore (Driver.Runners.run_a_level asm ~fuel:10_000_000 workload_query))
   in
+  (* Feed the whole-pipeline numbers into the shared registry so they
+     land in BENCH_pipeline.json next to the per-pass histograms. *)
+  Obs.with_enabled (fun () ->
+      Obs.Metrics.set_gauge "bench.compile_ns" t_compile;
+      Obs.Metrics.set_gauge "bench.compile_O0_ns" t_compile_o0;
+      Obs.Metrics.set_gauge "bench.interp_clight_ns" t_src;
+      Obs.Metrics.set_gauge "bench.interp_asm_ns" t_asm);
   table
     [
       [ "Measurement"; "Time" ];
@@ -582,6 +562,19 @@ let ablation () =
     "All variants compute the same answer (checked by the no-optim rows of@.the test suite); the conventions of Thm 3.8 are insensitive to the@.optional passes (paper section 3.4, tested in test_convalg).@."
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The perf trajectory across PRs: a snapshot of the shared metrics
+   registry (per-pass duration histograms recorded by the driver, plus
+   the bench.* gauges above). Schema documented in EXPERIMENTS.md. *)
+let emit_bench_json () =
+  let path = "BENCH_pipeline.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." path
 
 let () =
   Format.printf "CompCertO-in-OCaml evaluation harness@.";
@@ -598,4 +591,5 @@ let () =
   fig13 ();
   bench_pipeline ();
   ablation ();
+  emit_bench_json ();
   Format.printf "@.Done.@."

@@ -40,9 +40,57 @@ let dump_program_with pp_fun (prog : ('f, 'v) Ast.program) fmt =
       | _ -> ())
     prog.Ast.prog_defs
 
+(** {1 Observability options (shared by compile and run)}
+
+    [--trace FILE.json] records a span per executed pass (wall time,
+    before/after program shape) and writes a Chrome trace-event JSON
+    loadable in chrome://tracing or Perfetto; [--metrics] prints the
+    metrics-registry snapshot as JSON on stdout. [OCCO_TRACE=FILE.json]
+    is honored when [--trace] is absent. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~env:(Cmd.Env.info "OCCO_TRACE")
+        ~doc:
+          "Record per-pass/per-run spans and export them as Chrome \
+           trace-event JSON to $(docv) (open in chrome://tracing or \
+           Perfetto).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry (per-pass duration histograms, \
+           counters) as JSON on stdout after the command finishes.")
+
+let with_obs trace metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    Obs.reset_all ();
+    Obs.enabled := true;
+    let finish () =
+      Obs.enabled := false;
+      (match trace with
+      | Some path -> (
+        try
+          Obs.Trace.export_chrome path;
+          Format.eprintf "trace written to %s@." path
+        with Sys_error msg -> Format.eprintf "occo: cannot write trace: %s@." msg)
+      | None -> ());
+      if metrics then
+        Format.printf "%s@." (Obs.Json.to_string (Obs.Metrics.dump_json ()))
+    in
+    Fun.protect ~finally:finish f
+  end
+
 (** {1 compile} *)
 
-let compile_cmd_run file o0 dumps =
+let compile_cmd_run file o0 dumps trace metrics =
+  with_obs trace metrics @@ fun () ->
   try
     let p = parse_file file in
     let options =
@@ -103,7 +151,9 @@ let dump_flags =
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a C file and dump IRs.")
-    Term.(const compile_cmd_run $ file_arg $ o0_flag $ dump_flags)
+    Term.(
+      const compile_cmd_run $ file_arg $ o0_flag $ dump_flags $ trace_arg
+      $ metrics_flag)
 
 (** {1 run} *)
 
@@ -129,7 +179,8 @@ let parse_args (spec : string) (sg : signature) : value list option =
         (List.combine parts sg.sig_args)
         (Some [])
 
-let run_cmd_run file level entry args_spec fuel o0 =
+let run_cmd_run file level entry args_spec fuel o0 trace metrics =
+  with_obs trace metrics @@ fun () ->
   try
     let p = parse_file file in
     let symbols = Ast.prog_defs_names p in
@@ -229,7 +280,8 @@ let run_cmd =
          "Run a function of a compiled program at a chosen level, marshaled \
           through the simulation conventions.")
     Term.(
-      const run_cmd_run $ file_arg $ level $ entry $ args_spec $ fuel $ o0_flag)
+      const run_cmd_run $ file_arg $ level $ entry $ args_spec $ fuel $ o0_flag
+      $ trace_arg $ metrics_flag)
 
 (** {1 derive} *)
 

@@ -34,6 +34,18 @@ let is_pass = function Pass -> true | Fail _ -> false
 
 let fail fmt = Format.kasprintf (fun s -> Fail s) fmt
 
+(* Observability: count relation checks per convention (and their
+   outcome) so a co-execution campaign reports how much checking it
+   actually did. No-ops unless [Obs.enabled]. *)
+let record_check conv_name ok =
+  Obs.Metrics.incr_counter
+    ("coexec.checks." ^ conv_name ^ if ok then ".passed" else ".failed");
+  ok
+
+let record_query conv_name =
+  Obs.Metrics.incr_counter "coexec.queries";
+  Obs.Metrics.incr_counter ("coexec.queries." ^ conv_name)
+
 (** [check ~fuel ~l1 ~l2 ~cc_in ~cc_out ~oracle q1] marshals the source
     question [q1] through [cc_in], activates both semantics, and co-executes
     them, checking relatedness at every interaction point. [oracle] gives
@@ -48,6 +60,7 @@ let check ~fuel ~(l1 : ('s1, 'q1, 'r1, 'qo1, 'ro1) lts)
   match cc_in.Simconv.fwd_query q1 with
   | None -> fail "cc_in cannot marshal the incoming question"
   | Some (wb, q2) ->
+    record_query cc_in.Simconv.name;
     if not (l1.dom q1) then
       if l2.dom q2 then fail "domains disagree: source refuses, target accepts"
       else Pass
@@ -68,7 +81,8 @@ let check ~fuel ~(l1 : ('s1, 'q1, 'r1, 'qo1, 'ro1) lts)
             else
               match (i1, i2) with
               | Ifinal r1, Ifinal r2 ->
-                if cc_in.Simconv.chk_reply wb r1 r2 then Pass
+                if record_check cc_in.Simconv.name (cc_in.Simconv.chk_reply wb r1 r2)
+                then Pass
                 else fail "final answers are not related by the incoming convention"
               | Iexternal (m1, e1), Iexternal (m2, e2) -> (
                 (* Fig. 6(c): the simulation chooses the world relating the
@@ -77,7 +91,11 @@ let check ~fuel ~(l1 : ('s1, 'q1, 'r1, 'qo1, 'ro1) lts)
                 match cc_out.Simconv.infer_world m1 m2 with
                 | None -> fail "no world relates the outgoing questions"
                 | Some wa ->
-                  if not (cc_out.Simconv.chk_query wa m1 m2) then
+                  if
+                    not
+                      (record_check cc_out.Simconv.name
+                         (cc_out.Simconv.chk_query wa m1 m2))
+                  then
                     fail "outgoing questions are not related by the outgoing convention"
                   else (
                     match oracle m1 with
@@ -116,13 +134,14 @@ let check_with_oracles ~fuel ~l1 ~l2 ~(cc_in : ('wb, 'q1, 'q2, 'r1, 'r2) Simconv
   match cc_in.Simconv.fwd_query q1 with
   | None -> fail "cc_in cannot marshal the incoming question"
   | Some (wb, q2) ->
+    record_query cc_in.Simconv.name;
     let o1 = run ~fuel l1 ~oracle:oracle1 q1 in
     let o2 = run ~fuel l2 ~oracle:oracle2 q2 in
     let t1 = outcome_trace o1 and t2 = outcome_trace o2 in
     (match (o1, o2) with
     | Final (_, r1), Final (_, r2) ->
       if not (Events.trace_equal t1 t2) then fail "event traces diverge"
-      else if reply_ok wb r1 r2 then Pass
+      else if record_check cc_in.Simconv.name (reply_ok wb r1 r2) then Pass
       else fail "final answers are not related"
     | Goes_wrong _, _ -> Pass (* source UB licenses any target behavior *)
     | Refused, Refused -> Pass

@@ -55,28 +55,111 @@ type artifacts = {
 
 let when_opt flag pass p = if flag then pass p else ok p
 
+(* Observability (ISSUE 1 tentpole, part 3): each executed pass runs
+   inside a span carrying its wall time and the program shape
+   before/after, and feeds a per-pass duration histogram in the shared
+   metrics registry — the same numbers the bench harness exports. When
+   [Obs.enabled] is off this is a single boolean test per pass. *)
+let observed name ~(before : 'a -> Sizes.shape) ~(after : 'b -> Sizes.shape)
+    (pass : 'a -> 'b Errors.t) (p : 'a) : 'b Errors.t =
+  if not !Obs.enabled then pass p
+  else
+    Obs.Trace.with_span ("pass:" ^ name) (fun () ->
+        let sb = before p in
+        Obs.Trace.add_attr "functions_before" (Obs.Json.num_of_int sb.Sizes.functions);
+        Obs.Trace.add_attr "size_before" (Obs.Json.num_of_int sb.Sizes.size);
+        let r = Obs.Metrics.time ("pass." ^ name) (fun () -> pass p) in
+        (match r with
+        | Ok q ->
+          let sa = after q in
+          Obs.Trace.add_attr "functions_after"
+            (Obs.Json.num_of_int sa.Sizes.functions);
+          Obs.Trace.add_attr "size_after" (Obs.Json.num_of_int sa.Sizes.size)
+        | Error _ -> Obs.Trace.add_attr "failed" (Obs.Json.Bool true));
+        r)
+
 let compile ?(options = all_optims) (p : C.program) : artifacts Errors.t =
-  let* clight2 = Passes.Simpllocals.transf_program p in
-  let* csharpminor = Passes.Cshmgen.transf_program clight2 in
-  let* cminor = Passes.Cminorgen.transf_program csharpminor in
-  let* cminorsel = Passes.Selection.transf_program cminor in
-  let* rtl_gen = Passes.Rtlgen.transf_program cminorsel in
-  let* rtl1 = when_opt options.opt_tailcall Passes.Tailcall.transf_program rtl_gen in
-  let* rtl2 = when_opt options.opt_inlining Passes.Inlining.transf_program rtl1 in
-  let* rtl3 = Passes.Renumber.transf_program rtl2 in
-  let* rtl4 = when_opt options.opt_constprop Passes.Constprop.transf_program rtl3 in
-  let* rtl5 = when_opt options.opt_cse Passes.Cse.transf_program rtl4 in
-  let* rtl = when_opt options.opt_deadcode Passes.Deadcode.transf_program rtl5 in
-  let* ltl = Passes.Allocation.transf_program rtl in
+  Obs.Trace.with_span "compile" @@ fun () ->
+  let pass = observed in
+  let* clight2 =
+    pass "SimplLocals" ~before:Sizes.clight ~after:Sizes.clight
+      Passes.Simpllocals.transf_program p
+  in
+  let* csharpminor =
+    pass "Cshmgen" ~before:Sizes.clight ~after:Sizes.csharpminor
+      Passes.Cshmgen.transf_program clight2
+  in
+  let* cminor =
+    pass "Cminorgen" ~before:Sizes.csharpminor ~after:Sizes.cminor
+      Passes.Cminorgen.transf_program csharpminor
+  in
+  let* cminorsel =
+    pass "Selection" ~before:Sizes.cminor ~after:Sizes.cminorsel
+      Passes.Selection.transf_program cminor
+  in
+  let* rtl_gen =
+    pass "RTLgen" ~before:Sizes.cminorsel ~after:Sizes.rtl
+      Passes.Rtlgen.transf_program cminorsel
+  in
+  let rtl_pass name = pass name ~before:Sizes.rtl ~after:Sizes.rtl in
+  let* rtl1 =
+    when_opt options.opt_tailcall
+      (rtl_pass "Tailcall" Passes.Tailcall.transf_program)
+      rtl_gen
+  in
+  let* rtl2 =
+    when_opt options.opt_inlining
+      (rtl_pass "Inlining" Passes.Inlining.transf_program)
+      rtl1
+  in
+  let* rtl3 = rtl_pass "Renumber" Passes.Renumber.transf_program rtl2 in
+  let* rtl4 =
+    when_opt options.opt_constprop
+      (rtl_pass "Constprop" Passes.Constprop.transf_program)
+      rtl3
+  in
+  let* rtl5 = when_opt options.opt_cse (rtl_pass "CSE" Passes.Cse.transf_program) rtl4 in
+  let* rtl =
+    when_opt options.opt_deadcode
+      (rtl_pass "Deadcode" Passes.Deadcode.transf_program)
+      rtl5
+  in
+  let* ltl =
+    pass "Allocation" ~before:Sizes.rtl ~after:Sizes.ltl
+      Passes.Allocation.transf_program rtl
+  in
   (* Translation validation of the untrusted allocator (CompCert-style):
      a miscompilation in Allocation aborts the compilation here. *)
-  let* () = Passes.Alloc_check.validate_program rtl ltl in
-  let* ltl_tunneled = Passes.Tunneling.transf_program ltl in
-  let* linear = Passes.Linearize.transf_program ltl_tunneled in
-  let* linear_clean = Passes.Cleanuplabels.transf_program linear in
-  let* linear_dbg = Passes.Debugvar.transf_program linear_clean in
-  let* mach = Passes.Stacking.transf_program linear_dbg in
-  let* asm = Passes.Asmgen.transf_program mach in
+  let* () =
+    pass "AllocCheck" ~before:Sizes.ltl
+      ~after:(fun () -> Sizes.ltl ltl)
+      (fun ltl -> Passes.Alloc_check.validate_program rtl ltl)
+      ltl
+  in
+  let* ltl_tunneled =
+    pass "Tunneling" ~before:Sizes.ltl ~after:Sizes.ltl
+      Passes.Tunneling.transf_program ltl
+  in
+  let* linear =
+    pass "Linearize" ~before:Sizes.ltl ~after:Sizes.linear
+      Passes.Linearize.transf_program ltl_tunneled
+  in
+  let* linear_clean =
+    pass "CleanupLabels" ~before:Sizes.linear ~after:Sizes.linear
+      Passes.Cleanuplabels.transf_program linear
+  in
+  let* linear_dbg =
+    pass "Debugvar" ~before:Sizes.linear ~after:Sizes.linear
+      Passes.Debugvar.transf_program linear_clean
+  in
+  let* mach =
+    pass "Stacking" ~before:Sizes.linear ~after:Sizes.mach
+      Passes.Stacking.transf_program linear_dbg
+  in
+  let* asm =
+    pass "Asmgen" ~before:Sizes.mach ~after:Sizes.asm
+      Passes.Asmgen.transf_program mach
+  in
   ok
     {
       clight1 = p;

@@ -47,9 +47,17 @@ let main_query ~symbols ~(defs : ('f, 'v) Ast.program) ?(name = "main")
   | Some b, Some m -> Some { cq_vf = Vptr (b, 0); cq_sg = sg; cq_args = args; cq_mem = m }
   | _ -> None
 
+(* Runs go through [Obs_lts.run]: identical to [Smallstep.run] when
+   observability is off, and a span plus replayable interaction log
+   (question, steps, calls/replies, final answer, fuel) when on. *)
+
 (** Run a [C]-interfaced semantics (Clight through RTL) on a C query. *)
 let run_c_level lts ~fuel ?(oracle = fun _ -> None) (q : c_query) : c_outcome =
-  Smallstep.run ~fuel lts ~oracle q
+  Obs_lts.run
+    ~pp_qi:(Format.asprintf "%a" pp_c_query)
+    ~pp_ri:(Format.asprintf "%a" pp_c_reply)
+    ~pp_qo:(Format.asprintf "%a" pp_c_query)
+    ~fuel lts ~oracle q
 
 (** Run an [L]-interfaced semantics (LTL, Linear) on a C query through
     [CL]. *)
@@ -58,7 +66,7 @@ let run_l_level lts ~fuel (q : c_query) :
   match cc_cl.Simconv.fwd_query q with
   | None -> Error "CL cannot marshal the query"
   | Some (w, lq) ->
-    let o = Smallstep.run ~fuel lts ~oracle:(fun _ -> None) lq in
+    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) lq in
     map_outcome (fun r -> cc_cl.Simconv.bwd_reply w r) o
 
 (** Run Mach on a C query through [CL · LM]. *)
@@ -66,7 +74,7 @@ let run_m_level lts ~fuel (q : c_query) : (c_outcome, string) result =
   match cc_cm.Simconv.fwd_query q with
   | None -> Error "CL.LM cannot marshal the query"
   | Some (w, mq) ->
-    let o = Smallstep.run ~fuel lts ~oracle:(fun _ -> None) mq in
+    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) mq in
     map_outcome (fun r -> cc_cm.Simconv.bwd_reply w r) o
 
 (** Run Asm on a C query through [CA = CL · LM · MA]. *)
@@ -74,7 +82,7 @@ let run_a_level lts ~fuel (q : c_query) : (c_outcome, string) result =
   match cc_ca.Simconv.fwd_query q with
   | None -> Error "CA cannot marshal the query"
   | Some (w, aq) ->
-    let o = Smallstep.run ~fuel lts ~oracle:(fun _ -> None) aq in
+    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) aq in
     map_outcome (fun r -> cc_ca.Simconv.bwd_reply w r) o
 
 (** The refinement check on outcomes used by the differential harness:

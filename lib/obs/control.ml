@@ -1,0 +1,20 @@
+(** The process-global observability switch.
+
+    Everything in [Obs] is gated on this flag: when it is off (the
+    default), instrumented code paths reduce to a single boolean load,
+    so shipping the instrumentation costs nothing. Turn it on from the
+    CLI ([occo --trace]/[--metrics]), the [OCCO_TRACE] environment
+    variable, or programmatically from tests and bench. *)
+
+let enabled = ref false
+
+let with_enabled f =
+  let saved = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+(** Monotonic-enough wall clock in microseconds. [Unix.gettimeofday]
+    is what the toolchain gives us without an mtime dependency; spans
+    additionally carry a session-relative sequence number so ordering
+    survives clock granularity. *)
+let now_us () = Unix.gettimeofday () *. 1e6

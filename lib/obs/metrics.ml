@@ -1,0 +1,141 @@
+(** Metrics registry: named counters, gauges, and duration histograms.
+
+    One process-global registry, shared by the driver, the co-execution
+    checker and the bench harness, so every consumer reads the same
+    numbers (the bench's [BENCH_pipeline.json] is a [dump_json] of this
+    registry, not a private timing table). Recording is gated on
+    [Control.enabled]; reading and dumping always work. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms
+
+(* ------------------------------------------------------------------ *)
+(* Recording (no-ops while observability is off)                      *)
+(* ------------------------------------------------------------------ *)
+
+let incr_counter ?(by = 1) name =
+  if !Control.enabled then
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counters name (ref by)
+
+let set_gauge name v =
+  if !Control.enabled then
+    match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add gauges name (ref v)
+
+(** Record one observation (for durations: microseconds). *)
+let observe name v =
+  if !Control.enabled then
+    match Hashtbl.find_opt histograms name with
+    | Some h ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      h.min <- Float.min h.min v;
+      h.max <- Float.max h.max v
+    | None -> Hashtbl.add histograms name { count = 1; sum = v; min = v; max = v }
+
+(** [time name f] runs [f ()] and records its wall time (µs) in the
+    [name] histogram. When observability is off this is exactly [f ()]. *)
+let time name f =
+  if not !Control.enabled then f ()
+  else begin
+    let t0 = Control.now_us () in
+    Fun.protect ~finally:(fun () -> observe name (Control.now_us () -. t0)) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let get_counter name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let get_gauge name =
+  Option.map ( ! ) (Hashtbl.find_opt gauges name)
+
+type stats = { count : int; sum : float; min : float; max : float; mean : float }
+
+let histogram_stats name : stats option =
+  Option.map
+    (fun (h : histogram) ->
+      {
+        count = h.count;
+        sum = h.sum;
+        min = h.min;
+        max = h.max;
+        mean = (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
+      })
+    (Hashtbl.find_opt histograms name)
+
+let histogram_names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) histograms [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Snapshot of the whole registry:
+    [{"counters": {..}, "gauges": {..}, "histograms": {name:
+     {"count","sum_us","min_us","max_us","mean_us"}}}]. *)
+let dump_json () : Json.t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, r) -> (k, Json.num_of_int !r)) (sorted_bindings counters))
+      );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (k, r) -> (k, Json.Num !r)) (sorted_bindings gauges)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, (h : histogram)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.num_of_int h.count);
+                     ("sum_us", Json.Num h.sum);
+                     ("min_us", Json.Num h.min);
+                     ("max_us", Json.Num h.max);
+                     ( "mean_us",
+                       Json.Num
+                         (if h.count = 0 then 0. else h.sum /. float_of_int h.count)
+                     );
+                   ] ))
+             (sorted_bindings histograms)) );
+    ]
+
+let pp_summary fmt () =
+  List.iter
+    (fun (k, r) -> Format.fprintf fmt "%-40s %10d@." k !r)
+    (sorted_bindings counters);
+  List.iter
+    (fun (k, r) -> Format.fprintf fmt "%-40s %10.2f@." k !r)
+    (sorted_bindings gauges);
+  List.iter
+    (fun (k, (h : histogram)) ->
+      Format.fprintf fmt "%-40s n=%-6d mean=%.1fus min=%.1fus max=%.1fus@." k
+        h.count
+        (if h.count = 0 then 0. else h.sum /. float_of_int h.count)
+        h.min h.max)
+    (sorted_bindings histograms)

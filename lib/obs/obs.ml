@@ -1,0 +1,37 @@
+(** Observability layer (ISSUE 1 tentpole): span tracing, metrics, and
+    interaction recording for the pipeline.
+
+    This module is the library's interface; see the submodules for the
+    pieces:
+
+    - {!Trace}: nested spans with attributes, exported as Chrome
+      trace-event JSON or a printed tree;
+    - {!Metrics}: process-global counters / gauges / duration
+      histograms with a JSON snapshot;
+    - {!Interaction_log}: the replayable log of LTS interaction points;
+    - {!Json}: the minimal JSON tree the exporters print (and a parser,
+      so tests can validate exported traces).
+
+    Everything is off unless {!enabled} is set (one boolean load per
+    instrumentation site when off). *)
+
+module Json = Json
+module Trace = Trace
+module Metrics = Metrics
+module Interaction_log = Interaction_log
+
+(** The process-global switch gating all recording. *)
+let enabled = Control.enabled
+
+(** Run a thunk with observability forced on, restoring the previous
+    state afterwards. *)
+let with_enabled = Control.with_enabled
+
+(** Wall-clock microseconds, the timebase of spans and histograms. *)
+let now_us = Control.now_us
+
+(** Clear every sink: spans, metrics, interaction log. *)
+let reset_all () =
+  Trace.reset ();
+  Metrics.reset ();
+  Interaction_log.reset ()

@@ -1,0 +1,153 @@
+(** Span tracer: nested, timestamped spans with attributes.
+
+    A span covers one dynamic region of execution — a compiler pass, an
+    LTS run, a co-execution check. Spans nest: the sink keeps a stack of
+    open spans, and a span closed while another is open becomes its
+    child. Completed top-level spans accumulate in a process-global
+    list, exportable as Chrome trace-event JSON (loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}) or as a
+    human-readable tree.
+
+    Every entry point checks [Control.enabled] first, so an untraced run
+    pays one boolean load per instrumentation site. *)
+
+type span = {
+  name : string;
+  seq : int;  (** session-unique, monotone; orders spans when the clock can't *)
+  start_us : float;
+  mutable dur_us : float;
+  mutable attrs : (string * Json.t) list;
+  mutable children : span list;  (** reverse order while open *)
+}
+
+(* The sink: open-span stack, finished roots (reverse order), and a
+   sequence counter. All process-global, like the registry in
+   [Metrics]. *)
+let open_stack : span list ref = ref []
+let finished : span list ref = ref []
+let seq_counter = ref 0
+
+let reset () =
+  open_stack := [];
+  finished := [];
+  seq_counter := 0
+
+let next_seq () =
+  incr seq_counter;
+  !seq_counter
+
+let current () = match !open_stack with [] -> None | sp :: _ -> Some sp
+
+(** Attach an attribute to the innermost open span (no-op when tracing
+    is off or no span is open). *)
+let add_attr key value =
+  if !Control.enabled then
+    match current () with
+    | Some sp -> sp.attrs <- (key, value) :: sp.attrs
+    | None -> ()
+
+let push name attrs =
+  let sp =
+    {
+      name;
+      seq = next_seq ();
+      start_us = Control.now_us ();
+      dur_us = 0.;
+      attrs;
+      children = [];
+    }
+  in
+  open_stack := sp :: !open_stack;
+  sp
+
+let pop sp =
+  sp.dur_us <- Float.max 0. (Control.now_us () -. sp.start_us);
+  sp.attrs <- List.rev sp.attrs;
+  sp.children <- List.rev sp.children;
+  (match !open_stack with
+  | top :: rest when top == sp -> open_stack := rest
+  | _ ->
+    (* An exception unwound past nested spans without closing them:
+       drop everything above [sp] rather than corrupt the stack. *)
+    let rec unwind = function
+      | top :: rest when top == sp -> rest
+      | _ :: rest -> unwind rest
+      | [] -> []
+    in
+    open_stack := unwind !open_stack);
+  match !open_stack with
+  | parent :: _ -> parent.children <- sp :: parent.children
+  | [] -> finished := sp :: !finished
+
+(** [with_span name f] runs [f ()] inside a span. The span is closed
+    (and its duration recorded) even if [f] raises. When tracing is
+    disabled this is exactly a call to [f]. *)
+let with_span ?(attrs = []) name f =
+  if not !Control.enabled then f ()
+  else begin
+    let sp = push name attrs in
+    Fun.protect ~finally:(fun () -> pop sp) f
+  end
+
+(** Completed top-level spans, oldest first. *)
+let roots () = List.rev !finished
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Chrome trace-event JSON: one complete ("ph":"X") event per span,
+    timestamps and durations in microseconds, all on pid/tid 1 so the
+    nesting is reconstructed from the intervals. *)
+let to_chrome_json () : Json.t =
+  (* Timestamps are rebased to the earliest span so they stay small
+     (and exactly representable) regardless of the epoch. *)
+  let t0 =
+    List.fold_left
+      (fun acc sp -> Float.min acc sp.start_us)
+      infinity (roots ())
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let rec events sp acc =
+    let ev =
+      Json.Obj
+        [
+          ("name", Json.Str sp.name);
+          ("cat", Json.Str "occo");
+          ("ph", Json.Str "X");
+          ("ts", Json.Num (sp.start_us -. t0));
+          ("dur", Json.Num sp.dur_us);
+          ("pid", Json.num_of_int 1);
+          ("tid", Json.num_of_int 1);
+          ("args", Json.Obj sp.attrs);
+        ]
+    in
+    List.fold_left (fun acc child -> events child acc) (ev :: acc) sp.children
+  in
+  let evs = List.fold_left (fun acc sp -> events sp acc) [] (roots ()) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let export_chrome (path : string) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_chrome_json ())))
+
+(** Human-readable tree of the recorded spans. *)
+let pp_tree fmt () =
+  let rec pp_span indent sp =
+    Format.fprintf fmt "%s%s  %.3f ms" indent sp.name (sp.dur_us /. 1e3);
+    (match sp.attrs with
+    | [] -> ()
+    | attrs ->
+      Format.fprintf fmt "  {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) attrs)));
+    Format.pp_print_newline fmt ();
+    List.iter (pp_span (indent ^ "  ")) sp.children
+  in
+  List.iter (pp_span "") (roots ())

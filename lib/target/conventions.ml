@@ -1,0 +1,73 @@
+(** The calling-convention layout (DESIGN.md system #4, CompCert's
+    [Conventions]): where arguments and results of a function with a
+    given signature live, as locations. This is the raw material of the
+    structural simulation conventions [CL], [LM] and [MA]
+    (Appendix C).
+
+    Following the System V AMD64 ABI shape: the first six integer
+    arguments go in DI, SI, DX, CX, R8, R9; the first four float
+    arguments in X0–X3; everything else spills to [Outgoing] stack
+    slots, one 8-byte word each, in argument order. Integer results come
+    back in AX, float results in X0. *)
+
+open Memory.Mtypes
+open Memory.Values
+open Machregs
+open Locations
+
+let int_param_regs = [ DI; SI; DX; CX; R8; R9 ]
+let float_param_regs = [ X0; X1; X2; X3 ]
+
+(** [loc_arguments sg] is the list of locations of the arguments of a
+    call with signature [sg], in argument order. *)
+let loc_arguments (sg : signature) : loc list =
+  let rec go ints floats ofs = function
+    | [] -> []
+    | t :: rest ->
+      if is_float_typ t then
+        match floats with
+        | r :: floats' -> R r :: go ints floats' ofs rest
+        | [] -> S (Outgoing, ofs, t) :: go ints floats (ofs + typ_words t) rest
+      else (
+        match ints with
+        | r :: ints' -> R r :: go ints' floats ofs rest
+        | [] -> S (Outgoing, ofs, t) :: go ints floats (ofs + typ_words t) rest)
+  in
+  go int_param_regs float_param_regs 0 sg.sig_args
+
+(** Number of 8-byte words of [Outgoing] stack space the arguments of
+    [sg] occupy (the size of the in-memory argument region of
+    Appendix C.2, Fig. 13). *)
+let size_arguments (sg : signature) : int =
+  List.fold_left
+    (fun acc l ->
+      match l with S (Outgoing, ofs, t) -> max acc (ofs + typ_words t) | _ -> acc)
+    0 (loc_arguments sg)
+
+(** The register holding the result of a call with signature [sg]. A
+    void result conventionally reads AX (whose content is then
+    irrelevant). *)
+let loc_result (sg : signature) : mreg =
+  match sg.sig_res with
+  | Some t when is_float_typ t -> X0
+  | _ -> AX
+
+(** [build_arguments sg args ls] places [args] in the argument locations
+    of [sg]; [None] if the argument count does not match the
+    signature. *)
+let build_arguments (sg : signature) (args : value list) (ls : Locset.t) :
+    Locset.t option =
+  let locs = loc_arguments sg in
+  if List.length locs <> List.length args then None
+  else Some (List.fold_left2 (fun ls l v -> Locset.set l v ls) ls locs args)
+
+(** [extract_arguments sg ls] reads the arguments of [sg] back out of a
+    locset, in argument order. *)
+let extract_arguments (sg : signature) (ls : Locset.t) : value list =
+  List.map (fun l -> Locset.get l ls) (loc_arguments sg)
+
+let extract_result (sg : signature) (ls : Locset.t) : value =
+  Locset.get (R (loc_result sg)) ls
+
+let set_result (sg : signature) (v : value) (ls : Locset.t) : Locset.t =
+  Locset.set (R (loc_result sg)) v ls

@@ -1,0 +1,105 @@
+(** Locations: machine registers and abstract stack slots, and location
+    maps (DESIGN.md system #4, CompCert's [Locations]).
+
+    A location is either a machine register or a typed stack slot. Slots
+    come in three kinds, relative to an activation:
+
+    - [Local]: spill slots private to the activation;
+    - [Incoming]: the argument slots the activation receives (the
+      caller's [Outgoing]);
+    - [Outgoing]: the argument slots for calls the activation makes.
+
+    Slots are indexed in 8-byte words ([typ_words t = 1] for every
+    machine type on this 64-bit target), so two slots of the same kind
+    overlap exactly when their word ranges intersect. *)
+
+open Memory.Mtypes
+open Memory.Values
+open Machregs
+
+type slot_kind = Local | Incoming | Outgoing
+
+let pp_slot_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with Local -> "local" | Incoming -> "incoming" | Outgoing -> "outgoing")
+
+type loc =
+  | R of mreg
+  | S of slot_kind * int * typ
+
+let loc_equal (a : loc) (b : loc) = a = b
+
+(** [locs_overlap l1 l2]: do the two locations denote overlapping
+    storage? Registers overlap only with themselves; slots of the same
+    kind overlap when their word ranges intersect (two slots at the same
+    offset with different types are {e distinct} locations over the
+    {e same} storage). Registers never overlap slots. *)
+let locs_overlap (l1 : loc) (l2 : loc) =
+  match (l1, l2) with
+  | R r1, R r2 -> r1 = r2
+  | S (k1, o1, t1), S (k2, o2, t2) ->
+    k1 = k2 && o1 < o2 + typ_words t2 && o2 < o1 + typ_words t1
+  | R _, S _ | S _, R _ -> false
+
+let pp_loc fmt = function
+  | R r -> pp_mreg fmt r
+  | S (k, o, t) -> Format.fprintf fmt "%a(%d):%a" pp_slot_kind k o pp_typ t
+
+module LocMap = Map.Make (struct
+  type t = loc
+
+  let compare = compare
+end)
+
+(** {1 Location maps}
+
+    The locset component of the [L] language interface (paper, Table 2):
+    a total map from locations to values, defaulting to [Vundef].
+
+    Writes follow CompCert's [Locmap.set] discipline:
+
+    - writing a register stores the value as-is;
+    - writing a slot {e normalizes} the value by the slot's type (an
+      ill-typed slot write stores [Vundef], mirroring the in-memory
+      realization where a store followed by a differently-typed load
+      yields garbage), and {e invalidates} every overlapping slot
+      binding of a different type. *)
+
+module Locset = struct
+  type t = value LocMap.t
+
+  let init : t = LocMap.empty
+  let get (l : loc) (m : t) = Option.value (LocMap.find_opt l m) ~default:Vundef
+
+  let set (l : loc) (v : value) (m : t) : t =
+    match l with
+    | R _ -> LocMap.add l v m
+    | S (_, _, ty) ->
+      let m =
+        LocMap.filter (fun l' _ -> not (locs_overlap l l' && l' <> l)) m
+      in
+      LocMap.add l (if has_type v ty then v else Vundef) m
+
+  (** The canonical locset after an environment call: callee-save
+      registers keep their value, everything else (caller-save registers
+      and all stack slots, which belong to the finished activation) is
+      forgotten. *)
+  let undef_caller_save (m : t) : t =
+    LocMap.filter
+      (fun l _ -> match l with R r -> is_callee_save r | S _ -> false)
+      m
+
+  let equal (a : t) (b : t) =
+    LocMap.for_all (fun l v -> get l b = v) a
+    && LocMap.for_all (fun l v -> get l a = v) b
+
+  let pp fmt (m : t) =
+    Format.fprintf fmt "@[<h>{";
+    LocMap.iter
+      (fun l v ->
+        match v with
+        | Vundef -> ()
+        | v -> Format.fprintf fmt " %a=%a" pp_loc l Memory.Values.pp v)
+      m;
+    Format.fprintf fmt " }@]"
+end

@@ -1,0 +1,86 @@
+(** Machine registers of the abstract x86-64-flavored target
+    (DESIGN.md system #4, CompCert's [Machregs]).
+
+    The allocatable machine registers: 14 integer registers (the 16
+    architectural ones minus SP, which is a dedicated [preg] above Mach,
+    and R11, the assembler scratch invisible above Asm) and 8 SSE
+    registers. The callee-save partition follows the System V AMD64 ABI:
+    BX, BP and R12–R15 survive calls; everything else — including all
+    float registers — is destroyed. *)
+
+open Memory.Mtypes
+open Memory.Values
+
+type mreg =
+  (* integer registers *)
+  | AX | BX | CX | DX | SI | DI | BP
+  | R8 | R9 | R10 | R12 | R13 | R14 | R15
+  (* float (SSE) registers *)
+  | X0 | X1 | X2 | X3 | X4 | X5 | X6 | X7
+
+let all_mregs =
+  [
+    AX; BX; CX; DX; SI; DI; BP;
+    R8; R9; R10; R12; R13; R14; R15;
+    X0; X1; X2; X3; X4; X5; X6; X7;
+  ]
+
+let mreg_name = function
+  | AX -> "ax" | BX -> "bx" | CX -> "cx" | DX -> "dx"
+  | SI -> "si" | DI -> "di" | BP -> "bp"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+  | X0 -> "x0" | X1 -> "x1" | X2 -> "x2" | X3 -> "x3"
+  | X4 -> "x4" | X5 -> "x5" | X6 -> "x6" | X7 -> "x7"
+
+let pp_mreg fmt r = Format.pp_print_string fmt (mreg_name r)
+let compare_mreg : mreg -> mreg -> int = Stdlib.compare
+
+let is_float_mreg = function
+  | X0 | X1 | X2 | X3 | X4 | X5 | X6 | X7 -> true
+  | _ -> false
+
+let is_float_typ = function
+  | Tfloat | Tsingle -> true
+  | Tint | Tlong | Tany64 -> false
+
+(** System V AMD64 callee-save registers. *)
+let callee_save_regs = [ BX; BP; R12; R13; R14; R15 ]
+
+let is_callee_save r = List.mem r callee_save_regs
+
+(** Registers whose value is clobbered by a function call. *)
+let destroyed_at_call =
+  List.filter (fun r -> not (is_callee_save r)) all_mregs
+
+(** {1 Machine register files}
+
+    A total map from machine registers to values, defaulting to
+    [Vundef]. This is the register-file component of the [M] language
+    interface (paper, Table 2). *)
+
+module Regfile = struct
+  module RMap = Map.Make (struct
+    type t = mreg
+
+    let compare = compare_mreg
+  end)
+
+  type t = value RMap.t
+
+  let init : t = RMap.empty
+  let get r (rf : t) = Option.value (RMap.find_opt r rf) ~default:Vundef
+  let set r v (rf : t) : t = RMap.add r v rf
+  let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
+  let equal (a : t) (b : t) = List.for_all (fun r -> get r a = get r b) all_mregs
+
+  let pp fmt (rf : t) =
+    Format.fprintf fmt "@[<h>{";
+    List.iter
+      (fun r ->
+        match get r rf with
+        | Vundef -> ()
+        | v -> Format.fprintf fmt " %a=%a" pp_mreg r Memory.Values.pp v)
+      all_mregs;
+    Format.fprintf fmt " }@]"
+end

@@ -8,6 +8,7 @@ let () =
       Test_meminj.suite;
       Test_target.suite;
       Test_smallstep.suite;
+      Test_obs.suite;
       Test_callconv.suite;
       Test_frontend.suite;
       Test_pipeline.suite;
