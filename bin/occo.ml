@@ -349,8 +349,18 @@ let fuzz_cmd =
             | Ok _ -> if verbose then Format.printf "[%d/%d] ok@." i n
             | Error e ->
               incr failures;
-              Format.printf "=== FAILURE %d (program %d) ===@.%s@.--- program ---@.%s@.@."
-                !failures i e src)
+              (* Shrink the counterexample: keep reductions on which the
+                 differential check still fails (parse errors and other
+                 escapes disqualify a candidate). *)
+              let still_failing s =
+                match Driver.Differential.differential s with
+                | Error _ -> true
+                | Ok _ | (exception _) -> false
+              in
+              let small = Fuzz.Gen.minimize ~still_failing src in
+              Format.printf
+                "=== FAILURE %d (program %d) ===@.%s@.--- program ---@.%s@.--- minimized ---@.%s@.@."
+                !failures i e src small)
           done;
           Format.printf "%d programs fuzzed, %d failures@." n !failures;
           if !failures = 0 then 0 else 1)
@@ -358,10 +368,83 @@ let fuzz_cmd =
       $ Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED")
       $ Arg.(value & flag & info [ "verbose" ]))
 
+(** {1 chaos}
+
+    The fault-injection campaign: seeded semantic mutants of the
+    pipeline's own IRs pushed through the differential harness and the
+    co-execution checker, plus adversarial environment oracles at the C
+    and A levels. Reports a kill-rate matrix (mutant class × detector)
+    and dumps survivors for triage. Exit 0 iff every must-kill-class
+    mutant was killed and every chaos mode was diagnosed. *)
+
+let chaos_cmd_run seed mutants json_out trace metrics =
+  with_obs trace metrics @@ fun () ->
+  match Obs.with_enabled (fun () -> Faultinject.Campaign.run ~seed ~mutants ()) with
+  | Error d ->
+    Format.eprintf "occo chaos: %a@." Support.Diagnostics.pp d;
+    1
+  | Ok rp ->
+    let open Faultinject.Campaign in
+    Format.printf "fault-injection campaign: seed %d, %d mutants requested, %d tried@."
+      rp.rp_seed rp.rp_requested (List.length rp.rp_results);
+    Format.printf "@.%a@." pp_matrix rp;
+    Format.printf "%a@." pp_chaos rp;
+    Format.printf "%a@." pp_survivors rp;
+    (match json_out with
+    | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (to_json rp));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "campaign report written to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "occo chaos: cannot write report: %s@." msg)
+    | None -> ());
+    let mk = must_kill_ok rp and ck = chaos_ok rp in
+    if not mk then
+      Format.printf "FAIL: a must-kill mutant class escaped all detectors@.";
+    if not ck then
+      Format.printf "FAIL: a chaos mode was not diagnosed as expected@.";
+    if mk && ck then 0 else 1
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign: semantic mutants of the \
+          compiler's own IRs pushed through the differential harness and \
+          co-execution checker (kill-rate matrix, survivors dumped), plus \
+          adversarial environment oracles that must each be diagnosed.")
+    Term.(
+      const chaos_cmd_run
+      $ Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED")
+      $ Arg.(value & opt int 60 & info [ "mutants" ] ~docv:"COUNT")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "json" ] ~docv:"FILE.json"
+              ~doc:"Write the campaign report as JSON to $(docv).")
+      $ trace_arg $ metrics_flag)
+
 let main =
   Cmd.group
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
-    [ compile_cmd; run_cmd; derive_cmd; table_cmd; fuzz_cmd ]
+    [ compile_cmd; run_cmd; derive_cmd; table_cmd; fuzz_cmd; chaos_cmd ]
 
-let () = exit (Cmd.eval' main)
+(** Exit-code contract (documented in the README):
+    - 0: success;
+    - 1: the command ran and failed (compilation error, refinement
+      failure, must-kill mutant escaped, chaos mode undiagnosed);
+    - 3: internal error — an exception escaped a command. It is turned
+      into a structured diagnostic here; no raw backtrace reaches the
+      user;
+    - 124: command-line usage error (Cmdliner's convention). *)
+let () =
+  match Cmd.eval' ~catch:false main with
+  | code -> exit code
+  | exception e ->
+    let d = Support.Diagnostics.of_exn ~phase:Support.Diagnostics.Running e in
+    Format.eprintf "occo: internal error: %a@." Support.Diagnostics.pp d;
+    exit 3

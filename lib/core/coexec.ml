@@ -149,4 +149,6 @@ let check_with_oracles ~fuel ~l1 ~l2 ~(cc_in : ('wb, 'q1, 'q2, 'r1, 'r2) Simconv
     | Out_of_fuel _, _ | _, Out_of_fuel _ -> fail "fuel exhausted"
     | Refused, _ -> fail "source refuses but target proceeds"
     | _, Refused -> fail "target refuses the marshaled question"
-    | Env_stuck _, _ | _, Env_stuck _ -> fail "oracle refused an external call")
+    | Env_stuck _, _ | _, Env_stuck _ -> fail "oracle refused an external call"
+    | Env_violation (_, why), _ | _, Env_violation (_, why) ->
+      fail "oracle answered outside the convention (%s)" why)

@@ -82,10 +82,10 @@ let instrument ?(pp_qi = opaque) ?(pp_ri = opaque) ?(pp_qo = opaque)
     additionally recording the fuel the run consumed (one unit per
     executed step or external resumption, mirroring [Smallstep.run]'s
     accounting). *)
-let run ?pp_qi ?pp_ri ?pp_qo ?pp_ro ~fuel
+let run ?pp_qi ?pp_ri ?pp_qo ?pp_ro ?check_reply ~fuel
     (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) ~(oracle : 'qo -> 'ro option) q :
     ('ri, 'qo) outcome =
-  if not !Obs.enabled then Smallstep.run ~fuel l ~oracle q
+  if not !Obs.enabled then Smallstep.run ?check_reply ~fuel l ~oracle q
   else begin
     let il = instrument ?pp_qi ?pp_ri ?pp_qo ?pp_ro l in
     let used = ref 0 in
@@ -106,7 +106,7 @@ let run ?pp_qi ?pp_ri ?pp_qo ?pp_ro ~fuel
     in
     let o =
       Obs.Trace.with_span ("run:" ^ l.name) (fun () ->
-          Smallstep.run ~fuel counting ~oracle q)
+          Smallstep.run ?check_reply ~fuel counting ~oracle q)
     in
     Obs.Interaction_log.record (Obs.Interaction_log.Fuel_consumed !used);
     (match o with

@@ -48,6 +48,8 @@ type ('ri, 'qo) outcome =
   | Final of Events.trace * 'ri  (** terminated with an answer *)
   | Goes_wrong of Events.trace * string  (** stuck state (undefined behavior) *)
   | Env_stuck of Events.trace * 'qo  (** the oracle refused an external call *)
+  | Env_violation of Events.trace * string
+      (** the oracle's answer broke the simulation convention *)
   | Refused  (** the incoming question is outside [D] or has no initial state *)
   | Out_of_fuel of Events.trace
 
@@ -55,16 +57,27 @@ let pp_outcome pp_ri fmt = function
   | Final (_, r) -> Format.fprintf fmt "final %a" pp_ri r
   | Goes_wrong (_, why) -> Format.fprintf fmt "goes wrong (%s)" why
   | Env_stuck (_, _) -> Format.fprintf fmt "environment stuck"
+  | Env_violation (_, why) ->
+    Format.fprintf fmt "environment violation (%s)" why
   | Refused -> Format.fprintf fmt "query refused"
   | Out_of_fuel _ -> Format.fprintf fmt "out of fuel"
 
 let outcome_trace = function
-  | Final (t, _) | Goes_wrong (t, _) | Env_stuck (t, _) | Out_of_fuel t -> t
+  | Final (t, _) | Goes_wrong (t, _) | Env_stuck (t, _) | Env_violation (t, _)
+  | Out_of_fuel t ->
+    t
   | Refused -> []
 
 (** [run ~fuel lts ~oracle q] activates [lts] on [q] and runs it to
-    completion, answering outgoing questions with [oracle]. *)
-let run ~fuel (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) ~(oracle : 'qo -> 'ro option) q :
+    completion, answering outgoing questions with [oracle].
+
+    [check_reply], when given, validates each oracle answer against the
+    question it answers (the executable form of the convention's [A•]
+    side); a rejected answer ends the run with [Env_violation] — a
+    diagnosed outcome — instead of feeding a convention-breaking value
+    into the component. *)
+let run ?(check_reply = fun _ _ -> Ok ()) ~fuel
+    (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) ~(oracle : 'qo -> 'ro option) q :
     ('ri, 'qo) outcome =
   if not (l.dom q) then Refused
   else
@@ -82,10 +95,14 @@ let run ~fuel (l : ('s, 'qi, 'ri, 'qo, 'ro) lts) ~(oracle : 'qo -> 'ro option) q
               match oracle qo with
               | None -> Env_stuck (List.rev trace, qo)
               | Some ro -> (
-                match l.after_external s ro with
-                | s' :: _ -> go (fuel - 1) trace s'
-                | [] ->
-                  Goes_wrong (List.rev trace, "no resumption after external call")))
+                match check_reply qo ro with
+                | Error why -> Env_violation (List.rev trace, why)
+                | Ok () -> (
+                  match l.after_external s ro with
+                  | s' :: _ -> go (fuel - 1) trace s'
+                  | [] ->
+                    Goes_wrong
+                      (List.rev trace, "no resumption after external call"))))
             | None -> (
               match l.step s with
               | (t, s') :: _ -> go (fuel - 1) (List.rev_append t trace) s'

@@ -30,6 +30,8 @@ type ('ri, 'qo) outcome =
   | Final of Events.trace * 'ri  (** terminated with an answer *)
   | Goes_wrong of Events.trace * string  (** stuck state (undefined behavior) *)
   | Env_stuck of Events.trace * 'qo  (** the oracle refused an external call *)
+  | Env_violation of Events.trace * string
+      (** the oracle's answer broke the simulation convention *)
   | Refused  (** question outside [D], or no initial state *)
   | Out_of_fuel of Events.trace
 
@@ -42,8 +44,12 @@ val pp_outcome :
 val outcome_trace : ('ri, 'qo) outcome -> Events.trace
 
 (** [run ~fuel lts ~oracle q] activates [lts] on [q] and runs it to
-    completion, answering outgoing questions with [oracle]. *)
+    completion, answering outgoing questions with [oracle].
+    [check_reply] validates each oracle answer against its question; a
+    rejected answer yields [Env_violation] instead of resuming with a
+    convention-breaking value. *)
 val run :
+  ?check_reply:('qo -> 'ro -> (unit, string) result) ->
   fuel:int ->
   ('s, 'qi, 'ri, 'qo, 'ro) lts ->
   oracle:('qo -> 'ro option) ->

@@ -78,89 +78,222 @@ let observed name ~(before : 'a -> Sizes.shape) ~(after : 'b -> Sizes.shape)
         | Error _ -> Obs.Trace.add_attr "failed" (Obs.Json.Bool true));
         r)
 
-let compile ?(options = all_optims) (p : C.program) : artifacts Errors.t =
+(** {1 The hardened, diagnosed pipeline}
+
+    [compile_diag] is the primary driver. Every pass runs under a guard
+    that (1) converts an [Error] result into a structured
+    {!Diagnostics.t} carrying the pass name and pipeline phase, (2)
+    catches any exception a buggy pass might raise and reports it as an
+    [Internal_error] diagnostic instead of letting it escape, and (3)
+    enforces an optional per-pass wall-clock budget. On failure the
+    caller still gets every artifact produced {e before} the failing
+    pass ({!partial_artifacts}), so downstream consumers can degrade
+    gracefully (dump what exists, report the diagnostic) instead of
+    aborting. *)
+
+module Diag = Support.Diagnostics
+
+(** The prefix of the pipeline that did complete: [pa_clight1] is always
+    the input; each later field is [Some] iff its pass ran and
+    succeeded. *)
+type partial_artifacts = {
+  pa_clight1 : C.program;
+  pa_clight2 : C.program option;
+  pa_csharpminor : Cfrontend.Csharpminor.program option;
+  pa_cminor : Middle.Cminor.program option;
+  pa_cminorsel : Middle.Cminorsel.program option;
+  pa_rtl_gen : Middle.Rtl.program option;
+  pa_rtl : Middle.Rtl.program option;
+  pa_ltl : Backend.Ltl.program option;
+  pa_ltl_tunneled : Backend.Ltl.program option;
+  pa_linear : Backend.Linear.program option;
+  pa_linear_clean : Backend.Linear.program option;
+  pa_mach : Backend.Mach.program option;
+  pa_asm : Backend.Asm.program option;
+}
+
+let empty_partial (p : C.program) : partial_artifacts =
+  {
+    pa_clight1 = p;
+    pa_clight2 = None;
+    pa_csharpminor = None;
+    pa_cminor = None;
+    pa_cminorsel = None;
+    pa_rtl_gen = None;
+    pa_rtl = None;
+    pa_ltl = None;
+    pa_ltl_tunneled = None;
+    pa_linear = None;
+    pa_linear_clean = None;
+    pa_mach = None;
+    pa_asm = None;
+  }
+
+(** The name of the last pass whose output is present in a partial. *)
+let partial_progress (pa : partial_artifacts) : string =
+  let stages =
+    [
+      ("Asmgen", pa.pa_asm <> None);
+      ("Stacking", pa.pa_mach <> None);
+      ("CleanupLabels", pa.pa_linear_clean <> None);
+      ("Linearize", pa.pa_linear <> None);
+      ("Tunneling", pa.pa_ltl_tunneled <> None);
+      ("Allocation", pa.pa_ltl <> None);
+      ("RTL optimizations", pa.pa_rtl <> None);
+      ("RTLgen", pa.pa_rtl_gen <> None);
+      ("Selection", pa.pa_cminorsel <> None);
+      ("Cminorgen", pa.pa_cminor <> None);
+      ("Cshmgen", pa.pa_csharpminor <> None);
+      ("SimplLocals", pa.pa_clight2 <> None);
+    ]
+  in
+  match List.find_opt snd stages with
+  | Some (name, _) -> name
+  | None -> "source"
+
+(** A diagnosed compilation failure, with the artifacts that did build. *)
+type failure = { fail_diag : Diag.t; fail_partial : partial_artifacts }
+
+let compile_diag ?(options = all_optims) ?budget_us (p : C.program) :
+    (artifacts, failure) result =
   Obs.Trace.with_span "compile" @@ fun () ->
-  let pass = observed in
+  let partial = ref (empty_partial p) in
+  (* Guard one pass: structured error on [Error], caught exception on
+     [raise], budget check on success. [save] records the artifact in
+     the partial record first, so even an over-budget pass contributes
+     its output to graceful degradation. *)
+  let stage ~phase name ~before ~after ~save pass x =
+    let t0 = Obs.now_us () in
+    let result =
+      match observed name ~before ~after pass x with
+      | Ok v -> Ok v
+      | Error msg ->
+        let kind =
+          if name = "AllocCheck" then Diag.Validation_failure
+          else Diag.Pass_failure
+        in
+        Error (Diag.make ~pass:name ~phase ~kind "%s" msg)
+      | exception e -> Error (Diag.of_exn ~pass:name ~phase e)
+    in
+    match result with
+    | Error d -> Error { fail_diag = d; fail_partial = !partial }
+    | Ok v -> (
+      partial := save !partial v;
+      let elapsed = Obs.now_us () -. t0 in
+      match budget_us with
+      | Some b when elapsed > b ->
+        Error
+          {
+            fail_diag =
+              Diag.make ~pass:name ~phase ~kind:Diag.Budget_exceeded
+                ~context:
+                  [
+                    ("elapsed_us", Printf.sprintf "%.0f" elapsed);
+                    ("budget_us", Printf.sprintf "%.0f" b);
+                  ]
+                "pass exceeded its wall-clock budget";
+            fail_partial = !partial;
+          }
+      | _ -> Ok v)
+  in
+  let ( let* ) m f = match m with Ok x -> f x | Error _ as e -> e in
   let* clight2 =
-    pass "SimplLocals" ~before:Sizes.clight ~after:Sizes.clight
+    stage ~phase:Diag.Frontend "SimplLocals" ~before:Sizes.clight
+      ~after:Sizes.clight
+      ~save:(fun pa v -> { pa with pa_clight2 = Some v })
       Passes.Simpllocals.transf_program p
   in
   let* csharpminor =
-    pass "Cshmgen" ~before:Sizes.clight ~after:Sizes.csharpminor
+    stage ~phase:Diag.Frontend "Cshmgen" ~before:Sizes.clight
+      ~after:Sizes.csharpminor
+      ~save:(fun pa v -> { pa with pa_csharpminor = Some v })
       Passes.Cshmgen.transf_program clight2
   in
   let* cminor =
-    pass "Cminorgen" ~before:Sizes.csharpminor ~after:Sizes.cminor
+    stage ~phase:Diag.Frontend "Cminorgen" ~before:Sizes.csharpminor
+      ~after:Sizes.cminor
+      ~save:(fun pa v -> { pa with pa_cminor = Some v })
       Passes.Cminorgen.transf_program csharpminor
   in
   let* cminorsel =
-    pass "Selection" ~before:Sizes.cminor ~after:Sizes.cminorsel
+    stage ~phase:Diag.Middle "Selection" ~before:Sizes.cminor
+      ~after:Sizes.cminorsel
+      ~save:(fun pa v -> { pa with pa_cminorsel = Some v })
       Passes.Selection.transf_program cminor
   in
   let* rtl_gen =
-    pass "RTLgen" ~before:Sizes.cminorsel ~after:Sizes.rtl
+    stage ~phase:Diag.Middle "RTLgen" ~before:Sizes.cminorsel ~after:Sizes.rtl
+      ~save:(fun pa v -> { pa with pa_rtl_gen = Some v })
       Passes.Rtlgen.transf_program cminorsel
   in
-  let rtl_pass name = pass name ~before:Sizes.rtl ~after:Sizes.rtl in
+  let rtl_stage name pass flag x =
+    stage ~phase:Diag.Middle name ~before:Sizes.rtl ~after:Sizes.rtl
+      ~save:(fun pa v -> { pa with pa_rtl = Some v })
+      (when_opt flag pass) x
+  in
   let* rtl1 =
-    when_opt options.opt_tailcall
-      (rtl_pass "Tailcall" Passes.Tailcall.transf_program)
+    rtl_stage "Tailcall" Passes.Tailcall.transf_program options.opt_tailcall
       rtl_gen
   in
   let* rtl2 =
-    when_opt options.opt_inlining
-      (rtl_pass "Inlining" Passes.Inlining.transf_program)
-      rtl1
+    rtl_stage "Inlining" Passes.Inlining.transf_program options.opt_inlining rtl1
   in
-  let* rtl3 = rtl_pass "Renumber" Passes.Renumber.transf_program rtl2 in
+  let* rtl3 = rtl_stage "Renumber" Passes.Renumber.transf_program true rtl2 in
   let* rtl4 =
-    when_opt options.opt_constprop
-      (rtl_pass "Constprop" Passes.Constprop.transf_program)
+    rtl_stage "Constprop" Passes.Constprop.transf_program options.opt_constprop
       rtl3
   in
-  let* rtl5 = when_opt options.opt_cse (rtl_pass "CSE" Passes.Cse.transf_program) rtl4 in
+  let* rtl5 = rtl_stage "CSE" Passes.Cse.transf_program options.opt_cse rtl4 in
   let* rtl =
-    when_opt options.opt_deadcode
-      (rtl_pass "Deadcode" Passes.Deadcode.transf_program)
-      rtl5
+    rtl_stage "Deadcode" Passes.Deadcode.transf_program options.opt_deadcode rtl5
   in
   let* ltl =
-    pass "Allocation" ~before:Sizes.rtl ~after:Sizes.ltl
+    stage ~phase:Diag.Backend "Allocation" ~before:Sizes.rtl ~after:Sizes.ltl
+      ~save:(fun pa v -> { pa with pa_ltl = Some v })
       Passes.Allocation.transf_program rtl
   in
   (* Translation validation of the untrusted allocator (CompCert-style):
      a miscompilation in Allocation aborts the compilation here. *)
   let* () =
-    pass "AllocCheck" ~before:Sizes.ltl
+    stage ~phase:Diag.Backend "AllocCheck" ~before:Sizes.ltl
       ~after:(fun () -> Sizes.ltl ltl)
+      ~save:(fun pa () -> pa)
       (fun ltl -> Passes.Alloc_check.validate_program rtl ltl)
       ltl
   in
   let* ltl_tunneled =
-    pass "Tunneling" ~before:Sizes.ltl ~after:Sizes.ltl
+    stage ~phase:Diag.Backend "Tunneling" ~before:Sizes.ltl ~after:Sizes.ltl
+      ~save:(fun pa v -> { pa with pa_ltl_tunneled = Some v })
       Passes.Tunneling.transf_program ltl
   in
   let* linear =
-    pass "Linearize" ~before:Sizes.ltl ~after:Sizes.linear
+    stage ~phase:Diag.Backend "Linearize" ~before:Sizes.ltl ~after:Sizes.linear
+      ~save:(fun pa v -> { pa with pa_linear = Some v })
       Passes.Linearize.transf_program ltl_tunneled
   in
   let* linear_clean =
-    pass "CleanupLabels" ~before:Sizes.linear ~after:Sizes.linear
+    stage ~phase:Diag.Backend "CleanupLabels" ~before:Sizes.linear
+      ~after:Sizes.linear
+      ~save:(fun pa v -> { pa with pa_linear_clean = Some v })
       Passes.Cleanuplabels.transf_program linear
   in
   let* linear_dbg =
-    pass "Debugvar" ~before:Sizes.linear ~after:Sizes.linear
+    stage ~phase:Diag.Backend "Debugvar" ~before:Sizes.linear
+      ~after:Sizes.linear
+      ~save:(fun pa _ -> pa)
       Passes.Debugvar.transf_program linear_clean
   in
   let* mach =
-    pass "Stacking" ~before:Sizes.linear ~after:Sizes.mach
+    stage ~phase:Diag.Backend "Stacking" ~before:Sizes.linear ~after:Sizes.mach
+      ~save:(fun pa v -> { pa with pa_mach = Some v })
       Passes.Stacking.transf_program linear_dbg
   in
   let* asm =
-    pass "Asmgen" ~before:Sizes.mach ~after:Sizes.asm
+    stage ~phase:Diag.Backend "Asmgen" ~before:Sizes.mach ~after:Sizes.asm
+      ~save:(fun pa v -> { pa with pa_asm = Some v })
       Passes.Asmgen.transf_program mach
   in
-  ok
+  Ok
     {
       clight1 = p;
       clight2;
@@ -176,6 +309,99 @@ let compile ?(options = all_optims) (p : C.program) : artifacts Errors.t =
       mach;
       asm;
     }
+
+(** The string-error view of {!compile_diag}, kept for the many callers
+    that only need the message. *)
+let compile ?options (p : C.program) : artifacts Errors.t =
+  match compile_diag ?options p with
+  | Ok arts -> Ok arts
+  | Error f -> Error (Diag.to_string f.fail_diag)
+
+(** Parse a C source string as a diagnosed result: lexer and parser
+    exceptions become [Parsing]-phase diagnostics instead of escaping. *)
+let parse_diag (src : string) : C.program Diag.r =
+  match Cfrontend.Cparser.parse_program src with
+  | p -> Ok p
+  | exception Cfrontend.Cparser.Parse_error (msg, line) ->
+    Diag.error ~phase:Diag.Parsing ~kind:Diag.Syntax_error
+      ~context:[ ("line", string_of_int line) ]
+      "line %d: %s" line msg
+  | exception Cfrontend.Clexer.Lex_error (msg, line) ->
+    Diag.error ~phase:Diag.Parsing ~kind:Diag.Lexical_error
+      ~context:[ ("line", string_of_int line) ]
+      "line %d: %s" line msg
+  | exception e -> Error (Diag.of_exn ~phase:Diag.Parsing e)
+
+(** Parse and compile a C source string, fully diagnosed. *)
+let compile_source_diag ?options ?budget_us (src : string) :
+    (artifacts, failure) result =
+  match parse_diag src with
+  | Error d ->
+    (* No program, hence no artifacts at all; any Clight program would
+       be a lie, so fabricate the empty one. *)
+    let empty =
+      { Iface.Ast.prog_defs = []; prog_main = Support.Ident.intern "main" }
+    in
+    Error { fail_diag = d; fail_partial = empty_partial empty }
+  | Ok p -> compile_diag ?options ?budget_us p
+
+(** {1 Resuming the pipeline from an intermediate program}
+
+    The fault-injection harness simulates a buggy pass by mutating one
+    pass's output and recompiling everything downstream of it, so the
+    mutation propagates to the final Asm exactly as a real
+    miscompilation would. These entry points run the downstream suffix
+    of the pipeline; they share the per-pass guards of the full driver
+    (the translation validator still runs, so an ill-formed mutant can
+    already be caught here). *)
+
+(** The backend artifacts produced from a (possibly mutated) RTL
+    program. *)
+type backend_artifacts = {
+  b_ltl : Backend.Ltl.program;
+  b_ltl_tunneled : Backend.Ltl.program;
+  b_linear : Backend.Linear.program;
+  b_linear_clean : Backend.Linear.program;
+  b_mach : Backend.Mach.program;
+  b_asm : Backend.Asm.program;
+}
+
+let backend_from_rtl (rtl : Middle.Rtl.program) : backend_artifacts Errors.t =
+  let guard name f x =
+    match f x with
+    | r -> r
+    | exception e ->
+      Errors.error "%s: uncaught exception: %s" name (Printexc.to_string e)
+  in
+  let* ltl = guard "Allocation" Passes.Allocation.transf_program rtl in
+  let* () =
+    guard "AllocCheck" (Passes.Alloc_check.validate_program rtl) ltl
+  in
+  let* ltl_tunneled = guard "Tunneling" Passes.Tunneling.transf_program ltl in
+  let* linear = guard "Linearize" Passes.Linearize.transf_program ltl_tunneled in
+  let* linear_clean =
+    guard "CleanupLabels" Passes.Cleanuplabels.transf_program linear
+  in
+  let* linear_dbg = guard "Debugvar" Passes.Debugvar.transf_program linear_clean in
+  let* mach = guard "Stacking" Passes.Stacking.transf_program linear_dbg in
+  let* asm = guard "Asmgen" Passes.Asmgen.transf_program mach in
+  ok { b_ltl = ltl; b_ltl_tunneled = ltl_tunneled; b_linear = linear;
+       b_linear_clean = linear_clean; b_mach = mach; b_asm = asm }
+
+(** Finish compilation from a (possibly mutated) cleaned-up Linear
+    program: Debugvar, Stacking, Asmgen. *)
+let finish_from_linear (linear_clean : Backend.Linear.program) :
+    (Backend.Mach.program * Backend.Asm.program) Errors.t =
+  let guard name f x =
+    match f x with
+    | r -> r
+    | exception e ->
+      Errors.error "%s: uncaught exception: %s" name (Printexc.to_string e)
+  in
+  let* linear_dbg = guard "Debugvar" Passes.Debugvar.transf_program linear_clean in
+  let* mach = guard "Stacking" Passes.Stacking.transf_program linear_dbg in
+  let* asm = guard "Asmgen" Passes.Asmgen.transf_program mach in
+  ok (mach, asm)
 
 (** Parse and compile a C source string. *)
 let compile_source ?options (src : string) : artifacts Errors.t =

@@ -8,10 +8,25 @@ open Iface.Li
 
 let fuel = 3_000_000
 
-type level_result = { level : string; outcome : Runners.c_outcome }
+(** One level's result: either the outcome of running it, or the error
+    (marshaling or otherwise) that prevented the run. A level error no
+    longer aborts the collection — the remaining levels still run, and
+    their results are reported alongside the per-level errors. *)
+type level_result = {
+  level : string;
+  outcome : (Runners.c_outcome, string) result;
+}
 
 let pp_level_result fmt r =
-  Format.fprintf fmt "%-12s %a" r.level Runners.pp_c_outcome r.outcome
+  match r.outcome with
+  | Ok o -> Format.fprintf fmt "%-12s %a" r.level Runners.pp_c_outcome o
+  | Error e -> Format.fprintf fmt "%-12s level error: %s" r.level e
+
+(** The levels that errored, with their messages. *)
+let level_errors (results : level_result list) : (string * string) list =
+  List.filter_map
+    (fun r -> match r.outcome with Error e -> Some (r.level, e) | Ok _ -> None)
+    results
 
 (** Run a compiled program at every level on the given C query. *)
 let run_all_levels ?options (p : Cfrontend.Csyntax.program) (q : c_query) :
@@ -43,28 +58,27 @@ let run_all_levels ?options (p : Cfrontend.Csyntax.program) (q : c_query) :
         ("asm", run_a_level (Backend.Asm.semantics ~symbols arts.asm) ~fuel q);
       ]
     in
-    let rec collect acc = function
-      | [] -> Ok (List.rev acc)
-      | (level, Ok outcome) :: rest -> collect ({ level; outcome } :: acc) rest
-      | (level, Error e) :: rest ->
-        ignore rest;
-        Error (level ^ ": " ^ e)
-    in
-    collect [] results
+    Ok (List.map (fun (level, outcome) -> { level; outcome }) results)
 
-(** Check that every level's outcome refines the Clight reference. *)
+(** Check that every level's outcome refines the Clight reference. A
+    level that errored is a failure of that level, reported with its
+    message; it does not mask the other levels' results. *)
 let check_all_refine (results : level_result list) : (unit, string) result =
   match results with
   | [] -> Error "no results"
-  | reference :: rest ->
+  | { outcome = Error e; level } :: _ ->
+    Error (Format.asprintf "reference level %s errored: %s" level e)
+  | ({ outcome = Ok ref_outcome; _ } as reference) :: rest ->
     let rec go = function
       | [] -> Ok ()
-      | r :: rest ->
-        if Runners.outcome_refines reference.outcome r.outcome then go rest
+      | { level; outcome = Error e } :: _ ->
+        Error (Format.asprintf "%s: level error: %s" level e)
+      | ({ level; outcome = Ok o } as r) :: rest ->
+        if Runners.outcome_refines ref_outcome o then go rest
         else
           Error
             (Format.asprintf "@[<v>%s does not refine the source:@,%a@,%a@]"
-               r.level pp_level_result reference pp_level_result r)
+               level pp_level_result reference pp_level_result r)
     in
     go rest
 

@@ -35,6 +35,7 @@ let map_outcome bwd (o : ('r2, 'q2) Smallstep.outcome) :
   | Smallstep.Goes_wrong (t, why) -> Ok (Smallstep.Goes_wrong (t, why))
   | Smallstep.Env_stuck (t, _) ->
     Ok (Smallstep.Goes_wrong (t, "unresolved external call"))
+  | Smallstep.Env_violation (t, why) -> Ok (Smallstep.Env_violation (t, why))
   | Smallstep.Refused -> Ok Smallstep.Refused
   | Smallstep.Out_of_fuel t -> Ok (Smallstep.Out_of_fuel t)
 
@@ -51,38 +52,45 @@ let main_query ~symbols ~(defs : ('f, 'v) Ast.program) ?(name = "main")
    observability is off, and a span plus replayable interaction log
    (question, steps, calls/replies, final answer, fuel) when on. *)
 
-(** Run a [C]-interfaced semantics (Clight through RTL) on a C query. *)
-let run_c_level lts ~fuel ?(oracle = fun _ -> None) (q : c_query) : c_outcome =
+(** Run a [C]-interfaced semantics (Clight through RTL) on a C query.
+    [check_reply] validates oracle answers (see {!Smallstep.run}). *)
+let run_c_level lts ~fuel ?(oracle = fun _ -> None) ?check_reply (q : c_query) :
+    c_outcome =
   Obs_lts.run
     ~pp_qi:(Format.asprintf "%a" pp_c_query)
     ~pp_ri:(Format.asprintf "%a" pp_c_reply)
     ~pp_qo:(Format.asprintf "%a" pp_c_query)
-    ~fuel lts ~oracle q
+    ?check_reply ~fuel lts ~oracle q
 
 (** Run an [L]-interfaced semantics (LTL, Linear) on a C query through
     [CL]. *)
-let run_l_level lts ~fuel (q : c_query) :
+let run_l_level lts ~fuel ?(oracle = fun _ -> None) (q : c_query) :
     (c_outcome, string) result =
   match cc_cl.Simconv.fwd_query q with
   | None -> Error "CL cannot marshal the query"
   | Some (w, lq) ->
-    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) lq in
+    let o = Obs_lts.run ~fuel lts ~oracle lq in
     map_outcome (fun r -> cc_cl.Simconv.bwd_reply w r) o
 
 (** Run Mach on a C query through [CL · LM]. *)
-let run_m_level lts ~fuel (q : c_query) : (c_outcome, string) result =
+let run_m_level lts ~fuel ?(oracle = fun _ -> None) (q : c_query) :
+    (c_outcome, string) result =
   match cc_cm.Simconv.fwd_query q with
   | None -> Error "CL.LM cannot marshal the query"
   | Some (w, mq) ->
-    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) mq in
+    let o = Obs_lts.run ~fuel lts ~oracle mq in
     map_outcome (fun r -> cc_cm.Simconv.bwd_reply w r) o
 
-(** Run Asm on a C query through [CA = CL · LM · MA]. *)
-let run_a_level lts ~fuel (q : c_query) : (c_outcome, string) result =
+(** Run Asm on a C query through [CA = CL · LM · MA]. [oracle] answers
+    A-level external calls; [check_reply] validates those answers
+    against the A-side of the convention, diagnosing misbehaving
+    environments as [Env_violation]. *)
+let run_a_level lts ~fuel ?(oracle = fun _ -> None) ?check_reply (q : c_query) :
+    (c_outcome, string) result =
   match cc_ca.Simconv.fwd_query q with
   | None -> Error "CA cannot marshal the query"
   | Some (w, aq) ->
-    let o = Obs_lts.run ~fuel lts ~oracle:(fun _ -> None) aq in
+    let o = Obs_lts.run ?check_reply ~fuel lts ~oracle aq in
     map_outcome (fun r -> cc_ca.Simconv.bwd_reply w r) o
 
 (** The refinement check on outcomes used by the differential harness:
@@ -96,6 +104,11 @@ let outcome_refines (src : c_outcome) (tgt : c_outcome) : bool =
     Events.trace_equal t1 t2 && lessdef r1.cr_res r2.cr_res
   | Smallstep.Refused, Smallstep.Refused -> true
   | Smallstep.Env_stuck (t1, _), Smallstep.Env_stuck (t2, _) ->
+    Events.trace_equal t1 t2
+  (* A diagnosed environment violation is the environment's fault, not
+     the compiler's: both sides facing the same misbehaving oracle is
+     consistent. *)
+  | Smallstep.Env_violation (t1, _), Smallstep.Env_violation (t2, _) ->
     Events.trace_equal t1 t2
   (* Both sides exhausting the fuel is inconclusive rather than a
      refinement failure; curated tests always terminate. *)

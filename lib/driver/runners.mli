@@ -35,24 +35,32 @@ val run_c_level :
   ('s, c_query, c_reply, c_query, 'ro) Smallstep.lts ->
   fuel:int ->
   ?oracle:(c_query -> 'ro option) ->
+  ?check_reply:(c_query -> 'ro -> (unit, string) result) ->
   c_query ->
   c_outcome
 
 val run_l_level :
   ('s, l_query, l_reply, 'qo, 'ro) Smallstep.lts ->
   fuel:int ->
+  ?oracle:('qo -> 'ro option) ->
   c_query ->
   (c_outcome, string) result
 
 val run_m_level :
   ('s, m_query, m_reply, 'qo, 'ro) Smallstep.lts ->
   fuel:int ->
+  ?oracle:('qo -> 'ro option) ->
   c_query ->
   (c_outcome, string) result
 
+(** [check_reply] validates A-level oracle answers against the A-side of
+    the convention; violations surface as [Env_violation], a diagnosed
+    outcome. *)
 val run_a_level :
   ('s, a_query, a_reply, 'qo, 'ro) Smallstep.lts ->
   fuel:int ->
+  ?oracle:('qo -> 'ro option) ->
+  ?check_reply:('qo -> 'ro -> (unit, string) result) ->
   c_query ->
   (c_outcome, string) result
 

@@ -1,0 +1,181 @@
+(** Adversarial environments ("chaos oracles").
+
+    An open component's correctness statement quantifies over {e all}
+    environments, including hostile ones: an environment may refuse to
+    answer, answer with an ill-typed value, clobber registers the
+    convention says it must preserve, hand back pointers that violate
+    the memory injection, or simply never let the component finish. The
+    harness must {e detect and report} each of these — never surface an
+    uncaught exception.
+
+    Each chaos mode wraps a well-behaved base oracle and corrupts its
+    replies in one specific way. Detection happens through the
+    [check_reply] hook of {!Core.Smallstep.run}: {!conformance_c} /
+    {!conformance_a} validate every answer against the convention's
+    obligations, so a corrupted reply surfaces as
+    [Smallstep.Env_violation] (and a refusal as [Env_stuck], fuel
+    burning as [Out_of_fuel]) — all ordinary, reportable outcomes. *)
+
+open Memory
+open Memory.Mtypes
+open Memory.Values
+open Target
+open Iface.Li
+
+type mode =
+  | Well_behaved  (** the base oracle, unperturbed (control) *)
+  | Refuse  (** answer [None] to every question *)
+  | Ill_typed  (** answer with a value outside the signature's result type *)
+  | Clobber_callee_save  (** trash a callee-save register in the reply *)
+  | Wild_pointer  (** reply with a pointer outside the shared injection *)
+  | Burn_fuel  (** answer, but so "slowly" the component runs out of fuel *)
+
+let all_modes =
+  [ Well_behaved; Refuse; Ill_typed; Clobber_callee_save; Wild_pointer; Burn_fuel ]
+
+let mode_name = function
+  | Well_behaved -> "well-behaved"
+  | Refuse -> "refuse"
+  | Ill_typed -> "ill-typed"
+  | Clobber_callee_save -> "clobber-callee-save"
+  | Wild_pointer -> "wild-pointer"
+  | Burn_fuel -> "burn-fuel"
+
+let mode_of_name s = List.find_opt (fun m -> mode_name m = s) all_modes
+
+(** {1 Chaos wrappers}
+
+    Each wrapper perturbs the base oracle's replies according to the
+    mode. The C-level and A-level shapes differ (values vs register
+    files), so there is one wrapper per interface. *)
+
+(* A pointer into a block the injection cannot contain: any block at or
+   beyond the reply memory's nextblock is unallocated, hence unrelated
+   to any source-level block. *)
+let wild_pointer m = Vptr (Mem.nextblock m + 64, 0)
+
+let c_chaos (mode : mode) (base : c_query -> c_reply option) :
+    c_query -> c_reply option =
+ fun q ->
+  match mode with
+  | Well_behaved -> base q
+  | Refuse -> None
+  | Ill_typed -> (
+    match base q with
+    | Some r -> Some { r with cr_res = Vfloat 0.5 }
+    | None -> None)
+  | Clobber_callee_save ->
+    (* No register file at the C level; the closest C-shaped attack is
+       answering with an unrelated (wild) result pointer, same as
+       [Wild_pointer]. Kept distinct so the A-level matrix lines up. *)
+    Option.map (fun r -> { r with cr_res = wild_pointer r.cr_mem }) (base q)
+  | Wild_pointer ->
+    Option.map (fun r -> { r with cr_res = wild_pointer r.cr_mem }) (base q)
+  | Burn_fuel -> base q
+
+let a_chaos (mode : mode) (base : a_query -> a_reply option) :
+    a_query -> a_reply option =
+ fun q ->
+  match mode with
+  | Well_behaved -> base q
+  | Refuse -> None
+  | Ill_typed ->
+    Option.map
+      (fun r ->
+        { r with
+          ar_rs =
+            Pregfile.set
+              (Mreg (Conventions.loc_result signature_main))
+              (Vfloat 0.5) r.ar_rs })
+      (base q)
+  | Clobber_callee_save ->
+    Option.map
+      (fun r ->
+        { r with
+          ar_rs =
+            List.fold_left
+              (fun rs m -> Pregfile.set (Mreg m) (Vint 0xDEADl) rs)
+              r.ar_rs Machregs.callee_save_regs })
+      (base q)
+  | Wild_pointer ->
+    Option.map
+      (fun r ->
+        { r with
+          ar_rs =
+            Pregfile.set
+              (Mreg (Conventions.loc_result signature_main))
+              (wild_pointer r.ar_mem) r.ar_rs })
+      (base q)
+  | Burn_fuel -> base q
+
+(** Under [Burn_fuel] the oracle answers but the run is given only this
+    much fuel, modeling an environment that starves the component. *)
+let burnt_fuel = 16
+
+let fuel_for mode ~fuel = match mode with Burn_fuel -> burnt_fuel | _ -> fuel
+
+(** {1 Conformance checking}
+
+    The reply-side obligations of the conventions, as executable checks
+    suitable for [Smallstep.run ~check_reply]. A violated obligation
+    yields [Error why], which the interpreter turns into
+    [Env_violation] — detected, reported, no exception. *)
+
+(* A value the convention can accept for a result of type [t]: it must
+   have the type, and any pointer must be into memory the caller could
+   know about (i.e. allocated — blocks >= nextblock violate the
+   injection). *)
+let check_result_value ~mem v t =
+  if not (has_rettype v t) then
+    Error
+      (Format.asprintf "ill-typed result %a for return type %a" Values.pp v
+         (fun fmt -> function
+           | Some t -> pp_typ fmt t
+           | None -> Format.pp_print_string fmt "void")
+         t)
+  else
+    match v with
+    | Vptr (b, _) when b >= Mem.nextblock mem ->
+      Error
+        (Format.asprintf
+           "result pointer %a outside the injection (nextblock %d)" Values.pp
+           v (Mem.nextblock mem))
+    | _ -> Ok ()
+
+(** C-level conformance: the reply's result value must match the query
+    signature's result type and not leak unallocated pointers. *)
+let conformance_c (q : c_query) (r : c_reply) : (unit, string) result =
+  check_result_value ~mem:r.cr_mem r.cr_res q.cq_sg.sig_res
+
+(** A-level conformance, the reply side of the paper's eq. (7): the
+    environment must return to the caller ([PC' = RA]), preserve the
+    stack pointer and every callee-save register, and put a well-typed,
+    injection-respecting value in the result register. *)
+let conformance_a ?(sg = signature_main) (q : a_query) (r : a_reply) :
+    (unit, string) result =
+  let rs = q.aq_rs and rs' = r.ar_rs in
+  if Pregfile.get PC rs' <> Pregfile.get RA rs then
+    Error
+      (Format.asprintf "environment did not return to RA: pc' = %a, ra = %a"
+         Values.pp (Pregfile.get PC rs') Values.pp (Pregfile.get RA rs))
+  else if Pregfile.get SP rs' <> Pregfile.get SP rs then
+    Error
+      (Format.asprintf "environment moved the stack pointer: %a -> %a"
+         Values.pp (Pregfile.get SP rs) Values.pp (Pregfile.get SP rs'))
+  else
+    let clobbered =
+      List.filter
+        (fun m -> Pregfile.get (Mreg m) rs' <> Pregfile.get (Mreg m) rs)
+        Machregs.callee_save_regs
+    in
+    match clobbered with
+    | m :: _ ->
+      Error
+        (Format.asprintf "environment clobbered callee-save %a: %a -> %a"
+           Machregs.pp_mreg m Values.pp
+           (Pregfile.get (Mreg m) rs)
+           Values.pp
+           (Pregfile.get (Mreg m) rs'))
+    | [] ->
+      let res = Pregfile.get (Mreg (Conventions.loc_result sg)) rs' in
+      check_result_value ~mem:r.ar_mem res sg.sig_res

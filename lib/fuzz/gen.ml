@@ -182,6 +182,144 @@ let gen_program : string Gen.t =
        "int g = 1;\nint arr[8] = {1,2,3,4,5,6,7,8};\n%s\nint main(void) { %s return %s; }"
        (String.concat "\n" funs) main_body ret)
 
+(** {1 Shrinking}
+
+    The generator is string-based (each function occupies one line), so
+    shrinking works on the same representation: structural reductions
+    that usually preserve parseability, filtered by the caller's
+    failure predicate. Reductions, from coarsest to finest:
+
+    - drop a whole line (a function definition or a global);
+    - replace a function's body with [{ return 0; }];
+    - drop one top-level statement of a body;
+    - replace a multi-digit integer literal with [0].
+
+    Invalid candidates (dangling references, parse errors) are harmless:
+    they simply fail the predicate and are discarded. *)
+
+(* Top-level split of a function body on ';' at brace depth 0, so inner
+   blocks travel with their statement. *)
+let split_statements (body : string) : string list =
+  let out = ref [] and buf = Buffer.create 64 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      (match c with
+      | '{' -> incr depth
+      | '}' ->
+        decr depth;
+        if !depth = 0 then (
+          out := Buffer.contents buf :: !out;
+          Buffer.clear buf)
+      | ';' ->
+        if !depth = 0 then (
+          out := Buffer.contents buf :: !out;
+          Buffer.clear buf)
+      | _ -> ()))
+    body;
+  if String.trim (Buffer.contents buf) <> "" then
+    out := Buffer.contents buf :: !out;
+  List.rev !out
+
+(* "int f(..) { BODY return e; }" -> (header, BODY-statements, return) *)
+let split_function (line : string) : (string * string list * string) option =
+  match String.index_opt line '{' with
+  | None -> None
+  | Some i ->
+    let header = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    (* strip the final closing brace *)
+    let rest =
+      match String.rindex_opt rest '}' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    let stmts = split_statements rest in
+    let rec split_last acc = function
+      | [] -> None
+      | [ last ] -> Some (List.rev acc, last)
+      | s :: tl -> split_last (s :: acc) tl
+    in
+    (match split_last [] stmts with
+    | Some (body, ret) when String.length (String.trim ret) > 0 ->
+      Some (header, body, String.trim ret)
+    | _ -> None)
+
+let shrink_candidates (src : string) : string list =
+  let lines = String.split_on_char '\n' src in
+  let n = List.length lines in
+  let without i = List.filteri (fun j _ -> j <> i) lines in
+  let replace i l = List.mapi (fun j x -> if j = i then l else x) lines in
+  let drop_lines =
+    List.init n (fun i -> String.concat "\n" (without i))
+  in
+  let stub_bodies =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match split_function line with
+           | Some (header, body, _) when body <> [] ->
+             [ String.concat "\n" (replace i (header ^ "{ return 0; }")) ]
+           | _ -> [])
+         lines)
+  in
+  let drop_statements =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match split_function line with
+           | Some (header, body, ret) ->
+             List.mapi
+               (fun k _ ->
+                 let body' = List.filteri (fun j _ -> j <> k) body in
+                 String.concat "\n"
+                   (replace i
+                      (Printf.sprintf "%s{ %s %s }" header
+                         (String.concat " " body') ret)))
+               body
+           | None -> [])
+         lines)
+  in
+  let shrink_literals =
+    (* replace the first multi-digit literal with 0, scanning by byte *)
+    let b = Bytes.of_string src in
+    let len = Bytes.length b in
+    let is_digit c = c >= '0' && c <= '9' in
+    let rec scan i acc =
+      if i >= len then List.rev acc
+      else if
+        is_digit (Bytes.get b i) && (i = 0 || not (is_digit (Bytes.get b (i - 1))))
+      then begin
+        let j = ref i in
+        while !j < len && is_digit (Bytes.get b !j) do incr j done;
+        if !j - i > 1 then
+          scan !j
+            ((String.sub src 0 i ^ "0" ^ String.sub src !j (len - !j)) :: acc)
+        else scan !j acc
+      end
+      else scan (i + 1) acc
+    in
+    scan 0 []
+  in
+  List.filter
+    (fun s -> String.length s < String.length src)
+    (drop_lines @ stub_bodies @ drop_statements @ shrink_literals)
+
+(** Greedy minimization: repeatedly take the first candidate reduction
+    on which [still_failing] holds, until no reduction applies. The
+    predicate must be total (callers wrap parse errors etc. as [false]);
+    every accepted candidate is strictly smaller, so this terminates. *)
+let minimize ~(still_failing : string -> bool) (src : string) : string =
+  let rec go src =
+    match List.find_opt still_failing (shrink_candidates src) with
+    | Some smaller -> go smaller
+    | None -> src
+  in
+  go src
+
+let shrink_program : string QCheck.Shrink.t =
+ fun src -> QCheck.Iter.of_list (shrink_candidates src)
+
 let arb_program =
-  QCheck.make gen_program ~print:(fun s -> s)
+  QCheck.make gen_program ~print:(fun s -> s) ~shrink:shrink_program
 

@@ -1,0 +1,126 @@
+(** Structured diagnostics for the driver, runners and CLI.
+
+    The error monad of {!Errors} carries a bare string, which is enough
+    for a pass to say {e why} it failed but not for the driver to say
+    {e where}: which pass, in which phase of the pipeline, under what
+    circumstances. A [Diagnostics.t] carries that context, so the
+    hardened driver ([Compiler.compile_diag]), the campaign runner and
+    [occo] can report a failure — including a caught exception or an
+    exceeded per-pass budget — as data rather than as an abort with a
+    raw backtrace. *)
+
+(** Where in the lifecycle the failure happened. *)
+type phase =
+  | Parsing  (** lexing / parsing the C source *)
+  | Frontend  (** SimplLocals through Cminorgen *)
+  | Middle  (** Selection through the RTL optimizations *)
+  | Backend  (** Allocation through Asmgen *)
+  | Linking  (** syntactic linking *)
+  | Running  (** executing a semantics / marshaling a query *)
+  | Campaign  (** the fault-injection campaign harness *)
+
+(** What kind of failure it was. *)
+type kind =
+  | Lexical_error
+  | Syntax_error
+  | Pass_failure  (** a pass returned [Error] *)
+  | Validation_failure  (** a translation validator rejected the output *)
+  | Budget_exceeded  (** a pass exceeded its wall-clock budget *)
+  | Marshal_failure  (** a simulation convention could not carry a query/reply *)
+  | Oracle_refusal  (** the environment refused an external call *)
+  | Oracle_violation  (** the environment answered outside the convention *)
+  | Resource_exhausted  (** fuel or another bounded resource ran out *)
+  | Internal_error  (** a caught exception: a bug in the compiler itself *)
+
+type t = {
+  phase : phase;
+  kind : kind;
+  pass : string option;  (** the pass or component that failed, if known *)
+  message : string;
+  context : (string * string) list;  (** free-form key/value details *)
+}
+
+(** Results diagnosed with structured errors. *)
+type 'a r = ('a, t) result
+
+let phase_name = function
+  | Parsing -> "parsing"
+  | Frontend -> "frontend"
+  | Middle -> "middle"
+  | Backend -> "backend"
+  | Linking -> "linking"
+  | Running -> "running"
+  | Campaign -> "campaign"
+
+let kind_name = function
+  | Lexical_error -> "lexical-error"
+  | Syntax_error -> "syntax-error"
+  | Pass_failure -> "pass-failure"
+  | Validation_failure -> "validation-failure"
+  | Budget_exceeded -> "budget-exceeded"
+  | Marshal_failure -> "marshal-failure"
+  | Oracle_refusal -> "oracle-refusal"
+  | Oracle_violation -> "oracle-violation"
+  | Resource_exhausted -> "resource-exhausted"
+  | Internal_error -> "internal-error"
+
+let make ?pass ?(context = []) ~phase ~kind fmt =
+  Format.kasprintf
+    (fun message -> { phase; kind; pass; message; context })
+    fmt
+
+let error ?pass ?context ~phase ~kind fmt =
+  Format.kasprintf
+    (fun message ->
+      Error
+        {
+          phase;
+          kind;
+          pass;
+          message;
+          context = Option.value context ~default:[];
+        })
+    fmt
+
+(** Capture an exception as an [Internal_error] diagnostic. The
+    backtrace is folded into the context, never printed raw. *)
+let of_exn ?pass ~phase (e : exn) : t =
+  {
+    phase;
+    kind = Internal_error;
+    pass;
+    message = Printexc.to_string e;
+    context = [ ("exception", Printexc.to_string e) ];
+  }
+
+(** Flatten to key/value pairs, ready for a JSON or log renderer (the
+    [Obs.Json] dependency lives upstream, so the rendering does too). *)
+let to_fields (d : t) : (string * string) list =
+  [ ("phase", phase_name d.phase); ("kind", kind_name d.kind) ]
+  @ (match d.pass with Some p -> [ ("pass", p) ] | None -> [])
+  @ [ ("message", d.message) ]
+  @ d.context
+
+let pp fmt (d : t) =
+  Format.fprintf fmt "[%s/%s]%s %s" (phase_name d.phase) (kind_name d.kind)
+    (match d.pass with Some p -> " " ^ p ^ ":" | None -> "")
+    d.message;
+  match d.context with
+  | [] -> ()
+  | ctx ->
+    Format.fprintf fmt " (%s)"
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) ctx))
+
+let to_string (d : t) = Format.asprintf "%a" pp d
+
+(** Downgrade to the plain-string error monad of {!Errors}. *)
+let to_errors (r : 'a r) : 'a Errors.t =
+  match r with Ok x -> Ok x | Error d -> Error (to_string d)
+
+(** Upgrade a plain [Errors.t] failure into a diagnostic. *)
+let of_errors ?pass ~phase ~kind (r : 'a Errors.t) : 'a r =
+  match r with
+  | Ok x -> Ok x
+  | Error msg -> Error { phase; kind; pass; message = msg; context = [] }
+
+let ( let* ) m f = match m with Ok x -> f x | Error _ as e -> e

@@ -21,4 +21,7 @@ let () =
       Test_convalg.suite;
       Test_refinement.suite;
       Test_random.suite;
+      Test_diagnostics.suite;
+      Test_faultinject.suite;
+      Test_chaos.suite;
     ]

@@ -1,0 +1,187 @@
+(** Tests for the adversarial-environment ("chaos") oracles: the
+    wrappers themselves, the reply-side conformance checks they are
+    caught by, and the end-to-end mode matrix run by the campaign. *)
+
+open Memory.Values
+module Li = Iface.Li
+module Chaos = Faultinject.Chaos_oracle
+module Campaign = Faultinject.Campaign
+module Mtypes = Memory.Mtypes
+module Mem = Memory.Mem
+
+let check = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect_error name needle = function
+  | Ok () -> Alcotest.failf "%s: expected a conformance error" name
+  | Error why ->
+    check
+      (Printf.sprintf "%s: %S mentions %S" name why needle)
+      true (contains why needle)
+
+(* a C-level query/reply pair for [main] *)
+let cq =
+  {
+    Li.cq_vf = Vundef;
+    cq_sg = Mtypes.signature_main;
+    cq_args = [];
+    cq_mem = Mem.empty;
+  }
+
+let good_cr = { Li.cr_res = Vint 3l; cr_mem = Mem.empty }
+
+let conformance_c_tests =
+  [
+    Alcotest.test_case "well-typed reply conforms" `Quick (fun () ->
+        check "ok" true (Chaos.conformance_c cq good_cr = Ok ()));
+    Alcotest.test_case "ill-typed reply is rejected" `Quick (fun () ->
+        expect_error "float for int" "ill-typed"
+          (Chaos.conformance_c cq { good_cr with Li.cr_res = Vfloat 0.5 }));
+    Alcotest.test_case "wild pointer is rejected even when well-typed" `Quick
+      (fun () ->
+        (* pointers have type [Tlong], so give the query a long result
+           type: the reply then passes the typing check and must be
+           caught by the injection check instead *)
+        let q =
+          { cq with Li.cq_sg = { Mtypes.sig_args = []; sig_res = Some Mtypes.Tlong } }
+        in
+        let r =
+          { Li.cr_res = Vptr (Mem.nextblock Mem.empty + 64, 0); cr_mem = Mem.empty }
+        in
+        expect_error "wild long ptr" "outside the injection"
+          (Chaos.conformance_c q r));
+  ]
+
+(* an A-level query/reply pair: caller registers with distinctive
+   values, a reply that honors the convention *)
+let result_reg = Li.Mreg (Target.Conventions.loc_result Mtypes.signature_main)
+
+let aq_rs =
+  let rs =
+    Li.Pregfile.set_list
+      [
+        (Li.PC, Vlong 0x4000L);
+        (Li.RA, Vlong 0x1000L);
+        (Li.SP, Vptr (1, 128));
+      ]
+      Li.Pregfile.init
+  in
+  List.fold_left
+    (fun rs (i, m) -> Li.Pregfile.set (Li.Mreg m) (Vint (Int32.of_int (100 + i))) rs)
+    rs
+    (List.mapi (fun i m -> (i, m)) Target.Machregs.callee_save_regs)
+
+let aq = { Li.aq_rs; aq_mem = Mem.empty }
+
+let good_ar =
+  {
+    Li.ar_rs =
+      Li.Pregfile.set Li.PC (Li.Pregfile.get Li.RA aq_rs)
+        (Li.Pregfile.set result_reg (Vint 7l) aq_rs);
+    ar_mem = Mem.empty;
+  }
+
+let conformance_a_tests =
+  [
+    Alcotest.test_case "convention-respecting reply conforms" `Quick (fun () ->
+        match Chaos.conformance_a aq good_ar with
+        | Ok () -> ()
+        | Error why -> Alcotest.failf "unexpected violation: %s" why);
+    Alcotest.test_case "not returning to RA is a violation" `Quick (fun () ->
+        let r =
+          { good_ar with Li.ar_rs = Li.Pregfile.set Li.PC (Vlong 0x9999L) good_ar.Li.ar_rs }
+        in
+        expect_error "pc" "RA" (Chaos.conformance_a aq r));
+    Alcotest.test_case "moving SP is a violation" `Quick (fun () ->
+        let r =
+          { good_ar with Li.ar_rs = Li.Pregfile.set Li.SP (Vptr (1, 0)) good_ar.Li.ar_rs }
+        in
+        expect_error "sp" "stack pointer" (Chaos.conformance_a aq r));
+    Alcotest.test_case "clobbering a callee-save is a violation" `Quick
+      (fun () ->
+        let victim = List.hd Target.Machregs.callee_save_regs in
+        let r =
+          {
+            good_ar with
+            Li.ar_rs = Li.Pregfile.set (Li.Mreg victim) (Vint 0xDEADl) good_ar.Li.ar_rs;
+          }
+        in
+        expect_error "clobber" "callee-save" (Chaos.conformance_a aq r));
+    Alcotest.test_case "ill-typed result register is a violation" `Quick
+      (fun () ->
+        let r =
+          { good_ar with Li.ar_rs = Li.Pregfile.set result_reg (Vfloat 0.5) good_ar.Li.ar_rs }
+        in
+        expect_error "result" "ill-typed" (Chaos.conformance_a aq r));
+  ]
+
+let wrapper_tests =
+  [
+    Alcotest.test_case "mode names round-trip" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            check (Chaos.mode_name m) true
+              (Chaos.mode_of_name (Chaos.mode_name m) = Some m))
+          Chaos.all_modes;
+        check "unknown name" true (Chaos.mode_of_name "frobnicate" = None));
+    Alcotest.test_case "refuse answers None, well-behaved passes through"
+      `Quick (fun () ->
+        let base _ = Some good_cr in
+        check "refuse" true (Chaos.c_chaos Chaos.Refuse base cq = None);
+        check "well-behaved" true
+          (Chaos.c_chaos Chaos.Well_behaved base cq = Some good_cr));
+    Alcotest.test_case "ill-typed wrapper breaks conformance" `Quick (fun () ->
+        let base _ = Some good_cr in
+        match Chaos.c_chaos Chaos.Ill_typed base cq with
+        | None -> Alcotest.fail "ill-typed should still answer"
+        | Some r -> (
+          match Chaos.conformance_c cq r with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "conformance must reject the reply"));
+    Alcotest.test_case "a-level clobber wrapper breaks conformance" `Quick
+      (fun () ->
+        let base _ = Some good_ar in
+        match Chaos.a_chaos Chaos.Clobber_callee_save base aq with
+        | None -> Alcotest.fail "clobber should still answer"
+        | Some r -> expect_error "clobber" "callee-save" (Chaos.conformance_a aq r));
+    Alcotest.test_case "burn-fuel clamps the fuel, others do not" `Quick
+      (fun () ->
+        Alcotest.(check int)
+          "burnt" Chaos.burnt_fuel
+          (Chaos.fuel_for Chaos.Burn_fuel ~fuel:1000);
+        Alcotest.(check int) "intact" 1000 (Chaos.fuel_for Chaos.Refuse ~fuel:1000));
+  ]
+
+let matrix_tests =
+  [
+    Alcotest.test_case "every chaos mode is diagnosed at both levels" `Slow
+      (fun () ->
+        let results = Campaign.run_chaos_modes () in
+        Alcotest.(check int)
+          "modes x levels" (2 * List.length Chaos.all_modes)
+          (List.length results);
+        List.iter
+          (fun cr ->
+            check
+              (Printf.sprintf "%s@%s: %s"
+                 (Chaos.mode_name cr.Campaign.cr_mode)
+                 cr.Campaign.cr_level cr.Campaign.cr_outcome)
+              true
+              (Campaign.chaos_expectation cr.Campaign.cr_mode
+                 cr.Campaign.cr_diagnosed))
+          results;
+        (* no mode may escape as an uncaught exception; the runner
+           records those with a distinctive prefix *)
+        check "no uncaught exceptions" true
+          (List.for_all
+             (fun cr -> not (contains cr.Campaign.cr_outcome "uncaught"))
+             results));
+  ]
+
+let suite =
+  ( "chaos",
+    conformance_c_tests @ conformance_a_tests @ wrapper_tests @ matrix_tests )

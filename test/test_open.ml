@@ -83,6 +83,8 @@ let run_both n =
       | Core.Smallstep.Goes_wrong (t, why) -> Core.Smallstep.Goes_wrong (t, why)
       | Core.Smallstep.Env_stuck (t, _) ->
         Core.Smallstep.Goes_wrong (t, "A-level oracle refused")
+      | Core.Smallstep.Env_violation (t, why) ->
+        Core.Smallstep.Env_violation (t, why)
       | Core.Smallstep.Out_of_fuel t -> Core.Smallstep.Out_of_fuel t
       | Core.Smallstep.Refused -> Core.Smallstep.Refused)
     | None -> Core.Smallstep.Goes_wrong ([], "marshal failed")

@@ -192,6 +192,102 @@ let closed_tests =
         | _ -> Alcotest.fail "expected final");
   ]
 
+(* Robustness edges of the interpreter: fuel exhaustion boundaries,
+   oracle refusal (None) both at and after the first interaction, and
+   the [check_reply] hook that diagnoses convention-violating oracle
+   answers as [Env_violation] rather than resuming on garbage. *)
+let robustness_tests =
+  [
+    Alcotest.test_case "fuel 0 is exhausted immediately" `Quick (fun () ->
+        match run ~fuel:0 doubler ~oracle:(fun _ -> None) ("double", 21) with
+        | Out_of_fuel _ -> ()
+        | o ->
+          Alcotest.failf "expected out of fuel, got %a"
+            (pp_outcome Format.pp_print_int) o);
+    Alcotest.test_case "just enough fuel completes" `Quick (fun () ->
+        match run ~fuel:3 doubler ~oracle:(fun _ -> None) ("double", 21) with
+        | Final (_, r) -> checki "42" 42 r
+        | o ->
+          Alcotest.failf "expected final, got %a"
+            (pp_outcome Format.pp_print_int) o);
+    Alcotest.test_case "oracle None -> Env_stuck carries the question" `Quick
+      (fun () ->
+        match run ~fuel:100 doubler ~oracle:(fun _ -> None) ("quad", 7) with
+        | Env_stuck (_, ("double", 7)) -> ()
+        | o ->
+          Alcotest.failf "expected env-stuck on (double,7), got %a"
+            (pp_outcome Format.pp_print_int) o);
+    Alcotest.test_case "selective oracle: answers one call, refuses next"
+      `Quick (fun () ->
+        (* an oracle that answers only the first question *)
+        let asked = ref 0 in
+        let oracle (f, n) =
+          asked := !asked + 1;
+          if !asked = 1 && f = "double" then Some (2 * n) else None
+        in
+        (match run ~fuel:100 doubler ~oracle ("quad", 5) with
+        | Final (_, r) -> checki "20" 20 r
+        | _ -> Alcotest.fail "expected final");
+        match run ~fuel:100 doubler ~oracle ("quad", 5) with
+        | Env_stuck (_, _) -> ()
+        | _ -> Alcotest.fail "expected env-stuck on the second run");
+    Alcotest.test_case "check_reply rejection -> Env_violation" `Quick
+      (fun () ->
+        let oracle (f, n) = if f = "double" then Some (2 * n) else None in
+        let check_reply _ _ = Error "answer smells wrong" in
+        match run ~fuel:100 ~check_reply doubler ~oracle ("quad", 5) with
+        | Env_violation (_, why) ->
+          check "reason" true (why = "answer smells wrong")
+        | o ->
+          Alcotest.failf "expected env-violation, got %a"
+            (pp_outcome Format.pp_print_int) o);
+    Alcotest.test_case "check_reply acceptance resumes normally" `Quick
+      (fun () ->
+        let oracle (f, n) = if f = "double" then Some (2 * n) else None in
+        let called = ref 0 in
+        let check_reply _ _ =
+          called := !called + 1;
+          Ok ()
+        in
+        (match run ~fuel:100 ~check_reply doubler ~oracle ("quad", 5) with
+        | Final (_, r) -> checki "20" 20 r
+        | _ -> Alcotest.fail "expected final");
+        checki "checked once" 1 !called);
+    Alcotest.test_case "check_reply unused without interactions" `Quick
+      (fun () ->
+        let called = ref 0 in
+        let check_reply _ _ =
+          called := !called + 1;
+          Ok ()
+        in
+        (match
+           run ~fuel:100 ~check_reply doubler
+             ~oracle:(fun _ -> None)
+             ("double", 4)
+         with
+        | Final (_, r) -> checki "8" 8 r
+        | _ -> Alcotest.fail "expected final");
+        checki "never checked" 0 !called);
+    Alcotest.test_case "selective check_reply: violation after good replies"
+      `Quick (fun () ->
+        (* a 2-call chain: quad(n) asks double(n); make a component that
+           asks twice by composing — simpler: drive doubler twice with a
+           stateful checker that rejects the second answer. *)
+        let oracle (f, n) = if f = "double" then Some (2 * n) else None in
+        let nth = ref 0 in
+        let check_reply _ _ =
+          nth := !nth + 1;
+          if !nth >= 2 then Error "second answer rejected" else Ok ()
+        in
+        (match run ~fuel:100 ~check_reply doubler ~oracle ("quad", 1) with
+        | Final _ -> ()
+        | _ -> Alcotest.fail "first run should pass");
+        match run ~fuel:100 ~check_reply doubler ~oracle ("quad", 1) with
+        | Env_violation (_, why) ->
+          check "reason" true (why = "second answer rejected")
+        | _ -> Alcotest.fail "second run should be diagnosed");
+  ]
+
 (* Property: in ⊕, every behavior of a component on its own domain is
    preserved (no interference) — a lightweight take on Thm. 3.4. *)
 let prop_tests =
@@ -215,4 +311,6 @@ let prop_tests =
     ]
 
 let suite =
-  ("smallstep", unit_tests @ hcomp_tests @ vcomp_tests @ closed_tests @ prop_tests)
+  ( "smallstep",
+    unit_tests @ hcomp_tests @ vcomp_tests @ closed_tests @ robustness_tests
+    @ prop_tests )

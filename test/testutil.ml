@@ -11,7 +11,9 @@ let diff_case ?options name src expected =
       | Ok results -> (
         match results with
         | { outcome =
-              Core.Smallstep.Final (_, { Iface.Li.cr_res = Memory.Values.Vint n; _ });
+              Ok
+                (Core.Smallstep.Final
+                   (_, { Iface.Li.cr_res = Memory.Values.Vint n; _ }));
             _ }
           :: _ ->
           Alcotest.(check int32) name expected n
