@@ -9,6 +9,7 @@
     occo compile file.c -dclight -drtl -dasm
     occo run file.c --level asm --entry main
     occo run file.c --level all --entry gcd --args 252,105
+    occo batch dir/ --jobs 4 --journal batch.journal --resume
     occo derive
     occo table 3
     v} *)
@@ -86,6 +87,93 @@ let with_obs trace metrics f =
     in
     Fun.protect ~finally:finish f
   end
+
+(** {1 Supervised-execution options (shared by batch, fuzz and chaos)}
+
+    These commands run their work as jobs of the {!Harness.Supervisor}:
+    each job in a forked worker process with wall-clock (and, for
+    batch, memory) watchdogs, transient failures retried with
+    exponential backoff + jitter, a per-class circuit breaker shedding
+    load after repeated failures, and — when [--journal] is given — an
+    fsync'd checkpoint journal that makes [--resume] skip the jobs a
+    previous (possibly killed) run already completed. *)
+
+module Sup = Harness.Supervisor
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Run up to $(docv) worker processes concurrently.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"K"
+        ~doc:
+          "Retry a transiently-failed job (worker crash, timeout, \
+           exhausted budget) up to $(docv) times with exponential \
+           backoff and jitter.")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 120.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-attempt wall-clock limit; a worker past it is killed and \
+           the job reported as a timeout. 0 disables the watchdog.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append each terminal job outcome to $(docv) (fsync'd \
+           line-JSON). Without $(b,--resume) the journal is started \
+           afresh.")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip jobs the $(b,--journal) already records as completed \
+           (after a crash or interrupt, only the remainder runs).")
+
+let supervisor_config ?memlimit_mb ?(breaker_threshold = 5)
+    ?(breaker_cooldown_s = 2.) ~jobs ~retries ~timeout_s ~journal ~resume
+    ~seed () =
+  {
+    Sup.default_config with
+    Sup.c_jobs = jobs;
+    c_retries = max 0 retries;
+    c_timeout_us = (if timeout_s <= 0. then None else Some (timeout_s *. 1e6));
+    c_memlimit_bytes =
+      Option.map (fun mb -> mb * 1024 * 1024) memlimit_mb;
+    c_breaker_threshold = breaker_threshold;
+    c_breaker_cooldown_us = breaker_cooldown_s *. 1e6;
+    c_seed = seed;
+    c_journal = journal;
+    c_resume = resume;
+  }
+
+(** [--resume] without a journal cannot know what to skip: a usage
+    error under the documented 124 convention. *)
+let check_resume ~resume ~journal k =
+  if resume && journal = None then begin
+    Format.eprintf "occo: --resume requires --journal FILE@.";
+    124
+  end
+  else k ()
+
+let pp_outcome fmt (o : 'a Sup.outcome) =
+  Format.fprintf fmt "%-24s %-8s attempts=%d%s" o.Sup.o_id
+    (Sup.status_name o.Sup.o_status)
+    o.Sup.o_attempts
+    (match o.Sup.o_diag with
+    | Some d -> "  " ^ Support.Diagnostics.to_string d
+    | None -> "")
 
 (** {1 compile} *)
 
@@ -328,45 +416,80 @@ let table_cmd =
 
 (** {1 fuzz} *)
 
+(** The fuzz campaign, rewired onto the supervisor: program [i] is one
+    job, generated in the worker from an RNG derived from [(seed, i)],
+    so a miscompiled generator case that segfaults or diverges costs
+    one worker, not the campaign — and a journal makes long runs
+    resumable. *)
+let fuzz_cmd_run n seed verbose jobs retries timeout_s journal resume =
+  check_resume ~resume ~journal @@ fun () ->
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> truncate (Unix.gettimeofday () *. 1000.) land 0xFFFFFF
+  in
+  let fuzz_job i =
+    {
+      Sup.job_id = Printf.sprintf "fuzz-%05d" i;
+      job_class = "fuzz";
+      job_run =
+        (fun ~attempt:_ ->
+          let st = Random.State.make [| seed; 104729 * (i + 1) |] in
+          let src =
+            QCheck.Gen.generate1 ~rand:st (QCheck.gen Fuzz.Gen.arb_program)
+          in
+          match Driver.Differential.differential src with
+          | Ok _ -> Ok None
+          | Error e ->
+            (* Shrink the counterexample: keep reductions on which the
+               differential check still fails (parse errors and other
+               escapes disqualify a candidate). *)
+            let still_failing s =
+              match Driver.Differential.differential s with
+              | Error _ -> true
+              | Ok _ | (exception _) -> false
+            in
+            Ok (Some (e, src, Fuzz.Gen.minimize ~still_failing src)));
+      job_degraded = None;
+    }
+  in
+  let cfg =
+    supervisor_config ~jobs ~retries ~timeout_s ~journal ~resume ~seed ()
+  in
+  let failures = ref 0 in
+  let on_outcome (o : (string * string * string) option Sup.outcome) =
+    match o.Sup.o_payload with
+    | Some (Some (e, src, small)) ->
+      incr failures;
+      Format.printf
+        "=== FAILURE %d (%s) ===@.%s@.--- program ---@.%s@.--- minimized ---@.%s@.@."
+        !failures o.Sup.o_id e src small
+    | Some None -> if verbose then Format.printf "%s ok@." o.Sup.o_id
+    | None ->
+      if not (Sup.status_ok o.Sup.o_status) || verbose then
+        Format.printf "%a@." pp_outcome o
+  in
+  let outcomes = Sup.run ~on_outcome cfg (List.init n fuzz_job) in
+  Format.printf "%d programs fuzzed (seed %d), %d failures@." n seed !failures;
+  if not (Sup.all_ok outcomes) then
+    Format.printf "%a" Sup.pp_summary outcomes;
+  if !failures = 0 && Sup.all_ok outcomes then 0 else 1
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Generate random well-defined C programs and check that every \
           pipeline level refines the Clight behavior (differential testing \
-          of Thm 3.8).")
+          of Thm 3.8). Each program is judged in a supervised worker \
+          process; see the batch options for retry/backoff, journaling \
+          and resume.")
     Term.(
-      const (fun n seed verbose ->
-          let st =
-            match seed with
-            | Some s -> Random.State.make [| s |]
-            | None -> Random.State.make_self_init ()
-          in
-          let failures = ref 0 in
-          for i = 1 to n do
-            let src = QCheck.Gen.generate1 ~rand:st (QCheck.gen Fuzz.Gen.arb_program) in
-            (match Driver.Differential.differential src with
-            | Ok _ -> if verbose then Format.printf "[%d/%d] ok@." i n
-            | Error e ->
-              incr failures;
-              (* Shrink the counterexample: keep reductions on which the
-                 differential check still fails (parse errors and other
-                 escapes disqualify a candidate). *)
-              let still_failing s =
-                match Driver.Differential.differential s with
-                | Error _ -> true
-                | Ok _ | (exception _) -> false
-              in
-              let small = Fuzz.Gen.minimize ~still_failing src in
-              Format.printf
-                "=== FAILURE %d (program %d) ===@.%s@.--- program ---@.%s@.--- minimized ---@.%s@.@."
-                !failures i e src small)
-          done;
-          Format.printf "%d programs fuzzed, %d failures@." n !failures;
-          if !failures = 0 then 0 else 1)
+      const fuzz_cmd_run
       $ Arg.(value & opt int 50 & info [ "n" ] ~docv:"COUNT")
       $ Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED")
-      $ Arg.(value & flag & info [ "verbose" ]))
+      $ Arg.(value & flag & info [ "verbose" ])
+      $ jobs_arg $ retries_arg $ timeout_arg $ journal_arg $ resume_flag)
 
 (** {1 chaos}
 
@@ -377,19 +500,57 @@ let fuzz_cmd =
     and dumps survivors for triage. Exit 0 iff every must-kill-class
     mutant was killed and every chaos mode was diagnosed. *)
 
-let chaos_cmd_run seed mutants json_out trace metrics =
+let chaos_cmd_run seed mutants json_out survivors_out jobs retries timeout_s
+    journal resume trace metrics =
   with_obs trace metrics @@ fun () ->
-  match Obs.with_enabled (fun () -> Faultinject.Campaign.run ~seed ~mutants ()) with
+  check_resume ~resume ~journal @@ fun () ->
+  let open Faultinject.Campaign in
+  (* Survivors stream out incrementally (fsync'd line-JSON), so a
+     campaign killed halfway still leaves its triage artifacts. *)
+  let survivors_path =
+    match survivors_out with
+    | Some _ -> survivors_out
+    | None -> Option.map (fun p -> p ^ ".survivors.jsonl") json_out
+  in
+  let sw =
+    Option.map
+      (Harness.Checkpoint.open_journal ~truncate:(not resume))
+      survivors_path
+  in
+  let on_result r =
+    if r.mr_survived then
+      Option.iter
+        (fun w -> Harness.Checkpoint.append_json w (survivor_to_json r))
+        sw
+  in
+  let cfg =
+    supervisor_config ~jobs ~retries ~timeout_s ~journal ~resume ~seed ()
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Harness.Checkpoint.close sw)
+      (fun () ->
+        Obs.with_enabled (fun () ->
+            run_supervised ~on_result ~cfg ~seed ~mutants ()))
+  in
+  match result with
   | Error d ->
     Format.eprintf "occo chaos: %a@." Support.Diagnostics.pp d;
     1
-  | Ok rp ->
-    let open Faultinject.Campaign in
-    Format.printf "fault-injection campaign: seed %d, %d mutants requested, %d tried@."
-      rp.rp_seed rp.rp_requested (List.length rp.rp_results);
+  | Ok (rp, outcomes) ->
+    let skipped = Sup.count outcomes Sup.Skipped in
+    Format.printf
+      "fault-injection campaign: seed %d, %d mutants requested, %d tried%s@."
+      rp.rp_seed rp.rp_requested (List.length rp.rp_results)
+      (if skipped > 0 then
+         Printf.sprintf " (%d skipped via --resume journal)" skipped
+       else "");
     Format.printf "@.%a@." pp_matrix rp;
     Format.printf "%a@." pp_chaos rp;
     Format.printf "%a@." pp_survivors rp;
+    (match survivors_path with
+    | Some p -> Format.eprintf "survivors streamed to %s@." p
+    | None -> ());
     (match json_out with
     | Some path -> (
       try
@@ -401,12 +562,26 @@ let chaos_cmd_run seed mutants json_out trace metrics =
       with Sys_error msg ->
         Format.eprintf "occo chaos: cannot write report: %s@." msg)
     | None -> ());
-    let mk = must_kill_ok rp and ck = chaos_ok rp in
+    (* A resumed campaign only re-judges what the journal left open, so
+       it is held to the weaker "nothing judged this run escaped". *)
+    let mk =
+      if skipped > 0 then partial_must_kill_ok rp else must_kill_ok rp
+    in
+    let ck = chaos_ok rp in
+    let wk = Sup.all_ok outcomes in
     if not mk then
       Format.printf "FAIL: a must-kill mutant class escaped all detectors@.";
     if not ck then
       Format.printf "FAIL: a chaos mode was not diagnosed as expected@.";
-    if mk && ck then 0 else 1
+    if not wk then begin
+      Format.printf "FAIL: a mutant worker did not complete:@.";
+      List.iter
+        (fun o ->
+          if not (Sup.status_ok o.Sup.o_status) then
+            Format.printf "  %a@." pp_outcome o)
+        outcomes
+    end;
+    if mk && ck && wk then 0 else 1
 
 let chaos_cmd =
   Cmd.v
@@ -425,25 +600,179 @@ let chaos_cmd =
           & opt (some string) None
           & info [ "json" ] ~docv:"FILE.json"
               ~doc:"Write the campaign report as JSON to $(docv).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "survivors" ] ~docv:"FILE.jsonl"
+              ~doc:
+                "Stream each survivor as a JSON line to $(docv) the moment \
+                 it is found (default: $(b,--json) path + .survivors.jsonl).")
+      $ jobs_arg $ retries_arg $ timeout_arg $ journal_arg $ resume_flag
+      $ trace_arg $ metrics_flag)
+
+(** {1 batch}
+
+    Run a directory of C inputs through the pipeline under the
+    supervisor: process isolation, watchdogs, retry/backoff, circuit
+    breaking, checkpoint/resume, and [-O0] degradation for inputs the
+    optimizing pipeline cannot get through. *)
+
+let batch_cmd_run dir jobs retries timeout_s memlimit_mb journal resume
+    report_out o0 inject_crash breaker_threshold breaker_cooldown_s trace
+    metrics =
+  with_obs trace metrics @@ fun () ->
+  check_resume ~resume ~journal @@ fun () ->
+  let inputs = Driver.Batch.inputs dir in
+  if inputs = [] then begin
+    Format.eprintf "occo batch: no .c inputs in %s@." dir;
+    1
+  end
+  else begin
+    let cfg =
+      supervisor_config ?memlimit_mb ~breaker_threshold
+        ~breaker_cooldown_s ~jobs ~retries ~timeout_s ~journal ~resume
+        ~seed:0 ()
+    in
+    let batch_jobs =
+      List.map
+        (fun path ->
+          Driver.Batch.compile_job
+            ~inject_crash:(inject_crash = Some (Filename.basename path))
+            ~optimize:(not o0) path)
+        inputs
+    in
+    let t0 = Unix.gettimeofday () in
+    let on_outcome o = Format.printf "%a@." pp_outcome o in
+    let outcomes = Sup.run ~on_outcome cfg batch_jobs in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ran =
+      List.length outcomes - Sup.count outcomes Sup.Skipped
+    in
+    Format.printf "%a" Sup.pp_summary outcomes;
+    Format.printf "wall %.2fs (%.1f jobs/s over %d executed)@." elapsed
+      (if elapsed > 0. then float_of_int ran /. elapsed else 0.)
+      ran;
+    (match report_out with
+    | Some path -> (
+      let j =
+        match Sup.report_to_json ~payload_to_json:Fun.id outcomes with
+        | Obs.Json.Obj kvs ->
+          Obs.Json.Obj
+            (kvs
+            @ [
+                ("elapsed_s", Obs.Json.Num elapsed);
+                ( "jobs_per_s",
+                  Obs.Json.Num
+                    (if elapsed > 0. then float_of_int ran /. elapsed else 0.)
+                );
+              ])
+        | j -> j
+      in
+      try
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string j);
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "batch report written to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "occo batch: cannot write report: %s@." msg)
+    | None -> ());
+    if Sup.all_ok outcomes then 0 else 1
+  end
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Compile every .c file in a directory under the supervised \
+          batch executor: each input in its own worker process with \
+          wall-clock and memory watchdogs, transient failures retried \
+          with backoff, repeated failures shed by a circuit breaker, \
+          outcomes checkpointed to an fsync'd journal ($(b,--journal)) \
+          so $(b,--resume) continues a killed run, and stubborn inputs \
+          degraded to -O0 rather than dropped.")
+    Term.(
+      const batch_cmd_run
+      $ Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR")
+      $ jobs_arg $ retries_arg $ timeout_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "memlimit" ] ~docv:"MB"
+              ~doc:
+                "Per-worker major-heap limit; a worker over it exits and \
+                 the job is reported as resource-exhausted.")
+      $ journal_arg $ resume_flag
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "report" ] ~docv:"FILE.json"
+              ~doc:"Write the batch report (per-job outcomes) as JSON.")
+      $ o0_flag
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "inject-crash" ] ~docv:"JOB"
+              ~doc:
+                "Testing hook: SIGSEGV the worker of job $(docv) on its \
+                 first attempt, to exercise crash isolation and retry.")
+      $ Arg.(
+          value & opt int 5
+          & info [ "breaker-threshold" ] ~docv:"N"
+              ~doc:
+                "Consecutive failures of a job class that trip its \
+                 circuit breaker.")
+      $ Arg.(
+          value & opt float 2.
+          & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+              ~doc:"Open time before the breaker admits a half-open probe.")
       $ trace_arg $ metrics_flag)
 
 let main =
   Cmd.group
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
-    [ compile_cmd; run_cmd; derive_cmd; table_cmd; fuzz_cmd; chaos_cmd ]
+    [ compile_cmd; run_cmd; batch_cmd; derive_cmd; table_cmd; fuzz_cmd;
+      chaos_cmd ]
+
+(** An interrupt (SIGINT/SIGTERM) raised as an exception at the next
+    safe point, so it unwinds through every [Fun.protect] on the way
+    out: [with_obs] exports the trace and prints the metrics snapshot,
+    the supervisor kills its workers and closes the checkpoint journal
+    (each line of which was already fsync'd — the run is resumable),
+    and the survivors stream is closed. Workers reset these handlers to
+    the default, so a batch's children still die instantly. *)
+exception Interrupted of string
+
+let install_interrupt_handlers () =
+  let arm signal name =
+    try
+      Sys.set_signal signal (Sys.Signal_handle (fun _ -> raise (Interrupted name)))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigint "SIGINT";
+  arm Sys.sigterm "SIGTERM"
 
 (** Exit-code contract (documented in the README):
     - 0: success;
     - 1: the command ran and failed (compilation error, refinement
-      failure, must-kill mutant escaped, chaos mode undiagnosed);
+      failure, batch job failed/crashed/shed, must-kill mutant escaped,
+      chaos mode undiagnosed, interrupted mid-run);
     - 3: internal error — an exception escaped a command. It is turned
       into a structured diagnostic here; no raw backtrace reaches the
       user;
-    - 124: command-line usage error (Cmdliner's convention). *)
+    - 124: command-line usage error (Cmdliner's convention, shared by
+      [--resume] without [--journal]). *)
 let () =
+  install_interrupt_handlers ();
   match Cmd.eval' ~catch:false main with
   | code -> exit code
+  | exception Interrupted signal ->
+    Format.eprintf
+      "occo: interrupted by %s; sinks flushed, checkpoint journal intact \
+       (use --resume)@."
+      signal;
+    exit 1
   | exception e ->
     let d = Support.Diagnostics.of_exn ~phase:Support.Diagnostics.Running e in
     Format.eprintf "occo: internal error: %a@." Support.Diagnostics.pp d;

@@ -1,0 +1,16 @@
+/* Wide calls: more arguments than parameter registers, so the
+   convention traffics in stack slots. */
+int wide(int a, int b, int c, int d, int e, int f, int g, int h) {
+  return (a - b) * 2 + (c - d) * 3 + (e - f) * 5 + (g - h) * 7;
+}
+
+int apply(int (*op)(int, int), int x, int y) { return op(x, y); }
+
+int add(int x, int y) { return x + y; }
+int sub(int x, int y) { return x - y; }
+
+int main(void) {
+  int w = wide(9, 4, 12, 5, 30, 11, 7, 2);
+  int s = apply(add, w, 10) + apply(sub, w, 3);
+  return s - w;
+}

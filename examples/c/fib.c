@@ -1,0 +1,26 @@
+/* Recursion + iteration agreeing on the same sequence. */
+int fib_rec(int n) {
+  if (n < 2) return n;
+  return fib_rec(n - 1) + fib_rec(n - 2);
+}
+
+int fib_iter(int n) {
+  int a = 0;
+  int b = 1;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int main(void) {
+  int n;
+  int bad = 0;
+  for (n = 0; n < 15; n = n + 1) {
+    if (fib_rec(n) != fib_iter(n)) bad = bad + 1;
+  }
+  return bad == 0 ? fib_iter(15) : -1;
+}

@@ -1,0 +1,19 @@
+/* Small fixed-size matrix product over global arrays. */
+int a[3][3] = { { 1, 2, 3 }, { 4, 5, 6 }, { 7, 8, 9 } };
+int b[3][3] = { { 9, 8, 7 }, { 6, 5, 4 }, { 3, 2, 1 } };
+int c[3][3];
+
+int main(void) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 3; i = i + 1)
+    for (j = 0; j < 3; j = j + 1) {
+      int acc = 0;
+      for (k = 0; k < 3; k = k + 1) acc = acc + a[i][k] * b[k][j];
+      c[i][j] = acc;
+    }
+  int trace = 0;
+  for (i = 0; i < 3; i = i + 1) trace = trace + c[i][i];
+  return trace;
+}

@@ -1,0 +1,15 @@
+/* Sieve of Eratosthenes over a global byte array. */
+char composite[100];
+
+int main(void) {
+  int i;
+  int j;
+  int count = 0;
+  for (i = 2; i < 100; i = i + 1) {
+    if (!composite[i]) {
+      count = count + 1;
+      for (j = i + i; j < 100; j = j + i) composite[j] = 1;
+    }
+  }
+  return count; /* 25 primes below 100 */
+}

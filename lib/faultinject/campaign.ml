@@ -393,97 +393,171 @@ let run_chaos_modes () : chaos_result list =
 
 (** {1 The campaign}
 
-    Run a seeded campaign of [mutants] mutants, cycling over the mutant
-    classes and the corpus. Never raises: every failure mode is part of
-    the result. *)
-let run ?(classes = Mutate.all_classes) ~seed ~mutants () :
-    (report, Diag.t) result =
+    Mutant [i] of a seeded campaign is deterministic in [(seed, i)]
+    alone: its class cycles over [classes], its corpus program rotates
+    with [i], and its site is drawn from an RNG derived from [seed] and
+    [i] — {e not} from a state threaded through the whole run. That
+    independence is what lets the supervised runner
+    ({!run_supervised}) execute mutants in isolated worker processes,
+    in any completion order, resumable after a crash, and still agree
+    with the in-process {!run} on what mutant [i] is. *)
+
+(** Attempt mutant [i]: pick class, program and site, apply the
+    mutation and judge it. [None] when the class has no applicable
+    site anywhere in the corpus. *)
+let try_mutant ~(compiled : compiled list) ~classes ~seed i :
+    mutant_result option =
+  let n_classes = List.length classes in
+  let n_programs = List.length compiled in
+  let cls = List.nth classes (i mod n_classes) in
+  (* Pick a corpus program that has sites for this class, starting
+     from a rotating index so the load spreads. *)
+  let start = i mod n_programs in
+  let candidates =
+    List.init n_programs (fun k ->
+        List.nth compiled ((start + k) mod n_programs))
+  in
+  let pick =
+    List.find_map
+      (fun cp ->
+        let sites =
+          match Mutate.injection_point cls with
+          | `Rtl -> Mutate.rtl_sites cls cp.cp_arts.Driver.Compiler.rtl
+          | `Linear ->
+            Mutate.linear_sites cls cp.cp_arts.Driver.Compiler.linear_clean
+        in
+        if sites = [] then None else Some (cp, sites))
+      candidates
+  in
+  match pick with
+  | None -> None (* no sites anywhere for this class: nothing to try *)
+  | Some (cp, sites) ->
+    let rng = Random.State.make [| seed; 7919 * (i + 1) |] in
+    let site = List.nth sites (Random.State.int rng (List.length sites)) in
+    let mutated =
+      match Mutate.injection_point cls with
+      | `Rtl ->
+        Option.map
+          (fun p -> `Rtl p)
+          (Mutate.apply_rtl cls site cp.cp_arts.Driver.Compiler.rtl)
+      | `Linear ->
+        Option.map
+          (fun p -> `Linear p)
+          (Mutate.apply_linear cls site cp.cp_arts.Driver.Compiler.linear_clean)
+    in
+    match mutated with
+    | None -> None (* site did not apply; enumeration/application skew *)
+    | Some m ->
+      Some
+        (judge ~symbols:cp.cp_symbols ~arts:cp.cp_arts ~ref_outcome:cp.cp_ref
+           ~program:cp.cp_name ~cls ~site cp.cp_query m)
+
+let record_result_metrics (r : mutant_result) =
+  Obs.Metrics.incr_counter "chaos.mutants";
+  Obs.Metrics.incr_counter
+    (if r.mr_survived then "chaos.survived" else "chaos.killed")
+
+(** Tally a result list into the kill-rate matrix and per-class
+    totals. *)
+let assemble ~seed ~requested ~classes ~(results : mutant_result list) ~chaos :
+    report =
+  let of_class c = List.filter (fun r -> r.mr_class = c) results in
+  {
+    rp_seed = seed;
+    rp_requested = requested;
+    rp_results = results;
+    rp_matrix =
+      List.map
+        (fun c ->
+          let rs = of_class c in
+          ( c,
+            List.map
+              (fun d ->
+                ( d,
+                  List.length
+                    (List.filter (fun r -> List.mem_assoc d r.mr_killed_by) rs)
+                ))
+              detectors ))
+        classes;
+    rp_totals =
+      List.map
+        (fun c ->
+          let rs = of_class c in
+          ( c,
+            {
+              tried = List.length rs;
+              killed =
+                List.length (List.filter (fun r -> not r.mr_survived) rs);
+            } ))
+        classes;
+    rp_chaos = chaos;
+  }
+
+(** Run a seeded campaign of [mutants] mutants in-process, cycling over
+    the mutant classes and the corpus. Never raises: every failure mode
+    is part of the result. [on_result] fires as each mutant is judged —
+    the incremental-survivor dump hangs off it, so a campaign that dies
+    halfway has still left its triage artifacts behind. *)
+let run ?(classes = Mutate.all_classes) ?(on_result = fun _ -> ()) ~seed
+    ~mutants () : (report, Diag.t) result =
   match compile_corpus () with
   | Error d -> Error d
   | Ok compiled ->
-    let rng = Random.State.make [| seed |] in
-    let totals =
-      List.map (fun c -> (c, { tried = 0; killed = 0 })) classes
-    in
-    let matrix =
-      List.map
-        (fun c -> (c, List.map (fun d -> (d, ref 0)) detectors))
-        classes
-    in
     let results = ref [] in
-    let n_classes = List.length classes in
-    let n_programs = List.length compiled in
     for i = 0 to mutants - 1 do
-      let cls = List.nth classes (i mod n_classes) in
-      (* Pick a corpus program that has sites for this class, starting
-         from a rotating index so the load spreads. *)
-      let start = i mod n_programs in
-      let candidates =
-        List.init n_programs (fun k ->
-            List.nth compiled ((start + k) mod n_programs))
-      in
-      let pick =
-        List.find_map
-          (fun cp ->
-            let sites =
-              match Mutate.injection_point cls with
-              | `Rtl ->
-                Mutate.rtl_sites cls cp.cp_arts.Driver.Compiler.rtl
-              | `Linear ->
-                Mutate.linear_sites cls cp.cp_arts.Driver.Compiler.linear_clean
-            in
-            if sites = [] then None else Some (cp, sites))
-          candidates
-      in
-      match pick with
-      | None -> () (* no sites anywhere for this class: nothing to try *)
-      | Some (cp, sites) ->
-        let site = List.nth sites (Random.State.int rng (List.length sites)) in
-        let mutated =
-          match Mutate.injection_point cls with
-          | `Rtl ->
-            Option.map
-              (fun p -> `Rtl p)
-              (Mutate.apply_rtl cls site cp.cp_arts.Driver.Compiler.rtl)
-          | `Linear ->
-            Option.map
-              (fun p -> `Linear p)
-              (Mutate.apply_linear cls site
-                 cp.cp_arts.Driver.Compiler.linear_clean)
-        in
-        (match mutated with
-        | None -> () (* site did not apply; enumeration/application skew *)
-        | Some m ->
-          let r =
-            judge ~symbols:cp.cp_symbols ~arts:cp.cp_arts ~ref_outcome:cp.cp_ref
-              ~program:cp.cp_name ~cls ~site cp.cp_query m
-          in
-          let cell = List.assoc cls totals in
-          cell.tried <- cell.tried + 1;
-          if not r.mr_survived then cell.killed <- cell.killed + 1;
-          List.iter
-            (fun (d, _) ->
-              match List.assoc_opt d (List.assoc cls matrix) with
-              | Some n -> incr n
-              | None -> ())
-            r.mr_killed_by;
-          Obs.Metrics.incr_counter "chaos.mutants";
-          Obs.Metrics.incr_counter
-            (if r.mr_survived then "chaos.survived" else "chaos.killed");
-          results := r :: !results)
+      match try_mutant ~compiled ~classes ~seed i with
+      | None -> ()
+      | Some r ->
+        record_result_metrics r;
+        on_result r;
+        results := r :: !results
     done;
     let chaos = run_chaos_modes () in
     Ok
-      {
-        rp_seed = seed;
-        rp_requested = mutants;
-        rp_results = List.rev !results;
-        rp_matrix =
-          List.map (fun (c, row) -> (c, List.map (fun (d, n) -> (d, !n)) row))
-            matrix;
-        rp_totals = totals;
-        rp_chaos = chaos;
-      }
+      (assemble ~seed ~requested:mutants ~classes ~results:(List.rev !results)
+         ~chaos)
+
+(** The supervised campaign: one {!Harness.Supervisor} job per mutant,
+    each judged in a forked worker, so a mutant that wedges or crashes
+    a detector is a [Job_timeout]/[Job_crashed] outcome instead of the
+    end of the campaign. The corpus is compiled once in the parent;
+    workers inherit it through [fork]. With a journal and [resume],
+    already-judged mutants are skipped (their results are then absent
+    from the report, which accounts for them in [rp_requested] vs
+    [rp_results]). Returns the report plus the raw supervisor
+    outcomes. *)
+let run_supervised ?(classes = Mutate.all_classes) ?(on_result = fun _ -> ())
+    ~(cfg : Harness.Supervisor.config) ~seed ~mutants () :
+    (report * mutant_result option Harness.Supervisor.outcome list, Diag.t)
+    result =
+  match compile_corpus () with
+  | Error d -> Error d
+  | Ok compiled ->
+    let jobs =
+      List.init mutants (fun i ->
+          {
+            Harness.Supervisor.job_id = Printf.sprintf "mutant-%04d" i;
+            job_class = "chaos-mutant";
+            job_run =
+              (fun ~attempt:_ -> Ok (try_mutant ~compiled ~classes ~seed i));
+            job_degraded = None;
+          })
+    in
+    let results = ref [] in
+    let on_outcome (o : mutant_result option Harness.Supervisor.outcome) =
+      match o.Harness.Supervisor.o_payload with
+      | Some (Some r) ->
+        record_result_metrics r;
+        on_result r;
+        results := r :: !results
+      | _ -> ()
+    in
+    let outcomes = Harness.Supervisor.run ~on_outcome cfg jobs in
+    let chaos = run_chaos_modes () in
+    Ok
+      ( assemble ~seed ~requested:mutants ~classes
+          ~results:(List.rev !results) ~chaos,
+        outcomes )
 
 (** Every chaos mode behaved as expected (misbehavior diagnosed, the
     control run clean, no uncaught exceptions). *)
@@ -503,8 +577,34 @@ let must_kill_ok (rp : report) : bool =
       | None -> false)
     Mutate.must_kill_classes
 
+(** The weaker acceptance check for resumed campaigns: every must-kill
+    mutant that {e was} judged in this run was killed, but classes whose
+    mutants were all skipped by the journal are not required to have
+    been exercised again. *)
+let partial_must_kill_ok (rp : report) : bool =
+  List.for_all
+    (fun c ->
+      match List.assoc_opt c rp.rp_totals with
+      | Some cell -> cell.killed = cell.tried
+      | None -> true)
+    Mutate.must_kill_classes
+
 let survivors (rp : report) : mutant_result list =
   List.filter (fun r -> r.mr_survived) rp.rp_results
+
+(** One survivor as a JSON line — the incremental triage artifact
+    streamed out as the campaign runs, and the shape used in the final
+    report's [survivors] array. *)
+let survivor_to_json (r : mutant_result) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("class", Str (Mutate.class_name r.mr_class));
+      ("program", Str r.mr_program);
+      ("function", Str r.mr_site.Mutate.site_fun);
+      ("loc", num_of_int r.mr_site.Mutate.site_loc);
+      ("note", Str r.mr_site.Mutate.site_note);
+    ]
 
 (** {1 Reporting} *)
 
@@ -578,19 +678,7 @@ let to_json (rp : report) : Obs.Json.t =
                     ]
                    @ List.map (fun (d, n) -> (d, num_of_int n)) row) ))
              rp.rp_totals) );
-      ( "survivors",
-        List
-          (List.map
-             (fun r ->
-               Obj
-                 [
-                   ("class", Str (Mutate.class_name r.mr_class));
-                   ("program", Str r.mr_program);
-                   ("function", Str r.mr_site.Mutate.site_fun);
-                   ("loc", num_of_int r.mr_site.Mutate.site_loc);
-                   ("note", Str r.mr_site.Mutate.site_note);
-                 ])
-             (survivors rp)) );
+      ("survivors", List (List.map survivor_to_json (survivors rp)));
       ( "chaos",
         List
           (List.map

@@ -1,0 +1,39 @@
+(** Exponential backoff with jitter for the retry policy.
+
+    A transient failure ({!Support.Diagnostics.is_transient}) earns the
+    job another attempt, but not immediately: attempt [k] waits
+    [base * factor^(k-1)] microseconds, capped at [max], with a
+    symmetric jitter of [±jitter] (a fraction of the raw delay) so that
+    a batch of jobs felled by the same transient cause does not retry
+    in lock-step. The jitter is drawn from a caller-supplied
+    [Random.State.t]; the supervisor derives one per job from its seed
+    and the job id, so a schedule is deterministic given (seed, job) —
+    which is what the tests pin down. *)
+
+type policy = {
+  base_us : float;  (** delay before the first retry *)
+  factor : float;  (** multiplier per further retry *)
+  max_us : float;  (** cap on the raw (pre-jitter) delay *)
+  jitter : float;  (** fraction of the raw delay, in [0, 1] *)
+}
+
+let default =
+  { base_us = 50_000.; factor = 2.0; max_us = 2_000_000.; jitter = 0.25 }
+
+(** The raw (jitter-free) delay before retry attempt [attempt]
+    (1-based: [attempt = 1] is the first retry). *)
+let raw_delay_us (p : policy) ~attempt =
+  let a = max 1 attempt in
+  Float.min p.max_us (p.base_us *. (p.factor ** float_of_int (a - 1)))
+
+(** The jittered delay: raw ± jitter, never negative. *)
+let delay_us (p : policy) ~(rng : Random.State.t) ~attempt =
+  let r = raw_delay_us p ~attempt in
+  if p.jitter <= 0. then r
+  else
+    let j = r *. p.jitter in
+    Float.max 0. (r -. j +. Random.State.float rng (2. *. j))
+
+(** The whole schedule for [retries] retries, in order. *)
+let schedule (p : policy) ~(rng : Random.State.t) ~retries =
+  List.init (max 0 retries) (fun i -> delay_us p ~rng ~attempt:(i + 1))

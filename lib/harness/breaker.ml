@@ -1,0 +1,108 @@
+(** Per-job-class circuit breaker: closed → open → half-open.
+
+    The supervisor keeps one breaker per job class (compile jobs, chaos
+    mutants, fuzz programs, ...). While a class keeps failing there is
+    no point feeding it more work — each failure costs a forked worker,
+    its timeout, and its retry schedule — so after [threshold]
+    {e consecutive} failures the breaker {e opens} and subsequent jobs
+    of the class are shed immediately with a [Circuit_open] diagnostic.
+    After [cooldown_us] the breaker becomes {e half-open}: exactly one
+    probe job is let through; if it succeeds the breaker closes again,
+    if it fails the breaker re-opens for another cooldown. Trips are
+    recorded in the {!Obs.Metrics} registry
+    ([harness.breaker.trips] and [harness.breaker.<class>.trips]) so a
+    campaign report shows how often load was shed.
+
+    Time is passed in by the caller (the supervisor's monotonic
+    [Obs.now_us]) rather than read here, which keeps the state machine
+    deterministic under test. *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  name : string;  (** the job class this breaker guards *)
+  threshold : int;  (** consecutive failures that trip it *)
+  cooldown_us : float;  (** open time before the half-open probe *)
+  mutable st : state;
+  mutable consecutive : int;  (** consecutive failures while closed *)
+  mutable opened_at : float;
+  mutable probe_inflight : bool;  (** a half-open probe is running *)
+  mutable trips : int;
+}
+
+let create ?(threshold = 3) ?(cooldown_us = 1_000_000.) name =
+  {
+    name;
+    threshold = max 1 threshold;
+    cooldown_us;
+    st = Closed;
+    consecutive = 0;
+    opened_at = neg_infinity;
+    probe_inflight = false;
+    trips = 0;
+  }
+
+let trips (b : t) = b.trips
+
+(** The state as of [now_us], performing the timed open → half-open
+    transition if the cooldown has elapsed. *)
+let state (b : t) ~now_us =
+  (match b.st with
+  | Open when now_us -. b.opened_at >= b.cooldown_us ->
+    b.st <- Half_open;
+    b.probe_inflight <- false
+  | _ -> ());
+  b.st
+
+let trip (b : t) ~now_us =
+  b.st <- Open;
+  b.opened_at <- now_us;
+  b.consecutive <- 0;
+  b.probe_inflight <- false;
+  b.trips <- b.trips + 1;
+  Obs.Metrics.incr_counter "harness.breaker.trips";
+  Obs.Metrics.incr_counter ("harness.breaker." ^ b.name ^ ".trips")
+
+(** May a job of this class start now? In the half-open state only the
+    single probe is admitted; calling [allow] admits it (the caller
+    must follow up with {!record}). *)
+let allow (b : t) ~now_us =
+  match state b ~now_us with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+    if b.probe_inflight then false
+    else begin
+      b.probe_inflight <- true;
+      true
+    end
+
+(** Record the outcome of an admitted job. *)
+let record (b : t) ~now_us ~ok =
+  match state b ~now_us with
+  | Closed ->
+    if ok then b.consecutive <- 0
+    else begin
+      b.consecutive <- b.consecutive + 1;
+      if b.consecutive >= b.threshold then trip b ~now_us
+    end
+  | Half_open ->
+    b.probe_inflight <- false;
+    if ok then begin
+      b.st <- Closed;
+      b.consecutive <- 0
+    end
+    else trip b ~now_us
+  | Open ->
+    (* A job admitted before the trip finishing late: its outcome no
+       longer changes the state. *)
+    ()
+
+let pp fmt (b : t) =
+  Format.fprintf fmt "%s: %s (%d trip%s)" b.name (state_name b.st) b.trips
+    (if b.trips = 1 then "" else "s")

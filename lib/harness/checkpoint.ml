@@ -1,0 +1,138 @@
+(** Crash-safe append-only checkpoint journal.
+
+    One line of JSON per terminal job outcome, written with [O_APPEND]
+    and [fsync]'d before the write returns, so the journal survives a
+    [kill -9] of the supervisor at any point: the worst case is a torn
+    final line, which the loader tolerates (a half-written record means
+    the job was not durably completed, so it will simply run again on
+    resume — the safe direction). [occo batch --resume] and
+    [occo chaos --resume] load the journal and skip every job whose
+    recorded status counts as completed.
+
+    The writer doubles as the incremental artifact sink for the chaos
+    campaign's survivors ({!append_json}): anything worth keeping after
+    a crash goes through the same fsync'd line-JSON discipline. *)
+
+module Json = Obs.Json
+
+type entry = {
+  e_id : string;  (** the stable job id *)
+  e_class : string;  (** the job class (breaker bucket) *)
+  e_status : string;  (** "ok", "degraded", "failed", "crashed", ... *)
+  e_attempts : int;  (** attempts consumed, including the first *)
+  e_elapsed_us : float;  (** wall time across all attempts *)
+}
+
+let entry_to_json (e : entry) : Json.t =
+  Json.Obj
+    [
+      ("job", Json.Str e.e_id);
+      ("class", Json.Str e.e_class);
+      ("status", Json.Str e.e_status);
+      ("attempts", Json.num_of_int e.e_attempts);
+      ("elapsed_us", Json.Num e.e_elapsed_us);
+    ]
+
+let entry_of_json (j : Json.t) : entry option =
+  match
+    ( Option.bind (Json.member "job" j) Json.to_str,
+      Option.bind (Json.member "status" j) Json.to_str )
+  with
+  | Some id, Some status ->
+    Some
+      {
+        e_id = id;
+        e_class =
+          Option.value ~default:""
+            (Option.bind (Json.member "class" j) Json.to_str);
+        e_status = status;
+        e_attempts =
+          (match Option.bind (Json.member "attempts" j) Json.to_num with
+          | Some f -> int_of_float f
+          | None -> 1);
+        e_elapsed_us =
+          Option.value ~default:0.
+            (Option.bind (Json.member "elapsed_us" j) Json.to_num);
+      }
+  | _ -> None
+
+(** {1 Writing} *)
+
+type writer = { fd : Unix.file_descr; path : string; mutable closed : bool }
+
+(** Open (creating if needed) the journal at [path]. Every append is
+    [O_APPEND] + [fsync]. [truncate] starts the journal afresh — what a
+    non-resuming run wants, so stale entries from a previous batch
+    cannot shadow this one's. *)
+let open_journal ?(truncate = false) (path : string) : writer =
+  let flags =
+    [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+    @ if truncate then [ Unix.O_TRUNC ] else []
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  { fd; path; closed = false }
+
+let write_line (w : writer) (line : string) =
+  if not w.closed then begin
+    let s = line ^ "\n" in
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + Unix.write w.fd b off (Bytes.length b - off))
+    in
+    go 0;
+    Unix.fsync w.fd
+  end
+
+(** Append one arbitrary JSON value as a journal line (fsync'd). *)
+let append_json (w : writer) (j : Json.t) = write_line w (Json.to_string j)
+
+(** Append one job-outcome entry (fsync'd). *)
+let append (w : writer) (e : entry) = append_json w (entry_to_json e)
+
+let close (w : writer) =
+  if not w.closed then begin
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+(** {1 Loading} *)
+
+(** Parse every well-formed line of [path]; a missing file is an empty
+    journal, and torn or malformed lines (the tail a [kill -9] left
+    behind) are skipped rather than fatal. *)
+let load (path : string) : entry list =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line -> (
+        if String.trim line = "" then go acc
+        else
+          match Json.parse_opt line with
+          | None -> go acc (* torn or foreign line *)
+          | Some j -> (
+            match entry_of_json j with
+            | None -> go acc
+            | Some e -> go (e :: acc)))
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go [])
+
+(** Statuses that count as "this job need not run again". Failures are
+    deliberately not in the set: resuming a journal with failed jobs
+    retries exactly those. *)
+let completed_statuses = [ "ok"; "degraded" ]
+
+(** The ids to skip on resume: the last recorded status wins, so a job
+    that failed and was later re-run to completion is skipped. *)
+let completed_ids (entries : entry list) : (string, entry) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if List.mem e.e_status completed_statuses then
+        Hashtbl.replace tbl e.e_id e
+      else Hashtbl.remove tbl e.e_id)
+    entries;
+  tbl

@@ -1,0 +1,428 @@
+(** The supervised batch executor.
+
+    Runs a list of jobs through forked {!Worker} processes, up to a
+    configured concurrency, and degrades gracefully instead of
+    crashing:
+
+    - a worker that segfaults, OOMs or hangs becomes a structured
+      [Job_crashed] / [Job_timeout] outcome ({!Worker});
+    - transient failures ({!Support.Diagnostics.is_transient}) are
+      retried with exponential backoff + jitter ({!Backoff});
+    - a job class that keeps failing trips its circuit breaker and
+      later jobs of the class are shed fast ({!Breaker});
+    - every terminal outcome is appended, fsync'd, to the checkpoint
+      journal, and a resumed run skips completed jobs
+      ({!Checkpoint});
+    - a job whose retries are exhausted can fall back to a {e degraded}
+      variant (e.g. recompiling at [-O0], keeping partial artifacts) —
+      a lesser answer beats no answer.
+
+    The loop is single-threaded: one [select] over the workers' result
+    pipes, with the timeout set to the nearest of (worker deadline,
+    backoff wake-up). Time comes from the monotonic [Obs.now_us]. *)
+
+module Diag = Support.Diagnostics
+
+(** One unit of work. [job_run] executes in the forked child (which
+    inherits the parent's memory image, so it may capture arbitrary
+    state); its payload crosses back over a pipe and must therefore be
+    marshalable — plain data, no closures. *)
+type 'a job = {
+  job_id : string;  (** stable across runs: the checkpoint key *)
+  job_class : string;  (** breaker bucket, e.g. "compile" *)
+  job_run : attempt:int -> ('a, Diag.t) result;
+  job_degraded : (unit -> ('a, Diag.t) result) option;
+      (** last-resort fallback once retries are exhausted *)
+}
+
+type status =
+  | Completed  (** the job returned [Ok] *)
+  | Degraded  (** the fallback returned [Ok] after the job failed *)
+  | Failed  (** the job returned a structured [Error] *)
+  | Crashed  (** the worker died (signal, bad exit, OOM) *)
+  | Timed_out  (** the worker hit its wall-clock deadline *)
+  | Shed  (** never ran: the class's breaker was open *)
+  | Skipped  (** never ran: the journal says it already completed *)
+
+let status_name = function
+  | Completed -> "ok"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+  | Crashed -> "crashed"
+  | Timed_out -> "timeout"
+  | Shed -> "shed"
+  | Skipped -> "skipped"
+
+(** Did the supervisor deliver an answer for this job (possibly a
+    lesser one)? The batch exit code is the conjunction of these. *)
+let status_ok = function
+  | Completed | Degraded | Skipped -> true
+  | Failed | Crashed | Timed_out | Shed -> false
+
+type 'a outcome = {
+  o_id : string;
+  o_class : string;
+  o_status : status;
+  o_payload : 'a option;  (** present for [Completed] / [Degraded] *)
+  o_diag : Diag.t option;  (** present for every non-success *)
+  o_attempts : int;  (** worker launches, including the degraded one *)
+  o_elapsed_us : float;  (** first launch to terminal outcome *)
+}
+
+type config = {
+  c_jobs : int;  (** max concurrent workers *)
+  c_retries : int;  (** extra attempts for transient failures *)
+  c_timeout_us : float option;  (** per-attempt wall-clock deadline *)
+  c_memlimit_bytes : int option;  (** per-worker major-heap cap *)
+  c_backoff : Backoff.policy;
+  c_breaker_threshold : int;
+  c_breaker_cooldown_us : float;
+  c_seed : int;  (** jitter determinism *)
+  c_journal : string option;  (** checkpoint journal path *)
+  c_resume : bool;  (** skip jobs the journal completed *)
+}
+
+let default_config =
+  {
+    c_jobs = 1;
+    c_retries = 2;
+    c_timeout_us = Some 60e6;
+    c_memlimit_bytes = None;
+    c_backoff = Backoff.default;
+    c_breaker_threshold = 5;
+    c_breaker_cooldown_us = 2e6;
+    c_seed = 0;
+    c_journal = None;
+    c_resume = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'a pending = {
+  p_job : 'a job;
+  p_attempt : int;  (** 0-based index of the attempt about to run *)
+  p_degraded : bool;  (** this attempt is the degraded fallback *)
+  p_ready_us : float;  (** backoff: not before this instant *)
+  p_launches : int;  (** workers already spawned for this job *)
+  p_first_us : float option;  (** when the first worker started *)
+  p_rng : Random.State.t;  (** per-job deterministic jitter *)
+}
+
+type 'a running = { r_handle : Worker.handle; r_pending : 'a pending }
+
+let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
+    (jobs : 'a job list) : 'a outcome list =
+  let cfg = { cfg with c_jobs = max 1 cfg.c_jobs } in
+  let completed_before =
+    match (cfg.c_resume, cfg.c_journal) with
+    | true, Some path -> Checkpoint.completed_ids (Checkpoint.load path)
+    | _ -> Hashtbl.create 1
+  in
+  let writer =
+    (* A fresh (non-resume) run truncates: its journal describes this
+       run only. A resumed run appends to the record it is completing. *)
+    Option.map
+      (Checkpoint.open_journal ~truncate:(not cfg.c_resume))
+      cfg.c_journal
+  in
+  let outcomes : (string, 'a outcome) Hashtbl.t = Hashtbl.create 64 in
+  let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 8 in
+  let breaker cls =
+    match Hashtbl.find_opt breakers cls with
+    | Some b -> b
+    | None ->
+      let b =
+        Breaker.create ~threshold:cfg.c_breaker_threshold
+          ~cooldown_us:cfg.c_breaker_cooldown_us cls
+      in
+      Hashtbl.add breakers cls b;
+      b
+  in
+  let finalize ?payload ?diag ~now (p : 'a pending) (st : status) =
+    let elapsed =
+      match p.p_first_us with Some t0 -> now -. t0 | None -> 0.
+    in
+    let o =
+      {
+        o_id = p.p_job.job_id;
+        o_class = p.p_job.job_class;
+        o_status = st;
+        o_payload = payload;
+        o_diag = diag;
+        o_attempts = p.p_launches;
+        o_elapsed_us = elapsed;
+      }
+    in
+    Hashtbl.replace outcomes o.o_id o;
+    Obs.Metrics.incr_counter ("harness.jobs." ^ status_name st);
+    if st <> Skipped then Obs.Metrics.observe "harness.job_us" elapsed;
+    Option.iter
+      (fun w ->
+        if st <> Skipped then
+          Checkpoint.append w
+            {
+              Checkpoint.e_id = o.o_id;
+              e_class = o.o_class;
+              e_status = status_name st;
+              e_attempts = o.o_attempts;
+              e_elapsed_us = elapsed;
+            })
+      writer;
+    on_outcome o
+  in
+  (* Initial queue: everything the journal has not already completed. *)
+  let now0 = Obs.now_us () in
+  let queue : 'a pending list ref = ref [] in
+  List.iter
+    (fun j ->
+      if Hashtbl.mem completed_before j.job_id then
+        finalize ~now:now0
+          {
+            p_job = j;
+            p_attempt = 0;
+            p_degraded = false;
+            p_ready_us = now0;
+            p_launches = 0;
+            p_first_us = None;
+            p_rng = Random.State.make [| cfg.c_seed |];
+          }
+          Skipped
+      else
+        queue :=
+          {
+            p_job = j;
+            p_attempt = 0;
+            p_degraded = false;
+            p_ready_us = now0;
+            p_launches = 0;
+            p_first_us = None;
+            p_rng = Random.State.make [| cfg.c_seed; Hashtbl.hash j.job_id |];
+          }
+          :: !queue)
+    jobs;
+  queue := List.rev !queue;
+  let running : 'a running list ref = ref [] in
+  (* Decide what a finished (or failed-to-finish) attempt leads to:
+     retry with backoff, degrade, or a terminal outcome. *)
+  let conclude ~now (p : 'a pending) (v : 'a Worker.verdict) =
+    let b = breaker p.p_job.job_class in
+    let ok = match v with Worker.Returned (Ok _) -> true | _ -> false in
+    Breaker.record b ~now_us:now ~ok;
+    let diag_of = function
+      | Worker.Returned (Error d) -> d
+      | Worker.Crashed why ->
+        Diag.make ~phase:Diag.Batch ~kind:Diag.Job_crashed
+          ~context:[ ("job", p.p_job.job_id) ]
+          "worker died: %s" why
+      | Worker.Oom ->
+        Diag.make ~phase:Diag.Batch ~kind:Diag.Resource_exhausted
+          ~context:[ ("job", p.p_job.job_id) ]
+          "worker exceeded its memory limit"
+      | Worker.Timed_out ->
+        Diag.make ~phase:Diag.Batch ~kind:Diag.Job_timeout
+          ~context:[ ("job", p.p_job.job_id) ]
+          "worker exceeded its wall-clock limit"
+      | Worker.Returned (Ok _) -> assert false
+    in
+    let terminal_status = function
+      | Worker.Returned (Error _) -> Failed
+      | Worker.Crashed _ | Worker.Oom -> Crashed
+      | Worker.Timed_out -> Timed_out
+      | Worker.Returned (Ok _) -> assert false
+    in
+    match v with
+    | Worker.Returned (Ok payload) ->
+      finalize ~now ~payload p (if p.p_degraded then Degraded else Completed)
+    | v ->
+      let d = diag_of v in
+      if p.p_degraded then
+        (* The fallback itself failed: terminal, no more lifelines. *)
+        finalize ~now ~diag:d p (terminal_status v)
+      else if Diag.is_transient d.Diag.kind && p.p_attempt < cfg.c_retries
+      then begin
+        let delay =
+          Backoff.delay_us cfg.c_backoff ~rng:p.p_rng
+            ~attempt:(p.p_attempt + 1)
+        in
+        Obs.Metrics.incr_counter "harness.jobs.retries";
+        queue :=
+          !queue
+          @ [ { p with p_attempt = p.p_attempt + 1; p_ready_us = now +. delay } ]
+      end
+      else
+        match p.p_job.job_degraded with
+        | Some _ ->
+          Obs.Metrics.incr_counter "harness.jobs.degraded_attempts";
+          queue := !queue @ [ { p with p_degraded = true; p_ready_us = now } ]
+        | None -> finalize ~now ~diag:d p (terminal_status v)
+  in
+  let reap_running ~timed_out ~now (r : 'a running) =
+    running := List.filter (fun r' -> r' != r) !running;
+    if timed_out then Worker.kill r.r_handle;
+    conclude ~now r.r_pending (Worker.reap r.r_handle ~timed_out)
+  in
+  let launch ~now (p : 'a pending) =
+    let b = breaker p.p_job.job_class in
+    if not (Breaker.allow b ~now_us:now) then
+      finalize ~now
+        ~diag:
+          (Diag.make ~phase:Diag.Batch ~kind:Diag.Circuit_open
+             ~context:[ ("class", p.p_job.job_class) ]
+             "job shed: circuit breaker for class %s is open" p.p_job.job_class)
+        p Shed
+    else begin
+      let thunk =
+        if p.p_degraded then Option.get p.p_job.job_degraded
+        else fun () -> p.p_job.job_run ~attempt:p.p_attempt
+      in
+      let h =
+        Worker.spawn ?timeout_us:cfg.c_timeout_us
+          ?memlimit_bytes:cfg.c_memlimit_bytes thunk
+      in
+      Obs.Metrics.incr_counter "harness.jobs.launched";
+      running :=
+        {
+          r_handle = h;
+          r_pending =
+            {
+              p with
+              p_launches = p.p_launches + 1;
+              p_first_us =
+                (match p.p_first_us with
+                | Some _ as t -> t
+                | None -> Some h.Worker.started_us);
+            };
+        }
+        :: !running
+    end
+  in
+  let loop () =
+    while !queue <> [] || !running <> [] do
+      let now = Obs.now_us () in
+      (* Launch every ready job while there is capacity. *)
+      let rec fill () =
+        if List.length !running < cfg.c_jobs then
+          match
+            List.partition (fun p -> p.p_ready_us <= now) !queue
+          with
+          | p :: rest_ready, not_ready ->
+            queue := rest_ready @ not_ready;
+            launch ~now p;
+            fill ()
+          | [], _ -> ()
+      in
+      fill ();
+      (* Kill anything past its deadline. *)
+      List.iter
+        (fun r ->
+          if now >= r.r_handle.Worker.deadline_us then
+            reap_running ~timed_out:true ~now r)
+        !running;
+      if !queue <> [] || !running <> [] then begin
+        let next_deadline =
+          List.fold_left
+            (fun acc r -> Float.min acc r.r_handle.Worker.deadline_us)
+            infinity !running
+        and next_ready =
+          List.fold_left
+            (fun acc p -> Float.min acc p.p_ready_us)
+            infinity !queue
+        in
+        let horizon = Float.min next_deadline next_ready in
+        let wait_s =
+          if horizon = infinity then 0.5
+          else Float.max 0. (Float.min 0.5 ((horizon -. now) /. 1e6))
+        in
+        match !running with
+        | [] -> if wait_s > 0. then Unix.sleepf wait_s
+        | rs -> (
+          let fds = List.map (fun r -> r.r_handle.Worker.fd) rs in
+          match Unix.select fds [] [] wait_s with
+          | ready, _, _ ->
+            List.iter
+              (fun fd ->
+                match
+                  List.find_opt (fun r -> r.r_handle.Worker.fd = fd) !running
+                with
+                | None -> ()
+                | Some r -> (
+                  match Worker.read_chunk r.r_handle with
+                  | `More -> ()
+                  | `Eof ->
+                    reap_running ~timed_out:false ~now:(Obs.now_us ()) r))
+              ready
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      end
+    done
+  in
+  let cleanup () =
+    (* On any exit — including an interrupt raised from a signal
+       handler — no worker outlives the supervisor, and the journal fd
+       is closed (every line already hit the disk via fsync). *)
+    List.iter
+      (fun r ->
+        Worker.kill r.r_handle;
+        ignore (Worker.reap r.r_handle ~timed_out:true))
+      !running;
+    running := [];
+    Option.iter Checkpoint.close writer
+  in
+  Fun.protect ~finally:cleanup loop;
+  List.filter_map (fun j -> Hashtbl.find_opt outcomes j.job_id) jobs
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let count (outcomes : 'a outcome list) (st : status) =
+  List.length (List.filter (fun o -> o.o_status = st) outcomes)
+
+(** True iff every job ended in an acceptable state. *)
+let all_ok (outcomes : 'a outcome list) =
+  List.for_all (fun o -> status_ok o.o_status) outcomes
+
+let pp_summary fmt (outcomes : 'a outcome list) =
+  let line st =
+    let n = count outcomes st in
+    if n > 0 then Format.fprintf fmt "  %-8s %d@." (status_name st) n
+  in
+  Format.fprintf fmt "%d job%s:@." (List.length outcomes)
+    (if List.length outcomes = 1 then "" else "s");
+  List.iter line
+    [ Completed; Degraded; Skipped; Failed; Crashed; Timed_out; Shed ]
+
+let outcome_to_json ?payload_to_json (o : 'a outcome) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    ([
+       ("job", Str o.o_id);
+       ("class", Str o.o_class);
+       ("status", Str (status_name o.o_status));
+       ("attempts", num_of_int o.o_attempts);
+       ("elapsed_us", Num o.o_elapsed_us);
+     ]
+    @ (match o.o_diag with
+      | Some d -> [ ("diagnostic", Str (Diag.to_string d)) ]
+      | None -> [])
+    @
+    match (payload_to_json, o.o_payload) with
+    | Some f, Some p -> [ ("payload", f p) ]
+    | _ -> [])
+
+let report_to_json ?payload_to_json (outcomes : 'a outcome list) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("jobs", num_of_int (List.length outcomes));
+      ("ok", Bool (all_ok outcomes));
+      ( "counts",
+        Obj
+          (List.map
+             (fun st -> (status_name st, num_of_int (count outcomes st)))
+             [ Completed; Degraded; Skipped; Failed; Crashed; Timed_out; Shed ])
+      );
+      ( "results",
+        List (List.map (outcome_to_json ?payload_to_json) outcomes) );
+    ]

@@ -1,0 +1,178 @@
+(** Process-isolated job execution.
+
+    A job runs in a forked child, so a segfault, an OOM, an infinite
+    loop or a runaway allocation in the job is an {e exit status} the
+    parent classifies — never the death of the supervisor. CompCertO's
+    stance is that a component is characterized by its interactions
+    with the environment; here the interaction is deliberately narrow:
+    the child marshals one [('a, Diagnostics.t) result] over a pipe and
+    exits, and everything else the parent learns comes from
+    [waitpid].
+
+    Watchdogs:
+
+    - {e wall-clock}: the parent owns the deadline. The supervisor's
+      select loop calls {!kill} (SIGKILL, not catchable, not
+      maskable) when a handle's deadline passes; a hang in the child —
+      even in a tight non-allocating loop — cannot survive it.
+    - {e memory}: the toolchain's [Unix] binding has no [setrlimit], so
+      the child self-limits at the OCaml level: a [Gc] alarm checks the
+      major-heap size after every major collection and exits with the
+      reserved status {!oom_exit_code} when it exceeds the limit. This
+      bounds what an OCaml job can allocate, which is the resource that
+      actually runs away in this codebase (program terms, memory
+      states), at zero cost to well-behaved jobs. *)
+
+module Diag = Support.Diagnostics
+
+(** Reserved exit status: the in-child memory watchdog tripped. *)
+let oom_exit_code = 125
+
+(** What became of a worker, classified by the parent. *)
+type 'a verdict =
+  | Returned of ('a, Diag.t) result
+      (** the child ran the job to completion and sent its result —
+          which may well be [Error]; that is a structured job failure,
+          not a worker failure *)
+  | Crashed of string  (** the child died: signal, bad exit, torn pipe *)
+  | Oom  (** the child's memory watchdog tripped *)
+  | Timed_out  (** the parent killed the child at its deadline *)
+
+type handle = {
+  pid : int;
+  fd : Unix.file_descr;  (** read end of the result pipe *)
+  buf : Buffer.t;  (** marshaled result accumulates here *)
+  started_us : float;
+  deadline_us : float;  (** [infinity] when the job has no timeout *)
+  mutable reaped : bool;
+}
+
+let signal_name s =
+  let names =
+    [
+      (Sys.sigsegv, "SIGSEGV"); (Sys.sigkill, "SIGKILL");
+      (Sys.sigabrt, "SIGABRT"); (Sys.sigbus, "SIGBUS");
+      (Sys.sigfpe, "SIGFPE"); (Sys.sigill, "SIGILL");
+      (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM");
+      (Sys.sigpipe, "SIGPIPE");
+    ]
+  in
+  match List.assoc_opt s names with
+  | Some n -> n
+  | None -> Printf.sprintf "signal %d" s
+
+(** Arm the in-child memory watchdog: after each major collection,
+    exit with {!oom_exit_code} if the major heap exceeds the limit. *)
+let arm_memory_watchdog bytes =
+  let words = bytes / (Sys.word_size / 8) in
+  ignore
+    (Gc.create_alarm (fun () ->
+         if (Gc.quick_stat ()).Gc.heap_words > words then Unix._exit oom_exit_code))
+
+(** Fork a worker for [job]. The child runs [job ()], catching every
+    exception into an [Internal_error] diagnostic, marshals the result
+    to the pipe and [_exit]s 0 (no [at_exit], no double-flushed
+    buffers). The caller's payload must be marshalable (no closures) —
+    every payload in this repo is plain data. *)
+let spawn ?timeout_us ?memlimit_bytes (job : unit -> ('a, Diag.t) result) :
+    handle =
+  flush stdout;
+  flush stderr;
+  let rfd, wfd = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* child *)
+    Unix.close rfd;
+    (* The parent may have installed interrupt handlers that raise to
+       flush its sinks; a worker has no sinks — die by default. *)
+    (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
+    (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
+    Option.iter arm_memory_watchdog memlimit_bytes;
+    let result =
+      match job () with
+      | r -> r
+      | exception e -> Error (Diag.of_exn ~phase:Diag.Batch e)
+    in
+    (try
+       let oc = Unix.out_channel_of_descr wfd in
+       Marshal.to_channel oc result [];
+       flush oc
+     with _ -> Unix._exit 3);
+    Unix._exit 0
+  | pid ->
+    Unix.close wfd;
+    let now = Obs.now_us () in
+    {
+      pid;
+      fd = rfd;
+      buf = Buffer.create 256;
+      started_us = now;
+      deadline_us =
+        (match timeout_us with Some t -> now +. t | None -> infinity);
+      reaped = false;
+    }
+
+(** Read whatever the pipe has; [`Eof] means the child closed its end
+    (it finished or died) and the handle is ready to {!reap}. *)
+let read_chunk (h : handle) : [ `More | `Eof ] =
+  let chunk = Bytes.create 65536 in
+  match Unix.read h.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+    Buffer.add_subbytes h.buf chunk 0 n;
+    `More
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `More
+
+(** SIGKILL the worker (idempotent; ESRCH is fine — it already died). *)
+let kill (h : handle) =
+  try Unix.kill h.pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+(** Wait for the child and classify. [timed_out] is the parent's
+    verdict and overrides the exit status (a SIGKILLed child reports
+    WSIGNALED, but the cause is the deadline). *)
+let reap (h : handle) ~timed_out : 'a verdict =
+  let rec wait () =
+    match Unix.waitpid [] h.pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  let status = if h.reaped then Unix.WEXITED 0 else wait () in
+  h.reaped <- true;
+  (try Unix.close h.fd with Unix.Unix_error _ -> ());
+  if timed_out then Timed_out
+  else
+    match status with
+    | Unix.WEXITED 0 -> (
+      match Marshal.from_bytes (Buffer.to_bytes h.buf) 0 with
+      | result -> Returned result
+      | exception _ -> Crashed "result pipe carried a torn marshal")
+    | Unix.WEXITED c when c = oom_exit_code -> Oom
+    | Unix.WEXITED c -> Crashed (Printf.sprintf "exit %d" c)
+    | Unix.WSIGNALED s -> Crashed (signal_name s)
+    | Unix.WSTOPPED s -> Crashed (Printf.sprintf "stopped by %s" (signal_name s))
+
+(** Run one job synchronously under the watchdogs: spawn, pump the
+    pipe, enforce the deadline, reap. The supervisor has its own
+    multi-worker loop; this is the one-shot form for tests and simple
+    callers. *)
+let run ?timeout_us ?memlimit_bytes (job : unit -> ('a, Diag.t) result) :
+    'a verdict =
+  let h = spawn ?timeout_us ?memlimit_bytes job in
+  let rec pump () =
+    let now = Obs.now_us () in
+    if now >= h.deadline_us then begin
+      kill h;
+      reap h ~timed_out:true
+    end
+    else
+      let wait =
+        if h.deadline_us = infinity then -1.
+        else (h.deadline_us -. now) /. 1e6
+      in
+      match Unix.select [ h.fd ] [] [] wait with
+      | [], _, _ -> pump () (* deadline check on next turn *)
+      | _ :: _, _, _ -> (
+        match read_chunk h with `More -> pump () | `Eof -> reap h ~timed_out:false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+  in
+  pump ()

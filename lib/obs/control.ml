@@ -13,8 +13,23 @@ let with_enabled f =
   enabled := true;
   Fun.protect ~finally:(fun () -> enabled := saved) f
 
-(** Monotonic-enough wall clock in microseconds. [Unix.gettimeofday]
-    is what the toolchain gives us without an mtime dependency; spans
-    additionally carry a session-relative sequence number so ordering
-    survives clock granularity. *)
-let now_us () = Unix.gettimeofday () *. 1e6
+(** Monotonic wall clock in microseconds.
+
+    [Unix.gettimeofday] is the only wall clock the toolchain gives us
+    without an mtime dependency, and it is {e not} monotonic: an NTP
+    step can move it backwards, which would corrupt span durations,
+    histogram observations and — worse, now that the supervised batch
+    layer uses this clock for job deadlines — timeout accounting. We
+    make it monotonic Mtime-style: remember the largest value ever
+    returned and clamp to it, so [now_us] never decreases within a
+    process. During a backwards step time appears frozen until the
+    system clock catches up, which only shortens measured durations —
+    the failure mode we can afford. Spans additionally carry a
+    session-relative sequence number so ordering survives clock
+    granularity. *)
+let last_us = ref neg_infinity
+
+let now_us () =
+  let t = Unix.gettimeofday () *. 1e6 in
+  if t > !last_us then last_us := t;
+  !last_us

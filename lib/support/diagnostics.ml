@@ -18,6 +18,7 @@ type phase =
   | Linking  (** syntactic linking *)
   | Running  (** executing a semantics / marshaling a query *)
   | Campaign  (** the fault-injection campaign harness *)
+  | Batch  (** the supervised batch-execution layer *)
 
 (** What kind of failure it was. *)
 type kind =
@@ -31,6 +32,9 @@ type kind =
   | Oracle_violation  (** the environment answered outside the convention *)
   | Resource_exhausted  (** fuel or another bounded resource ran out *)
   | Internal_error  (** a caught exception: a bug in the compiler itself *)
+  | Job_crashed  (** a supervised worker process died (signal or bad exit) *)
+  | Job_timeout  (** a supervised worker exceeded its wall-clock limit *)
+  | Circuit_open  (** the job was shed: its class's circuit breaker is open *)
 
 type t = {
   phase : phase;
@@ -51,6 +55,7 @@ let phase_name = function
   | Linking -> "linking"
   | Running -> "running"
   | Campaign -> "campaign"
+  | Batch -> "batch"
 
 let kind_name = function
   | Lexical_error -> "lexical-error"
@@ -63,6 +68,24 @@ let kind_name = function
   | Oracle_violation -> "oracle-violation"
   | Resource_exhausted -> "resource-exhausted"
   | Internal_error -> "internal-error"
+  | Job_crashed -> "job-crashed"
+  | Job_timeout -> "job-timeout"
+  | Circuit_open -> "circuit-open"
+
+(** Transient failure classes: ones where retrying the same job can
+    plausibly succeed (a slow machine, a transiently loaded box, an
+    OOM-killed or wedged worker whose next incarnation draws a fresh
+    address space). Deterministic rejections — a pass returning
+    [Error], a validator refusal, a syntax error — are not transient:
+    retrying them only burns the backoff schedule. [Circuit_open] is
+    deliberately not transient either; shed load must fail fast, the
+    breaker's half-open probe is the retry mechanism. *)
+let is_transient = function
+  | Budget_exceeded | Resource_exhausted | Job_crashed | Job_timeout -> true
+  | Lexical_error | Syntax_error | Pass_failure | Validation_failure
+  | Marshal_failure | Oracle_refusal | Oracle_violation | Internal_error
+  | Circuit_open ->
+    false
 
 let make ?pass ?(context = []) ~phase ~kind fmt =
   Format.kasprintf

@@ -12,6 +12,7 @@ type phase =
   | Linking
   | Running
   | Campaign
+  | Batch
 
 type kind =
   | Lexical_error
@@ -24,6 +25,9 @@ type kind =
   | Oracle_violation
   | Resource_exhausted
   | Internal_error
+  | Job_crashed
+  | Job_timeout
+  | Circuit_open
 
 type t = {
   phase : phase;
@@ -37,6 +41,11 @@ type 'a r = ('a, t) result
 
 val phase_name : phase -> string
 val kind_name : kind -> string
+
+(** Is retrying a failure of this kind worthwhile? True for crashes,
+    timeouts and exhausted budgets/resources; false for deterministic
+    rejections (and for [Circuit_open], which must fail fast). *)
+val is_transient : kind -> bool
 
 (** [make ~phase ~kind fmt ...] builds a diagnostic with a formatted
     message. *)

@@ -24,4 +24,5 @@ let () =
       Test_diagnostics.suite;
       Test_faultinject.suite;
       Test_chaos.suite;
+      Test_harness.suite;
     ]
