@@ -482,12 +482,13 @@ let bench_pipeline () =
         ignore (Driver.Runners.run_a_level asm ~fuel:10_000_000 workload_query))
   in
   (* Feed the whole-pipeline numbers into the shared registry so they
-     land in BENCH_pipeline.json next to the per-pass histograms. *)
+     land in BENCH_pipeline.json next to the per-pass histograms. Gauges
+     use microseconds, like the pass histograms ([*_us]). *)
   Obs.with_enabled (fun () ->
-      Obs.Metrics.set_gauge "bench.compile_ns" t_compile;
-      Obs.Metrics.set_gauge "bench.compile_O0_ns" t_compile_o0;
-      Obs.Metrics.set_gauge "bench.interp_clight_ns" t_src;
-      Obs.Metrics.set_gauge "bench.interp_asm_ns" t_asm);
+      Obs.Metrics.set_gauge "bench.compile_us" (t_compile /. 1e3);
+      Obs.Metrics.set_gauge "bench.compile_O0_us" (t_compile_o0 /. 1e3);
+      Obs.Metrics.set_gauge "bench.interp_clight_us" (t_src /. 1e3);
+      Obs.Metrics.set_gauge "bench.interp_asm_us" (t_asm /. 1e3));
   table
     [
       [ "Measurement"; "Time" ];

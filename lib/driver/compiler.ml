@@ -247,18 +247,23 @@ let compile_diag ?(options = all_optims) ?budget_us (p : C.program) :
   let* rtl =
     rtl_stage "Deadcode" Passes.Deadcode.transf_program options.opt_deadcode rtl5
   in
-  let* ltl =
-    stage ~phase:Diag.Backend "Allocation" ~before:Sizes.rtl ~after:Sizes.ltl
-      ~save:(fun pa v -> { pa with pa_ltl = Some v })
-      Passes.Allocation.transf_program rtl
+  let* ltl, allocator_assigns =
+    stage ~phase:Diag.Backend "Allocation" ~before:Sizes.rtl
+      ~after:(fun (l, _) -> Sizes.ltl l)
+      ~save:(fun pa (l, _) -> { pa with pa_ltl = Some l })
+      Passes.Allocation.transf_program_with_assignments rtl
   in
   (* Translation validation of the untrusted allocator (CompCert-style):
-     a miscompilation in Allocation aborts the compilation here. *)
+     a miscompilation in Allocation aborts the compilation here. The
+     validator receives the allocator's own colorings and checks them
+     from scratch instead of re-deriving them. *)
   let* () =
     stage ~phase:Diag.Backend "AllocCheck" ~before:Sizes.ltl
       ~after:(fun () -> Sizes.ltl ltl)
       ~save:(fun pa () -> pa)
-      (fun ltl -> Passes.Alloc_check.validate_program rtl ltl)
+      (fun ltl ->
+        Passes.Alloc_check.validate_program ~assignments:allocator_assigns rtl
+          ltl)
       ltl
   in
   let* ltl_tunneled =
@@ -373,9 +378,13 @@ let backend_from_rtl (rtl : Middle.Rtl.program) : backend_artifacts Errors.t =
     | exception e ->
       Errors.error "%s: uncaught exception: %s" name (Printexc.to_string e)
   in
-  let* ltl = guard "Allocation" Passes.Allocation.transf_program rtl in
+  let* ltl, assignments =
+    guard "Allocation" Passes.Allocation.transf_program_with_assignments rtl
+  in
   let* () =
-    guard "AllocCheck" (Passes.Alloc_check.validate_program rtl) ltl
+    guard "AllocCheck"
+      (Passes.Alloc_check.validate_program ~assignments rtl)
+      ltl
   in
   let* ltl_tunneled = guard "Tunneling" Passes.Tunneling.transf_program ltl in
   let* linear = guard "Linearize" Passes.Linearize.transf_program ltl_tunneled in

@@ -79,18 +79,36 @@ let pp_preg fmt = function
 let all_pregs =
   PC :: SP :: RA :: SCR :: List.map (fun r -> Mreg r) Machregs.all_mregs
 
+let num_pregs = 4 + Machregs.num_mregs
+
+(** Dense ordinal of an architectural register, in [0, num_pregs). *)
+let preg_index = function
+  | PC -> 0
+  | SP -> 1
+  | RA -> 2
+  | SCR -> 3
+  | Mreg r -> 4 + Machregs.mreg_index r
+
 module Pregfile = struct
-  module PMap = Map.Make (struct
-    type t = preg
+  (* A dense array indexed by [preg_index], updated copy-on-write (like
+     [Machregs.Regfile]): O(1) [get]/[set] with no polymorphic-compare
+     calls, an allocation-free [equal], and purely functional values —
+     the array is never mutated after [set] returns it. This is the
+     register file the Asm interpreter reads and writes on every step. *)
+  type t = value array
 
-    let compare = compare
-  end)
+  let init : t = Array.make num_pregs Vundef
+  let get r (rf : t) = rf.(preg_index r)
 
-  type t = value PMap.t
+  let set r v (rf : t) : t =
+    let i = preg_index r in
+    if rf.(i) == v then rf
+    else begin
+      let rf' = Array.copy rf in
+      rf'.(i) <- v;
+      rf'
+    end
 
-  let init : t = PMap.empty
-  let get r (rf : t) = Option.value (PMap.find_opt r rf) ~default:Vundef
-  let set r v (rf : t) : t = PMap.add r v rf
   let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
 
   let of_regfile (mrs : Machregs.Regfile.t) : t =
@@ -103,7 +121,11 @@ module Pregfile = struct
       (fun mrs r -> Machregs.Regfile.set r (get (Mreg r) rf) mrs)
       Machregs.Regfile.init Machregs.all_mregs
 
-  let equal (a : t) (b : t) = List.for_all (fun r -> get r a = get r b) all_pregs
+  let equal (a : t) (b : t) =
+    a == b
+    ||
+    let rec go i = i >= num_pregs || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
 
   let pp fmt rf =
     Format.fprintf fmt "@[<h>{";

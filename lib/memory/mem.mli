@@ -55,8 +55,17 @@ val drop_range : t -> block -> int -> int -> t option
 (** Restrict permissions on a range to at most [p]. *)
 val drop_perm : t -> block -> int -> int -> permission -> t option
 
-(** Re-grant permission on a range (the [LM] convention's [mix]). *)
+(** Re-grant permission on a range (the [LM] convention's [mix]). The
+    range is clamped to the block's bounds; a range entirely outside
+    them returns [None]. *)
 val grant_perm : t -> block -> int -> int -> permission -> t option
+
+(** Per-offset permission entries materialized for a block: 0 while the
+    block carries one uniform permission over its whole extent (the
+    representation every block has between [alloc] and the first
+    sub-range [free]/[drop_perm]/[grant_perm]). Representation
+    introspection for tests and the bench; not part of the semantics. *)
+val perm_entries : t -> block -> int
 
 (** {1 Loads and stores} *)
 

@@ -3,7 +3,142 @@
     Used by register allocation (interference construction) and by the
     dead-code elimination pass. *)
 
-module RSet = Set.Make (Int)
+(** Sets of pseudo-registers. Pseudo-registers are small non-negative
+    integers, so an immutable packed bitset (63 bits per word, trailing
+    zero words trimmed so the representation is canonical) beats a
+    balanced tree on every operation the dataflow solver performs:
+    [union]/[diff]/[equal] are word-parallel, [mem]/[add]/[remove] are
+    O(words). The interface is the [Set.Make (Int)] subset the compiler
+    uses. *)
+module RSet : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val mem : int -> t -> bool
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val equal : t -> t -> bool
+  val of_list : int list -> t
+  val elements : t -> int list
+  val cardinal : t -> int
+  val iter : (int -> unit) -> t -> unit
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+end = struct
+  type t = int array
+
+  let bits = Sys.int_size
+  let empty : t = [||]
+  let is_empty s = Array.length s = 0
+
+  let trim (a : t) : t =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let mem i s =
+    let w = i / bits in
+    w < Array.length s && s.(w) land (1 lsl (i mod bits)) <> 0
+
+  let add i s =
+    let w = i / bits and b = i mod bits in
+    let n = Array.length s in
+    if w < n && s.(w) land (1 lsl b) <> 0 then s
+    else begin
+      let a = Array.make (max n (w + 1)) 0 in
+      Array.blit s 0 a 0 n;
+      a.(w) <- a.(w) lor (1 lsl b);
+      a
+    end
+
+  let remove i s =
+    let w = i / bits and b = i mod bits in
+    if w >= Array.length s || s.(w) land (1 lsl b) = 0 then s
+    else begin
+      let a = Array.copy s in
+      a.(w) <- a.(w) land lnot (1 lsl b);
+      trim a
+    end
+
+  let union (a : t) (b : t) : t =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let l = max la lb in
+      let r = Array.make l 0 in
+      for i = 0 to l - 1 do
+        r.(i) <-
+          (if i < la then a.(i) else 0) lor (if i < lb then b.(i) else 0)
+      done;
+      (* Preserve sharing when one side absorbs the other: the fixpoint
+         solver's stability test is then a physical-equality check. *)
+      let eq (x : t) lx =
+        lx = l
+        &&
+        let rec go i = i >= l || (r.(i) = x.(i) && go (i + 1)) in
+        go 0
+      in
+      if eq a la then a else if eq b lb then b else r
+    end
+
+  let diff (a : t) (b : t) : t =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then a
+    else begin
+      let r = Array.copy a in
+      for i = 0 to min la lb - 1 do
+        r.(i) <- a.(i) land lnot b.(i)
+      done;
+      trim r
+    end
+
+  let equal (a : t) (b : t) =
+    a == b
+    ||
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+  let iter f s =
+    for w = 0 to Array.length s - 1 do
+      let x = ref s.(w) in
+      while !x <> 0 do
+        let b = !x land - !x in
+        (* lowest set bit *)
+        let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+        f ((w * bits) + log2 b 0);
+        x := !x land lnot b
+      done
+    done
+
+  let fold f s acc =
+    let acc = ref acc in
+    iter (fun i -> acc := f i !acc) s;
+    !acc
+
+  let elements s = List.rev (fold (fun i l -> i :: l) s [])
+
+  let cardinal s =
+    let c = ref 0 in
+    Array.iter
+      (fun w ->
+        let x = ref w in
+        while !x <> 0 do
+          x := !x land (!x - 1);
+          incr c
+        done)
+      s;
+    !c
+end
 
 module L = struct
   type t = RSet.t
@@ -15,19 +150,27 @@ end
 
 module Solver = Support.Fixpoint.Make (L)
 
-(* Transfer function at node [n] holding instruction [i]:
-   live-in = (live-out \ defs) ∪ uses. *)
-let transfer (f : Rtl.coq_function) n (live_out : RSet.t) : RSet.t =
-  match Rtl.Regmap.find_opt n f.Rtl.fn_code with
-  | None -> RSet.empty
-  | Some i ->
-    let defs = RSet.of_list (Rtl.instr_defs i) in
-    let uses = RSet.of_list (Rtl.instr_uses i) in
-    RSet.union (RSet.diff live_out defs) uses
+(* Per-node defs/uses, converted to sets once per analysis instead of on
+   every transfer application inside the fixpoint loop. *)
+let def_use_table (f : Rtl.coq_function) : (int, RSet.t * RSet.t) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Rtl.Regmap.iter
+    (fun n i ->
+      Hashtbl.replace tbl n
+        (RSet.of_list (Rtl.instr_defs i), RSet.of_list (Rtl.instr_uses i)))
+    f.Rtl.fn_code;
+  tbl
 
-(** [analyze f] returns [live_in]: for each node, the registers live at
-    the entrance of the node's instruction. *)
-let analyze (f : Rtl.coq_function) : int -> RSet.t =
+(* Transfer function at node [n]:
+   live-in = (live-out \ defs) ∪ uses. *)
+let transfer_cached tbl n (live_out : RSet.t) : RSet.t =
+  match Hashtbl.find_opt tbl n with
+  | None -> RSet.empty
+  | Some (defs, uses) -> RSet.union (RSet.diff live_out defs) uses
+
+let solve_out (f : Rtl.coq_function) :
+    (int, RSet.t * RSet.t) Hashtbl.t * (int -> RSet.t) =
+  let tbl = def_use_table f in
   let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
   let successors n =
     match Rtl.Regmap.find_opt n f.Rtl.fn_code with
@@ -38,19 +181,42 @@ let analyze (f : Rtl.coq_function) : int -> RSet.t =
      live-ins of successors. live-in is then one transfer application. *)
   let live_out =
     Solver.solve_backward ~successors
-      ~transfer:(fun n out -> transfer f n out)
+      ~transfer:(fun n out -> transfer_cached tbl n out)
       ~entries:[] nodes
   in
-  fun n -> transfer f n (live_out n)
+  (tbl, live_out)
+
+(** [analyze f] returns [live_in]: for each node, the registers live at
+    the entrance of the node's instruction. Results are memoized, so
+    repeated queries at the same node cost one hash lookup. *)
+let analyze (f : Rtl.coq_function) : int -> RSet.t =
+  let tbl, live_out = solve_out f in
+  let memo : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
+  fun n ->
+    match Hashtbl.find_opt memo n with
+    | Some s -> s
+    | None ->
+      let s = transfer_cached tbl n (live_out n) in
+      Hashtbl.replace memo n s;
+      s
 
 (** Live-out of each node. *)
 let analyze_out (f : Rtl.coq_function) : int -> RSet.t =
-  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
-  let successors n =
-    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
-    | Some i -> Rtl.successors_instr i
-    | None -> []
+  snd (solve_out f)
+
+(** Both live-in and live-out from a single fixpoint solve, for clients
+    that need the two views of the same analysis (the allocation
+    validator runs its coloring check on live-out and its code check on
+    live-in). *)
+let analyze_both (f : Rtl.coq_function) : (int -> RSet.t) * (int -> RSet.t) =
+  let tbl, live_out = solve_out f in
+  let memo : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let live_in n =
+    match Hashtbl.find_opt memo n with
+    | Some s -> s
+    | None ->
+      let s = transfer_cached tbl n (live_out n) in
+      Hashtbl.replace memo n s;
+      s
   in
-  Solver.solve_backward ~successors
-    ~transfer:(fun n out -> transfer f n out)
-    ~entries:[] nodes
+  (live_in, live_out)

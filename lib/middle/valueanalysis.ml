@@ -27,7 +27,11 @@ let aval_lub a b =
 
 module AMap = Map.Make (Int)
 
-(* Abstract register environments. [None] encodes unreachable (⊥). *)
+(* Abstract register environments. [None] encodes unreachable (⊥).
+   Canonical form: a register absent from the map is [Vtop], and [Vtop]
+   is never stored — environments only hold the registers with a known
+   constant, which keeps them small (and [equal]/[lub] cheap) even in
+   functions with many registers. *)
 type aenv = aval AMap.t option
 
 let aenv_get r (ae : aenv) =
@@ -36,7 +40,9 @@ let aenv_get r (ae : aenv) =
   | Some m -> Option.value (AMap.find_opt r m) ~default:Vtop
 
 let aenv_set r v (ae : aenv) =
-  match ae with None -> None | Some m -> Some (AMap.add r v m)
+  match ae with
+  | None -> None
+  | Some m -> ( match v with Vtop -> Some (AMap.remove r m) | _ -> Some (AMap.add r v m))
 
 module L = struct
   type t = aenv
@@ -46,20 +52,26 @@ module L = struct
   let equal a b =
     match (a, b) with
     | None, None -> true
-    | Some m1, Some m2 -> AMap.equal aval_equal m1 m2
+    | Some m1, Some m2 -> m1 == m2 || AMap.equal aval_equal m1 m2
     | _ -> false
 
   let lub a b =
     match (a, b) with
     | None, x | x, None -> x
     | Some m1, Some m2 ->
-      Some
-        (AMap.merge
-           (fun _ v1 v2 ->
-             match (v1, v2) with
-             | Some v1, Some v2 -> Some (aval_lub v1 v2)
-             | _ -> Some Vtop)
-           m1 m2)
+      if m1 == m2 then a
+      else
+        (* Keys present in only one side lub with the implicit [Vtop],
+           so the canonical result keeps only keys agreeing on both
+           sides (modulo [aval_lub]). *)
+        Some
+          (AMap.merge
+             (fun _ v1 v2 ->
+               match (v1, v2) with
+               | Some v1, Some v2 -> (
+                 match aval_lub v1 v2 with Vtop -> None | v -> Some v)
+               | _ -> None)
+             m1 m2)
 end
 
 module Solver = Support.Fixpoint.Make (L)

@@ -46,74 +46,88 @@ let scratches = [ R10; SI; X2; X3 ]
 
 (** {1 Check 1: the coloring} *)
 
-let check_assignment (f : R.coq_function) (assign : assignment R.Regmap.t) :
-    unit Errors.t =
-  let live_out = Middle.Liveness.analyze_out f in
-  let get r = R.Regmap.find_opt r assign in
-  let loc r = Option.map loc_of (get r) in
-  (* Reserved scratch registers must not be allocated. *)
-  let* () =
-    R.Regmap.fold
-      (fun r a acc ->
-        let* () = acc in
+(* Early exit for the hot validation loops: the Errors monad threads a
+   closure per (definition, live register) pair, which dominates the
+   validator's profile on large functions; a local exception keeps the
+   loops allocation-free on the success path. *)
+exception Check_fail of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Check_fail s)) fmt
+
+let check_assignment_with ~(live_out : int -> RSet.t) (f : R.coq_function)
+    (assign : assignment R.Regmap.t) : unit Errors.t =
+  (* The assignment is consulted once per (definition, live register)
+     pair below: cache it in a hash table so each probe is O(1) instead
+     of a balanced-tree descent. *)
+  let locs : (int, loc) Hashtbl.t = Hashtbl.create 64 in
+  R.Regmap.iter (fun r a -> Hashtbl.replace locs r (loc_of a)) assign;
+  let loc r = Hashtbl.find_opt locs r in
+  try
+    (* Reserved scratch registers must not be allocated. *)
+    R.Regmap.iter
+      (fun r a ->
         match a with
         | Lreg m when List.mem m scratches ->
-          error "pseudo-register x%d assigned the scratch register %s" r
+          fail "pseudo-register x%d assigned the scratch register %s" r
             (mreg_name m)
-        | _ -> ok ())
-      assign (ok ())
-  in
-  (* Interference: at every definition point, the defined register's
-     location must not overlap any live-out register's location (except
-     the moved-from register of a move). *)
-  let* () =
-    R.Regmap.fold
-      (fun n i acc ->
-        let* () = acc in
-        let defs = R.instr_defs i in
-        let out = live_out n in
-        let exempt =
-          match i with R.Iop (Op.Omove, [ src ], _, _) -> Some src | _ -> None
-        in
-        fold_list
-          (fun () d ->
-            RSet.fold
-              (fun r acc ->
-                let* () = acc in
-                if r = d || exempt = Some r then ok ()
-                else
-                  match (loc d, loc r) with
-                  | Some ld, Some lr when locs_overlap ld lr ->
-                    error
-                      "interference violated at node %d: x%d and x%d share %s"
-                      n d r
-                      (Format.asprintf "%a" pp_loc ld)
-                  | _ -> ok ())
-              out (ok ()))
-          () defs)
-      f.R.fn_code (ok ())
-  in
-  (* Values live across calls must not sit in caller-save registers. *)
-  R.Regmap.fold
-    (fun n i acc ->
-      let* () = acc in
-      match i with
-      | R.Icall (_, _, _, res, _) ->
-        RSet.fold
-          (fun r acc ->
-            let* () = acc in
-            if r = res then ok ()
-            else
-              match get r with
-              | Some (Lreg m) when not (is_callee_save m) ->
-                error
-                  "x%d is live across the call at node %d but assigned the \
-                   caller-save register %s"
-                  r n (mreg_name m)
-              | _ -> ok ())
-          (live_out n) (ok ())
-      | _ -> ok ())
-    f.R.fn_code (ok ())
+        | _ -> ())
+      assign;
+    (* Interference: at every definition point, the defined register's
+       location must not overlap any live-out register's location (except
+       the moved-from register of a move). *)
+    R.Regmap.iter
+      (fun n i ->
+        match R.instr_defs i with
+        | [] -> ()
+        | defs ->
+          let out = live_out n in
+          (* Pseudo-registers are >= 1, so -1 never exempts anything. *)
+          let exempt =
+            match i with R.Iop (Op.Omove, [ src ], _, _) -> src | _ -> -1
+          in
+          List.iter
+            (fun d ->
+              match loc d with
+              | None -> ()
+              | Some ld ->
+                RSet.iter
+                  (fun r ->
+                    if r <> d && r <> exempt then
+                      match loc r with
+                      | Some lr when locs_overlap ld lr ->
+                        fail
+                          "interference violated at node %d: x%d and x%d \
+                           share %s"
+                          n d r
+                          (Format.asprintf "%a" pp_loc ld)
+                      | _ -> ())
+                  out)
+            defs)
+      f.R.fn_code;
+    (* Values live across calls must not sit in caller-save registers. *)
+    R.Regmap.iter
+      (fun n i ->
+        match i with
+        | R.Icall (_, _, _, res, _) ->
+          RSet.iter
+            (fun r ->
+              if r <> res then
+                match R.Regmap.find_opt r assign with
+                | Some (Lreg m) when not (is_callee_save m) ->
+                  fail
+                    "x%d is live across the call at node %d but assigned the \
+                     caller-save register %s"
+                    r n (mreg_name m)
+                | _ -> ())
+            (live_out n)
+        | _ -> ())
+      f.R.fn_code;
+    ok ()
+  with Check_fail e -> Error e
+
+let check_assignment (f : R.coq_function) (assign : assignment R.Regmap.t) :
+    unit Errors.t =
+  check_assignment_with ~live_out:(Middle.Liveness.analyze_out f) f assign
 
 (** {1 Check 2: the code} *)
 
@@ -126,60 +140,96 @@ type tag =
    the value denoted by tag [t]. One location may satisfy several
    equations at once — this is exactly what validates move coalescing,
    where several pseudo-registers with provably equal values share a
-   machine register. *)
+   machine register.
+
+   Equations are bucketed by {e storage class} — the unit of overlap: a
+   machine register, or a (kind, word) slot cell (slots are one word wide
+   on this target, [typ_words t = 1], so two slots overlap exactly when
+   kind and word coincide). Writing a location invalidates precisely its
+   bucket, and [holds]/[move] are one map lookup instead of a scan of
+   every equation; the buckets themselves stay tiny (the few coalesced
+   tags sharing one cell). *)
 module AbsState = struct
-  type t = (loc * tag) list
+  module KMap = Map.Make (Int)
 
-  let empty : t = []
-  let holds l tag (a : t) = List.exists (fun (l', t') -> loc_equal l l' && t' = tag) a
-  let tags_of l (a : t) = List.filter_map (fun (l', t) -> if loc_equal l l' then Some t else None) a
+  let key_of = function
+    | R m -> mreg_index m
+    | S (k, o, _) ->
+      num_mregs
+      + (3 * o)
+      + (match k with Local -> 0 | Incoming -> 1 | Outgoing -> 2)
 
-  (* Writing [l] invalidates every equation on an overlapping location. *)
+  type t = (loc * tag) list KMap.t
+
+  let empty : t = KMap.empty
+
+  let holds l tag (a : t) =
+    match KMap.find_opt (key_of l) a with
+    | None -> false
+    | Some eqs -> List.exists (fun (l', t') -> loc_equal l l' && t' = tag) eqs
+
+  let tags_of l (a : t) =
+    match KMap.find_opt (key_of l) a with
+    | None -> []
+    | Some eqs ->
+      List.filter_map (fun (l', t) -> if loc_equal l l' then Some t else None) eqs
+
+  (* Writing [l] invalidates every equation on an overlapping location —
+     exactly the bucket of [l]'s storage class. *)
   let assign_tags l tags (a : t) : t =
-    let a = List.filter (fun (l', _) -> not (locs_overlap l l')) a in
-    List.map (fun t -> (l, t)) tags @ a
+    match tags with
+    | [] -> KMap.remove (key_of l) a
+    | _ -> KMap.add (key_of l) (List.map (fun t -> (l, t)) tags) a
 
   let set l tag a = assign_tags l [ tag ] a
 
   (* Record an equation without invalidating others (used only when
      building the initial state, whose equations hold simultaneously). *)
-  let add l tag (a : t) : t = (l, tag) :: a
+  let add l tag (a : t) : t =
+    KMap.update (key_of l)
+      (fun eqs -> Some ((l, tag) :: Option.value eqs ~default:[]))
+      a
 
   (* Copy: the destination receives every equation of the source. *)
   let move ~src ~dst (a : t) : t = assign_tags dst (tags_of src a) a
 
+  (* Every equation in a bucket shares its storage class, so the first
+     location decides the bucket's fate. *)
   let kill_caller_save (a : t) : t =
-    List.filter
-      (fun (l, _) ->
-        match l with
-        | R m -> is_callee_save m
-        | S (Local, _, _) -> true
-        | S ((Incoming | Outgoing), _, _) -> false)
+    KMap.filter
+      (fun _ eqs ->
+        match eqs with
+        | (R m, _) :: _ -> is_callee_save m
+        | (S (Local, _, _), _) :: _ -> true
+        | (S ((Incoming | Outgoing), _, _), _) :: _ -> false
+        | [] -> false)
       a
 end
 
-(* What each live pseudo-register's value is after the instruction. *)
-let out_tag (instr : R.instruction) (r : R.reg) : tag =
+(* What each live pseudo-register's value is after the instruction.
+   [defs] is the precomputed [R.instr_defs instr], so per-register
+   queries allocate nothing. *)
+let out_tag (instr : R.instruction) (defs : R.reg list) (r : R.reg) : tag =
   match instr with
   | R.Iop (Op.Omove, [ src ], dst, _) when r = dst -> Tentry src
-  | _ -> if List.mem r (R.instr_defs instr) then Tdef else Tentry r
+  | _ -> if List.mem r defs then Tdef else Tentry r
 
 let boundary (f : R.coq_function) n = R.Regmap.mem n f.R.fn_code
 
-let check_boundary (f : R.coq_function) (assign : assignment R.Regmap.t)
-    (instr : R.instruction) (live : RSet.t) (a : AbsState.t) ~(ctx : string) :
-    unit Errors.t =
-  ignore f;
-  RSet.fold
-    (fun r acc ->
-      let* () = acc in
+(* [ctx] describes the boundary for error messages; it is a thunk so the
+   success path formats nothing. *)
+let check_boundary (assign : assignment R.Regmap.t) (instr : R.instruction)
+    (live : RSet.t) (a : AbsState.t) ~(ctx : unit -> string) : unit =
+  let defs = R.instr_defs instr in
+  RSet.iter
+    (fun r ->
       match R.Regmap.find_opt r assign with
-      | None -> error "%s: live pseudo-register x%d has no location" ctx r
+      | None -> fail "%s: live pseudo-register x%d has no location" (ctx ()) r
       | Some loc ->
-        if AbsState.holds (loc_of loc) (out_tag instr r) a then ok ()
-        else
-          error "%s: x%d is not in its location %a" ctx r pp_loc (loc_of loc))
-    live (ok ())
+        if not (AbsState.holds (loc_of loc) (out_tag instr defs r) a) then
+          fail "%s: x%d is not in its location %a" (ctx ()) r pp_loc
+            (loc_of loc))
+    live
 
 let args_hold (a : AbsState.t) (margs : mreg list) (rargs : R.reg list) : bool =
   List.length margs = List.length rargs
@@ -295,40 +345,55 @@ let init_state (assign : assignment R.Regmap.t) (live_in : RSet.t) : AbsState.t 
    expansion contains no distinguished operation. *)
 let is_move = function R.Iop (Op.Omove, [ _ ], _, _) -> true | _ -> false
 
+let check_code_with ~(live_in : int -> RSet.t) (f : R.coq_function)
+    (assign : assignment R.Regmap.t) (ltl : L.coq_function) : unit Errors.t =
+  try
+    R.Regmap.iter
+      (fun n instr ->
+        let a0 = init_state assign (live_in n) in
+        match walk f ltl instr n a0 ~performed:(is_move instr) ~fuel:64 with
+        | Error e -> raise (Check_fail e)
+        | Ok boundaries ->
+          List.iter
+            (fun (b, a) ->
+              check_boundary assign instr (live_in b) a ~ctx:(fun () ->
+                  Printf.sprintf "after node %d, entering %d" n b))
+            boundaries)
+      f.R.fn_code;
+    ok ()
+  with Check_fail e -> Error e
+
 let check_code (f : R.coq_function) (assign : assignment R.Regmap.t)
     (ltl : L.coq_function) : unit Errors.t =
-  let live_in = Middle.Liveness.analyze f in
-  R.Regmap.fold
-    (fun n instr acc ->
-      let* () = acc in
-      let a0 = init_state assign (live_in n) in
-      let* boundaries =
-        walk f ltl instr n a0 ~performed:(is_move instr) ~fuel:64
-      in
-      fold_list
-        (fun () (b, a) ->
-          check_boundary f assign instr (live_in b) a
-            ~ctx:(Printf.sprintf "after node %d, entering %d" n b))
-        () boundaries)
-    f.R.fn_code (ok ())
+  check_code_with ~live_in:(Middle.Liveness.analyze f) f assign ltl
 
-(** Run both validation passes on one function. *)
+(** Run both validation passes on one function. Liveness is solved once
+    and both checks read their view of it. *)
 let validate (f : R.coq_function) (assign : assignment R.Regmap.t)
     (ltl : L.coq_function) : unit Errors.t =
-  let* () = check_assignment f assign in
-  check_code f assign ltl
+  let live_in, live_out = Middle.Liveness.analyze_both f in
+  let* () = check_assignment_with ~live_out f assign in
+  check_code_with ~live_in f assign ltl
 
-(** Validate a whole program against [Allocation]: re-run the allocator's
-    (deterministic) coloring to obtain the assignment, then check the
-    generated LTL against it. *)
-let validate_program (rtl : R.program) (ltl : L.program) : unit Errors.t =
+(** Validate a whole program against [Allocation]. The allocator's own
+    (untrusted) colorings are taken from [assignments] when provided —
+    the CompCert architecture, where validation consumes the allocator's
+    output rather than re-deriving it; both checks treat the assignment
+    as hostile. Without [assignments] the deterministic coloring is
+    recomputed, for callers that only hold the two programs. *)
+let validate_program ?(assignments = []) (rtl : R.program) (ltl : L.program) :
+    unit Errors.t =
   fold_list
     (fun () (id, d) ->
       match d with
       | Iface.Ast.Gfun (Iface.Ast.Internal rf) -> (
         match Iface.Ast.find_def ltl id with
         | Some (Iface.Ast.Gfun (Iface.Ast.Internal lf)) ->
-          let assign, _ = Allocation.allocate rf in
+          let assign =
+            match List.assoc_opt id assignments with
+            | Some assign -> assign
+            | None -> fst (Allocation.allocate rf)
+          in
           (match validate rf assign lf with
           | Ok () -> ok ()
           | Error e -> error "%s: %s" (Support.Ident.name id) e)

@@ -86,9 +86,11 @@ let loc_of_assignment = function
   | Lreg r -> R r
   | Lslot (i, t) -> S (Local, i, t)
 
-let allocate (f : R.coq_function) :
+(* [allocate_with types f]: the coloring itself, reusing an
+   already-inferred typing (type inference runs once per function, shared
+   with code generation). *)
+let allocate_with (types : typ R.Regmap.t) (f : R.coq_function) :
     assignment R.Regmap.t * int (* number of Local slots used, incl. temps *) =
-  let types = infer_types f in
   let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
   let live_out = Middle.Liveness.analyze_out f in
   (* Registers live across some call. *)
@@ -103,28 +105,34 @@ let allocate (f : R.coq_function) :
     f.R.fn_code;
   (* Interference edges: at each definition, the defined register
      interferes with everything live after it (except itself, and except
-     the source of a move). *)
+     the source of a move). The defined register's neighbor set absorbs
+     the whole live-out set with one word-parallel union; only the
+     reverse edges are added bit by bit. *)
   let interf : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
-  let add_edge a b =
-    if a <> b then begin
-      Hashtbl.replace interf a
-        (RSet.add b (Option.value (Hashtbl.find_opt interf a) ~default:RSet.empty));
-      Hashtbl.replace interf b
-        (RSet.add a (Option.value (Hashtbl.find_opt interf b) ~default:RSet.empty))
-    end
+  let neighbors r = Option.value (Hashtbl.find_opt interf r) ~default:RSet.empty in
+  let add_against res out =
+    let out = RSet.remove res out in
+    Hashtbl.replace interf res (RSet.union (neighbors res) out);
+    RSet.iter (fun r -> Hashtbl.replace interf r (RSet.add res (neighbors r))) out
   in
   R.Regmap.iter
     (fun n i ->
       let out = live_out n in
       match i with
       | R.Iop (Op.Omove, [ src ], res, _) ->
-        RSet.iter (fun r -> if r <> src then add_edge res r) (RSet.remove res out)
+        add_against res (RSet.remove src out)
       | R.Iop (_, _, res, _) | R.Iload (_, _, _, res, _) | R.Icall (_, _, _, res, _)
         ->
-        RSet.iter (add_edge res) (RSet.remove res out)
+        add_against res out
       | _ -> ())
     f.R.fn_code;
   (* Parameters are defined simultaneously at entry. *)
+  let add_edge a b =
+    if a <> b then begin
+      Hashtbl.replace interf a (RSet.add b (neighbors a));
+      Hashtbl.replace interf b (RSet.add a (neighbors b))
+    end
+  in
   let rec pairwise = function
     | [] -> ()
     | p :: rest ->
@@ -141,9 +149,16 @@ let allocate (f : R.coq_function) :
          f.R.fn_code
          (RSet.of_list f.R.fn_params))
   in
-  let degree r =
-    RSet.cardinal (Option.value (Hashtbl.find_opt interf r) ~default:RSet.empty)
-  in
+  (* Precompute degrees once: the sort comparator must not recount a
+     neighbor set (O(edges)) on every comparison. *)
+  let degrees : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace degrees r
+        (RSet.cardinal
+           (Option.value (Hashtbl.find_opt interf r) ~default:RSet.empty)))
+    all_regs;
+  let degree r = Option.value (Hashtbl.find_opt degrees r) ~default:0 in
   let ordered = List.sort (fun a b -> compare (degree b) (degree a)) all_regs in
   let assignment = ref R.Regmap.empty in
   let next_slot = ref 0 in
@@ -185,6 +200,9 @@ let allocate (f : R.coq_function) :
       assignment := R.Regmap.add r a !assignment)
     ordered;
   (!assignment, !next_slot)
+
+let allocate (f : R.coq_function) : assignment R.Regmap.t * int =
+  allocate_with (infer_types f) f
 
 (** {1 Parallel moves}
 
@@ -304,10 +322,14 @@ let loc_of (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ) (r : R.reg) 
   | Some a -> loc_of_assignment a
   | None -> R (scratch_for (typ_of r) 0)
 
-let transf_function (f : R.coq_function) : L.coq_function Errors.t =
+(* Translate one function; also returns the coloring used, so the
+   validator can check the allocator's actual (untrusted) output instead
+   of re-deriving it. *)
+let transf_function_with_assignment (f : R.coq_function) :
+    (L.coq_function * assignment R.Regmap.t) Errors.t =
   let types = infer_types f in
   let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
-  let assign, nslots = allocate f in
+  let assign, nslots = allocate_with types f in
   let temp_slot = nslots in
   let callee_slot = nslots + 1 in
   let st = { code = L.Nodemap.empty; next_node = R.max_node f + 1 } in
@@ -455,12 +477,38 @@ let transf_function (f : R.coq_function) : L.coq_function Errors.t =
   let par = compile_parallel_move ~temp_slot entry_moves in
   let entry = emit_chain st (moves_code par) f.R.fn_entrypoint in
   ok
-    {
-      L.fn_sig = f.R.fn_sig;
-      fn_stacksize = f.R.fn_stacksize;
-      fn_code = st.code;
-      fn_entrypoint = entry;
-    }
+    ( {
+        L.fn_sig = f.R.fn_sig;
+        fn_stacksize = f.R.fn_stacksize;
+        fn_code = st.code;
+        fn_entrypoint = entry;
+      },
+      assign )
+
+let transf_function (f : R.coq_function) : L.coq_function Errors.t =
+  Errors.map fst (transf_function_with_assignment f)
+
+(** Translate a whole program, returning alongside the LTL the coloring
+    the allocator chose for each internal function — the untrusted input
+    [Alloc_check.validate_program] validates. *)
+let transf_program_with_assignments (p : R.program) :
+    (L.program * (Support.Ident.t * assignment R.Regmap.t) list) Errors.t =
+  let open Errors in
+  let* defs =
+    map_list
+      (fun (id, d) ->
+        match d with
+        | Iface.Ast.Gfun (Iface.Ast.Internal f) ->
+          let* f', assign = transf_function_with_assignment f in
+          ok ((id, Iface.Ast.Gfun (Iface.Ast.Internal f')), Some (id, assign))
+        | Iface.Ast.Gfun (Iface.Ast.External ef) ->
+          ok ((id, Iface.Ast.Gfun (Iface.Ast.External ef)), None)
+        | Iface.Ast.Gvar gv -> ok ((id, Iface.Ast.Gvar gv), None))
+      p.Iface.Ast.prog_defs
+  in
+  ok
+    ( { p with Iface.Ast.prog_defs = List.map fst defs },
+      List.filter_map snd defs )
 
 let transf_program (p : R.program) : L.program Errors.t =
-  Iface.Ast.transform_program transf_function p
+  Errors.map fst (transf_program_with_assignments p)

@@ -13,7 +13,10 @@ module type SEMILATTICE = sig
 
   (** Least upper bound. Must be monotone; the solver iterates to a
       post-fixpoint and relies on finite ascending chains for termination
-      (analyses with infinite-height lattices must widen in [lub]). *)
+      (analyses with infinite-height lattices must widen in [lub]).
+      Implementations should return one of their arguments physically
+      when it already absorbs the other — the solver tests physical
+      equality before the (potentially expensive) [equal]. *)
   val lub : t -> t -> t
 end
 
@@ -45,82 +48,71 @@ end
 module Make (L : SEMILATTICE) : SOLVER with type fact = L.t = struct
   type fact = L.t
 
-  let solve ~successors ~transfer ~entries nodes =
-    let value : (int, L.t) Hashtbl.t = Hashtbl.create 64 in
-    let get n = Option.value (Hashtbl.find_opt value n) ~default:L.bot in
-    let queue = Queue.create () in
-    let in_queue : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Both directions run on a dense-array engine: nodes are small
+     non-negative integers (RTL nodes and Linear labels are allocated
+     sequentially from 1), so facts, the visited queue and the
+     predecessor lists live in flat arrays — no hashing in the hot loop.
+     The queue holds each node at most once ([in_queue]), so a ring
+     buffer of [n + 1] slots never overflows. *)
+
+  let run ~(edges : int -> int list) ~transfer ~entries ~(seed : int list)
+      (size : int) : int -> L.t =
+    let value = Array.make size L.bot in
+    let in_queue = Array.make size false in
+    let queue = Array.make (size + 1) 0 in
+    let head = ref 0 and tail = ref 0 in
     let enqueue n =
-      if not (Hashtbl.mem in_queue n) then begin
-        Hashtbl.add in_queue n ();
-        Queue.add n queue
+      if not in_queue.(n) then begin
+        in_queue.(n) <- true;
+        queue.(!tail) <- n;
+        tail := (!tail + 1) mod Array.length queue
       end
     in
     let augment n v =
-      let old = get n in
+      let old = value.(n) in
       let merged = L.lub old v in
-      if not (L.equal old merged) then begin
-        Hashtbl.replace value n merged;
+      (* [lub] preserves sharing when one side absorbs the other, so a
+         physical-equality check skips most [equal] calls. *)
+      if merged != old && not (L.equal old merged) then begin
+        value.(n) <- merged;
         enqueue n
       end
     in
     List.iter (fun (n, v) -> augment n v) entries;
-    (* Seed every node once so unreachable nodes still get [bot] and
-       self-stabilize. *)
-    List.iter enqueue nodes;
-    let rec loop () =
-      match Queue.take_opt queue with
-      | None -> ()
-      | Some n ->
-        Hashtbl.remove in_queue n;
-        let out = transfer n (get n) in
-        List.iter (fun m -> augment m out) (successors n);
-        loop ()
-    in
-    loop ();
-    get
+    List.iter enqueue seed;
+    while !head <> !tail do
+      let n = queue.(!head) in
+      head := (!head + 1) mod Array.length queue;
+      in_queue.(n) <- false;
+      let out = transfer n value.(n) in
+      List.iter (fun p -> augment p out) (edges n)
+    done;
+    fun n -> if n >= 0 && n < size then value.(n) else L.bot
+
+  let graph_size entries nodes successors =
+    let m = List.fold_left (fun acc (n, _) -> max acc n) 0 entries in
+    List.fold_left
+      (fun acc n -> List.fold_left max (max acc n) (successors n))
+      m nodes
+    + 1
+
+  let solve ~successors ~transfer ~entries nodes =
+    run
+      ~edges:successors
+      ~transfer ~entries ~seed:nodes
+      (graph_size entries nodes successors)
 
   let solve_backward ~successors ~transfer ~entries nodes =
+    let size = graph_size entries nodes successors in
     (* Invert the graph, then run the forward engine on it. *)
-    let preds : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+    let preds = Array.make size [] in
     List.iter
-      (fun n ->
-        List.iter
-          (fun m ->
-            let cur = Option.value (Hashtbl.find_opt preds m) ~default:[] in
-            Hashtbl.replace preds m (n :: cur))
-          (successors n))
+      (fun n -> List.iter (fun m -> preds.(m) <- n :: preds.(m)) (successors n))
       nodes;
-    let value : (int, L.t) Hashtbl.t = Hashtbl.create 64 in
-    let get n = Option.value (Hashtbl.find_opt value n) ~default:L.bot in
-    let queue = Queue.create () in
-    let in_queue : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-    let enqueue n =
-      if not (Hashtbl.mem in_queue n) then begin
-        Hashtbl.add in_queue n ();
-        Queue.add n queue
-      end
-    in
-    let augment n v =
-      let old = get n in
-      let merged = L.lub old v in
-      if not (L.equal old merged) then begin
-        Hashtbl.replace value n merged;
-        enqueue n
-      end
-    in
-    List.iter (fun (n, v) -> augment n v) entries;
-    List.iter enqueue nodes;
-    let rec loop () =
-      match Queue.take_opt queue with
-      | None -> ()
-      | Some n ->
-        Hashtbl.remove in_queue n;
-        let out = transfer n (get n) in
-        let ps = Option.value (Hashtbl.find_opt preds n) ~default:[] in
-        List.iter (fun p -> augment p out) ps;
-        loop ()
-    in
-    loop ();
-    get
+    (* Seed in reverse: node ids grow roughly in program order, so
+       processing later nodes first lets facts propagate backward in few
+       passes. *)
+    run
+      ~edges:(fun n -> preds.(n))
+      ~transfer ~entries ~seed:(List.rev nodes) size
 end

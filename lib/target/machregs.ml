@@ -36,6 +36,17 @@ let mreg_name = function
 let pp_mreg fmt r = Format.pp_print_string fmt (mreg_name r)
 let compare_mreg : mreg -> mreg -> int = Stdlib.compare
 
+let num_mregs = 22
+
+(** Dense ordinal of a machine register, in [0, num_mregs). *)
+let mreg_index = function
+  | AX -> 0 | BX -> 1 | CX -> 2 | DX -> 3
+  | SI -> 4 | DI -> 5 | BP -> 6
+  | R8 -> 7 | R9 -> 8 | R10 -> 9
+  | R12 -> 10 | R13 -> 11 | R14 -> 12 | R15 -> 13
+  | X0 -> 14 | X1 -> 15 | X2 -> 16 | X3 -> 17
+  | X4 -> 18 | X5 -> 19 | X6 -> 20 | X7 -> 21
+
 let is_float_mreg = function
   | X0 | X1 | X2 | X3 | X4 | X5 | X6 | X7 -> true
   | _ -> false
@@ -60,19 +71,31 @@ let destroyed_at_call =
     interface (paper, Table 2). *)
 
 module Regfile = struct
-  module RMap = Map.Make (struct
-    type t = mreg
+  (* A dense array indexed by [mreg_index], updated copy-on-write: [set]
+     copies the 22-word array, so values remain purely functional while
+     [get]/[set] are O(1) with no comparator calls. The array is never
+     mutated after [set] returns it. *)
+  type t = value array
 
-    let compare = compare_mreg
-  end)
+  let init : t = Array.make num_mregs Vundef
+  let get r (rf : t) = rf.(mreg_index r)
 
-  type t = value RMap.t
+  let set r v (rf : t) : t =
+    let i = mreg_index r in
+    if rf.(i) == v then rf
+    else begin
+      let rf' = Array.copy rf in
+      rf'.(i) <- v;
+      rf'
+    end
 
-  let init : t = RMap.empty
-  let get r (rf : t) = Option.value (RMap.find_opt r rf) ~default:Vundef
-  let set r v (rf : t) : t = RMap.add r v rf
   let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
-  let equal (a : t) (b : t) = List.for_all (fun r -> get r a = get r b) all_mregs
+
+  let equal (a : t) (b : t) =
+    a == b
+    ||
+    let rec go i = i >= num_mregs || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
 
   let pp fmt (rf : t) =
     Format.fprintf fmt "@[<h>{";

@@ -5,6 +5,7 @@ let () =
     [
       Test_values.suite;
       Test_mem.suite;
+      Test_mem_diff.suite;
       Test_meminj.suite;
       Test_target.suite;
       Test_smallstep.suite;

@@ -1,0 +1,277 @@
+(** Differential tests for the interval/chunked memory representation:
+    [Memory.Mem] is executed side by side with [Mem_oracle] (the previous
+    per-byte implementation) on random operation sequences, and every
+    observable — operation success, returned values, per-offset
+    permissions and contents, block bounds — must agree. This is the
+    validation harness for the [Mem] hot-path rewrite: the representation
+    changed, the semantics must not.
+
+    Also contains the regression tests for the [grant_perm] bounds bug
+    (granting outside [lo, hi) used to mint permissions out of bounds)
+    and the representation test that alloc/free of a large block never
+    materializes per-offset permission entries. *)
+
+open Memory
+open Memory.Values
+open Memory.Memdata
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Operation language                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | OAlloc of int * int
+  | OFree of int * int * int  (** block, lo, hi *)
+  | ODropRange of int * int * int
+  | ODropPerm of int * int * int * Mem.permission
+  | OGrant of int * int * int * Mem.permission
+  | OStore of chunk * int * int * value
+  | OStorebytes of int * int * int list
+  | OLoad of chunk * int * int
+  | OLoadbytes of int * int * int
+
+(* What a step observably did; compared between the two implementations. *)
+type outcome =
+  | ODone of bool  (** operation succeeded *)
+  | OVal of value option
+  | OBytes of memval list option
+
+let step_new (m : Mem.t) : op -> Mem.t * outcome = function
+  | OAlloc (lo, hi) ->
+    let m, _ = Mem.alloc m lo hi in
+    (m, ODone true)
+  | OFree (b, lo, hi) -> (
+    match Mem.free m b lo hi with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | ODropRange (b, lo, hi) -> (
+    match Mem.drop_range m b lo hi with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | ODropPerm (b, lo, hi, p) -> (
+    match Mem.drop_perm m b lo hi p with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OGrant (b, lo, hi, p) -> (
+    match Mem.grant_perm m b lo hi p with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OStore (chunk, b, ofs, v) -> (
+    match Mem.store chunk m b ofs v with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OStorebytes (b, ofs, bytes) -> (
+    match Mem.storebytes m b ofs (List.map (fun x -> Byte x) bytes) with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OLoad (chunk, b, ofs) -> (m, OVal (Mem.load chunk m b ofs))
+  | OLoadbytes (b, ofs, n) -> (m, OBytes (Mem.loadbytes m b ofs n))
+
+let step_old (m : Mem_oracle.t) : op -> Mem_oracle.t * outcome = function
+  | OAlloc (lo, hi) ->
+    let m, _ = Mem_oracle.alloc m lo hi in
+    (m, ODone true)
+  | OFree (b, lo, hi) -> (
+    match Mem_oracle.free m b lo hi with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | ODropRange (b, lo, hi) -> (
+    match Mem_oracle.drop_range m b lo hi with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | ODropPerm (b, lo, hi, p) -> (
+    match Mem_oracle.drop_perm m b lo hi p with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OGrant (b, lo, hi, p) -> (
+    match Mem_oracle.grant_perm m b lo hi p with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OStore (chunk, b, ofs, v) -> (
+    match Mem_oracle.store chunk m b ofs v with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OStorebytes (b, ofs, bytes) -> (
+    match Mem_oracle.storebytes m b ofs (List.map (fun x -> Byte x) bytes) with
+    | Some m' -> (m', ODone true)
+    | None -> (m, ODone false))
+  | OLoad (chunk, b, ofs) -> (m, OVal (Mem_oracle.load chunk m b ofs))
+  | OLoadbytes (b, ofs, n) -> (m, OBytes (Mem_oracle.loadbytes m b ofs n))
+
+(* Observable state: bounds, permission and byte at every offset of a
+   window covering all generated ranges, for every block ever allocated
+   (plus one invalid id on each side). *)
+let obs_window = List.init 72 (fun i -> i - 20)
+
+let observe_new (m : Mem.t) =
+  List.init
+    (Mem.nextblock m + 1)
+    (fun b ->
+      ( Mem.block_bounds m b,
+        List.map (fun ofs -> (Mem.perm_at m b ofs, Mem.contents_at m b ofs)) obs_window
+      ))
+
+let observe_old (m : Mem_oracle.t) =
+  List.init
+    (Mem_oracle.nextblock m + 1)
+    (fun b ->
+      ( Mem_oracle.block_bounds m b,
+        List.map
+          (fun ofs -> (Mem_oracle.perm_at m b ofs, Mem_oracle.contents_at m b ofs))
+          obs_window ))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_perm =
+  QCheck.Gen.oneofl [ Mem.Nonempty; Mem.Readable; Mem.Writable; Mem.Freeable ]
+
+let gen_chunk =
+  QCheck.Gen.oneofl
+    [ Mint8signed; Mint8unsigned; Mint16signed; Mint16unsigned; Mint32;
+      Mint64 ]
+
+let gen_block = QCheck.Gen.int_range 0 4
+let gen_ofs = QCheck.Gen.int_range (-16) 44
+
+let gen_op : op QCheck.Gen.t =
+  let open QCheck.Gen in
+  let range = pair gen_ofs gen_ofs in
+  frequency
+    [
+      (1, map (fun (lo, hi) -> OAlloc (lo, hi)) range);
+      (2, map2 (fun b (lo, hi) -> OFree (b, lo, hi)) gen_block range);
+      (2, map2 (fun b (lo, hi) -> ODropRange (b, lo, hi)) gen_block range);
+      ( 2,
+        map3
+          (fun b (lo, hi) p -> ODropPerm (b, lo, hi, p))
+          gen_block range gen_perm );
+      ( 3,
+        map3 (fun b (lo, hi) p -> OGrant (b, lo, hi, p)) gen_block range
+          gen_perm );
+      ( 4,
+        map3
+          (fun chunk (b, ofs) v -> OStore (chunk, b, ofs, Vint (Int32.of_int v)))
+          gen_chunk (pair gen_block gen_ofs) (int_bound 1_000_000) );
+      ( 2,
+        map3
+          (fun b ofs bytes -> OStorebytes (b, ofs, bytes))
+          gen_block gen_ofs
+          (list_size (int_range 0 10) (int_bound 255)) );
+      ( 3,
+        map3 (fun chunk b ofs -> OLoad (chunk, b, ofs)) gen_chunk gen_block
+          gen_ofs );
+      ( 2,
+        map3 (fun b ofs n -> OLoadbytes (b, ofs, n)) gen_block gen_ofs
+          (int_range (-2) 12) );
+    ]
+
+let pp_op op =
+  match op with
+  | OAlloc (lo, hi) -> Printf.sprintf "alloc [%d,%d)" lo hi
+  | OFree (b, lo, hi) -> Printf.sprintf "free b%d [%d,%d)" b lo hi
+  | ODropRange (b, lo, hi) -> Printf.sprintf "drop_range b%d [%d,%d)" b lo hi
+  | ODropPerm (b, lo, hi, _) -> Printf.sprintf "drop_perm b%d [%d,%d)" b lo hi
+  | OGrant (b, lo, hi, _) -> Printf.sprintf "grant b%d [%d,%d)" b lo hi
+  | OStore (_, b, ofs, _) -> Printf.sprintf "store b%d @%d" b ofs
+  | OStorebytes (b, ofs, l) ->
+    Printf.sprintf "storebytes b%d @%d len %d" b ofs (List.length l)
+  | OLoad (_, b, ofs) -> Printf.sprintf "load b%d @%d" b ofs
+  | OLoadbytes (b, ofs, n) -> Printf.sprintf "loadbytes b%d @%d len %d" b ofs n
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 40) gen_op)
+
+(* A sequence biased toward the LM convention's argument-region protocol
+   (Fig. 13): allocate a stack block, carve the argument region out
+   ([free_args] = drop_range), then restore it ([mix] = grant_perm),
+   with stores and loads interleaved. *)
+let arb_carve_ops =
+  let open QCheck.Gen in
+  let seq =
+    let* alo = int_range (-8) 0 in
+    let* ahi = int_range 16 40 in
+    let* clo = int_range alo ahi in
+    let* chi = int_range clo ahi in
+    let* middle = list_size (int_range 0 12) gen_op in
+    let* p = gen_perm in
+    return
+      ((OAlloc (alo, ahi) :: ODropRange (1, clo, chi) :: middle)
+      @ [ OGrant (1, clo, chi, p); OLoadbytes (1, alo, ahi - alo) ])
+  in
+  QCheck.make ~print:(fun ops -> String.concat "; " (List.map pp_op ops)) seq
+
+let run_diff ops =
+  let rec go mn mo = function
+    | [] -> true
+    | op :: rest ->
+      let mn', rn = step_new mn op in
+      let mo', ro = step_old mo op in
+      if rn <> ro then
+        QCheck.Test.fail_reportf "outcome mismatch on %s" (pp_op op)
+      else if observe_new mn' <> observe_old mo' then
+        QCheck.Test.fail_reportf "state mismatch after %s" (pp_op op)
+      else go mn' mo' rest
+  in
+  go Mem.empty Mem_oracle.empty ops
+
+let diff_random =
+  QCheck.Test.make ~name:"random op sequences agree with per-byte oracle"
+    ~count:300 arb_ops run_diff
+
+let diff_carve =
+  QCheck.Test.make
+    ~name:"carve-then-grant round-trips agree with per-byte oracle (LM.mix)"
+    ~count:300 arb_carve_ops run_diff
+
+(* ------------------------------------------------------------------ *)
+(* Regressions and representation checks                               *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "grant_perm clamps to block bounds" `Quick (fun () ->
+        let m, b = Mem.alloc Mem.empty 0 16 in
+        let m = Option.get (Mem.drop_range m b 0 16) in
+        let m = Option.get (Mem.grant_perm m b (-8) 8 Mem.Freeable) in
+        check "granted inside" true (Mem.valid_pointer m b 0);
+        check "granted inside" true (Mem.valid_pointer m b 7);
+        check "not granted outside (below lo)" false
+          (Mem.valid_pointer m b (-1));
+        check "not granted past requested hi" false (Mem.valid_pointer m b 8));
+    Alcotest.test_case "grant_perm entirely outside bounds is rejected" `Quick
+      (fun () ->
+        let m, b = Mem.alloc Mem.empty 0 16 in
+        check "above" true (Mem.grant_perm m b 16 32 Mem.Freeable = None);
+        check "below" true (Mem.grant_perm m b (-8) 0 Mem.Freeable = None);
+        check "missing block" true
+          (Mem.grant_perm m (b + 7) 0 8 Mem.Freeable = None);
+        check "empty range is a no-op" true
+          (Mem.grant_perm m b 8 8 Mem.Freeable = Some m));
+    Alcotest.test_case "alloc+free of a large block stays interval-backed"
+      `Quick (fun () ->
+        let m, b = Mem.alloc Mem.empty 0 65536 in
+        check "no per-byte entries after alloc" true (Mem.perm_entries m b = 0);
+        let m = Option.get (Mem.store Mint64 m b 1024 (Vlong 7L)) in
+        check "no per-byte entries after store" true (Mem.perm_entries m b = 0);
+        let m = Option.get (Mem.free m b 0 65536) in
+        check "no per-byte entries after full free" true
+          (Mem.perm_entries m b = 0));
+    Alcotest.test_case "carving a sub-range materializes only that block"
+      `Quick (fun () ->
+        let m, b1 = Mem.alloc Mem.empty 0 64 in
+        let m, b2 = Mem.alloc m 0 64 in
+        let m = Option.get (Mem.drop_range m b1 8 16) in
+        check "carved block has entries" true (Mem.perm_entries m b1 > 0);
+        check "other block untouched" true (Mem.perm_entries m b2 = 0));
+  ]
+
+let suite =
+  ( "mem-diff",
+    unit_tests
+    @ List.map QCheck_alcotest.to_alcotest [ diff_random; diff_carve ] )
