@@ -568,11 +568,47 @@ let ablation () =
 
 (* The perf trajectory across PRs: a snapshot of the shared metrics
    registry (per-pass duration histograms recorded by the driver, plus
-   the bench.* gauges above). Schema documented in EXPERIMENTS.md. *)
+   the bench.* gauges above), stamped with run provenance under "meta"
+   — which `occo bench-diff` ignores. Schema documented in
+   EXPERIMENTS.md. *)
+
+let run_meta () =
+  let line_of cmd =
+    try
+      let ic = Unix.open_process_in cmd in
+      let l = try input_line ic with End_of_file -> "" in
+      (match Unix.close_process_in ic with _ -> ());
+      if l = "" then None else Some l
+    with _ -> None
+  in
+  let git_rev =
+    Option.value ~default:"unknown"
+      (line_of "git rev-parse --short HEAD 2>/dev/null")
+  in
+  let timestamp =
+    let t = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+      t.Unix.tm_sec
+  in
+  let hostname = try Unix.gethostname () with _ -> "unknown" in
+  Obs.Json.Obj
+    [
+      ("git_rev", Obs.Json.Str git_rev);
+      ("timestamp_utc", Obs.Json.Str timestamp);
+      ("hostname", Obs.Json.Str hostname);
+      ("ocaml_version", Obs.Json.Str Sys.ocaml_version);
+    ]
+
 let emit_bench_json () =
   let path = "BENCH_pipeline.json" in
+  let j =
+    match Obs.Metrics.dump_json () with
+    | Obs.Json.Obj kvs -> Obs.Json.Obj (("meta", run_meta ()) :: kvs)
+    | j -> j
+  in
   let oc = open_out path in
-  output_string oc (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+  output_string oc (Obs.Json.to_string j);
   output_char oc '\n';
   close_out oc;
   Format.printf "wrote %s@." path

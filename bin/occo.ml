@@ -728,12 +728,88 @@ let batch_cmd =
               ~doc:"Open time before the breaker admits a half-open probe.")
       $ trace_arg $ metrics_flag)
 
+(** {1 bench-diff}
+
+    Compare two metrics snapshots (as emitted by the bench harness or
+    [--metrics]) with relative per-key thresholds; exit 1 on any
+    regression. This replaces CI's old absolute microsecond budget: a
+    relative gate survives runners of different speeds. *)
+
+let bench_diff_cmd_run old_path new_path threshold_pct key_overrides
+    min_delta_us =
+  let load path =
+    match Obs.Json.parse_opt (read_file path) with
+    | Some j -> Ok j
+    | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+    | exception Sys_error msg -> Error msg
+  in
+  match (load old_path, load new_path) with
+  | Error msg, _ | _, Error msg ->
+    Format.eprintf "occo bench-diff: %s@." msg;
+    124
+  | Ok baseline, Ok current ->
+    let thresholds =
+      List.map (fun (k, pct) -> (k, pct /. 100.)) key_overrides
+    in
+    let verdicts =
+      Obs.Bench_diff.compare_snapshots
+        ~default_threshold:(threshold_pct /. 100.)
+        ~thresholds ~min_delta_us ~baseline ~current ()
+    in
+    Format.printf "%a" Obs.Bench_diff.pp_report verdicts;
+    (match Obs.Bench_diff.only_in current baseline with
+    | [] -> ()
+    | fresh ->
+      Format.printf "new keys (not compared): %s@."
+        (String.concat ", " fresh));
+    (match Obs.Bench_diff.only_in baseline current with
+    | [] -> ()
+    | gone ->
+      Format.printf "keys gone from the new snapshot: %s@."
+        (String.concat ", " gone));
+    if Obs.Bench_diff.regressions verdicts = [] then 0 else 1
+
+let bench_diff_cmd =
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two metrics snapshots (every gauge, every histogram's \
+          mean_us and p99_us) with relative thresholds; exit 1 if any \
+          compared key regressed, 124 if a snapshot is unreadable. Keys \
+          present in only one snapshot are reported but never fail the \
+          gate; the snapshots' $(b,meta) stamps are ignored.")
+    Term.(
+      const bench_diff_cmd_run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+      $ Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+      $ Arg.(
+          value & opt float 20.
+          & info [ "threshold" ] ~docv:"PCT"
+              ~doc:
+                "Default relative increase (percent) above which a key \
+                 counts as regressed.")
+      $ Arg.(
+          value
+          & opt_all (pair ~sep:'=' string float) []
+          & info [ "key" ] ~docv:"PREFIX=PCT"
+              ~doc:
+                "Per-key threshold override (percent); the longest \
+                 matching prefix wins, so $(b,--key pass.=50) covers the \
+                 pass family while $(b,--key bench.interp_asm_us=10) pins \
+                 one key. Repeatable.")
+      $ Arg.(
+          value & opt float 10.
+          & info [ "min-delta" ] ~docv:"US"
+              ~doc:
+                "Absolute increase floor: a key under it never regresses, \
+                 keeping sub-microsecond jitter out of the gate."))
+
 let main =
   Cmd.group
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
     [ compile_cmd; run_cmd; batch_cmd; derive_cmd; table_cmd; fuzz_cmd;
-      chaos_cmd ]
+      chaos_cmd; bench_diff_cmd ]
 
 (** An interrupt (SIGINT/SIGTERM) raised as an exception at the next
     safe point, so it unwinds through every [Fun.protect] on the way

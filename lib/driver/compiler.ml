@@ -55,10 +55,12 @@ type artifacts = {
 
 let when_opt flag pass p = if flag then pass p else ok p
 
-(* Observability (ISSUE 1 tentpole, part 3): each executed pass runs
-   inside a span carrying its wall time and the program shape
-   before/after, and feeds a per-pass duration histogram in the shared
-   metrics registry — the same numbers the bench harness exports. When
+(* Observability (ISSUE 1 tentpole, part 3; Gc profiling added in
+   ISSUE 6): each executed pass runs inside a span carrying its wall
+   time, the program shape before/after, and the Gc work it caused —
+   words allocated (minor and major) and major collections triggered —
+   and feeds per-pass duration and allocation histograms in the shared
+   metrics registry, the same numbers the bench harness exports. When
    [Obs.enabled] is off this is a single boolean test per pass. *)
 let observed name ~(before : 'a -> Sizes.shape) ~(after : 'b -> Sizes.shape)
     (pass : 'a -> 'b Errors.t) (p : 'a) : 'b Errors.t =
@@ -68,7 +70,29 @@ let observed name ~(before : 'a -> Sizes.shape) ~(after : 'b -> Sizes.shape)
         let sb = before p in
         Obs.Trace.add_attr "functions_before" (Obs.Json.num_of_int sb.Sizes.functions);
         Obs.Trace.add_attr "size_before" (Obs.Json.num_of_int sb.Sizes.size);
+        let g0 = Gc.quick_stat () in
+        (* [quick_stat]'s [minor_words] only advances at minor
+           collections on OCaml 5; [Gc.minor_words ()] reads the real
+           allocation pointer, so short passes don't report 0. *)
+        let mw0 = Gc.minor_words () in
         let r = Obs.Metrics.time ("pass." ^ name) (fun () -> pass p) in
+        let mw1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
+        (* Words the pass allocated: everything born in the minor heap
+           plus direct major allocations, not double-counting survivors
+           promoted from one to the other. *)
+        let minor_alloc = mw1 -. mw0 in
+        let major_alloc =
+          g1.Gc.major_words -. g0.Gc.major_words
+          -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+        in
+        Obs.Trace.add_attr "minor_alloc_words" (Obs.Json.Num minor_alloc);
+        Obs.Trace.add_attr "major_alloc_words" (Obs.Json.Num major_alloc);
+        Obs.Trace.add_attr "major_collections"
+          (Obs.Json.num_of_int (g1.Gc.major_collections - g0.Gc.major_collections));
+        Obs.Metrics.observe
+          ("pass." ^ name ^ ".alloc_words")
+          (minor_alloc +. major_alloc);
         (match r with
         | Ok q ->
           let sa = after q in

@@ -49,22 +49,34 @@ let create ?(threshold = 3) ?(cooldown_us = 1_000_000.) name =
 
 let trips (b : t) = b.trips
 
+(* Every state transition lands in the interaction log (when
+   observability is on): the supervisor's own interactions with its
+   environment, replayable next to the LTS events. *)
+let log_transition (b : t) ~from ~target =
+  Obs.Interaction_log.record
+    (Obs.Interaction_log.Service
+       (Printf.sprintf "breaker %s: %s -> %s" b.name (state_name from)
+          (state_name target)))
+
 (** The state as of [now_us], performing the timed open → half-open
     transition if the cooldown has elapsed. *)
 let state (b : t) ~now_us =
   (match b.st with
   | Open when now_us -. b.opened_at >= b.cooldown_us ->
     b.st <- Half_open;
-    b.probe_inflight <- false
+    b.probe_inflight <- false;
+    log_transition b ~from:Open ~target:Half_open
   | _ -> ());
   b.st
 
 let trip (b : t) ~now_us =
+  let from = b.st in
   b.st <- Open;
   b.opened_at <- now_us;
   b.consecutive <- 0;
   b.probe_inflight <- false;
   b.trips <- b.trips + 1;
+  log_transition b ~from ~target:Open;
   Obs.Metrics.incr_counter "harness.breaker.trips";
   Obs.Metrics.incr_counter ("harness.breaker." ^ b.name ^ ".trips")
 
@@ -95,7 +107,8 @@ let record (b : t) ~now_us ~ok =
     b.probe_inflight <- false;
     if ok then begin
       b.st <- Closed;
-      b.consecutive <- 0
+      b.consecutive <- 0;
+      log_transition b ~from:Half_open ~target:Closed
     end
     else trip b ~now_us
   | Open ->

@@ -216,6 +216,10 @@ let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
         Diag.make ~phase:Diag.Batch ~kind:Diag.Job_crashed
           ~context:[ ("job", p.p_job.job_id) ]
           "worker died: %s" why
+      | Worker.Pipe_write_failed ->
+        Diag.make ~phase:Diag.Batch ~kind:Diag.Job_crashed
+          ~context:[ ("job", p.p_job.job_id) ]
+          "worker completed but could not write its result to the pipe"
       | Worker.Oom ->
         Diag.make ~phase:Diag.Batch ~kind:Diag.Resource_exhausted
           ~context:[ ("job", p.p_job.job_id) ]
@@ -228,7 +232,7 @@ let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
     in
     let terminal_status = function
       | Worker.Returned (Error _) -> Failed
-      | Worker.Crashed _ | Worker.Oom -> Crashed
+      | Worker.Crashed _ | Worker.Pipe_write_failed | Worker.Oom -> Crashed
       | Worker.Timed_out -> Timed_out
       | Worker.Returned (Ok _) -> assert false
     in
@@ -279,7 +283,15 @@ let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
       in
       let h =
         Worker.spawn ?timeout_us:cfg.c_timeout_us
-          ?memlimit_bytes:cfg.c_memlimit_bytes thunk
+          ?memlimit_bytes:cfg.c_memlimit_bytes
+          ~label:("job:" ^ p.p_job.job_id)
+          ~attrs:
+            [
+              ("class", Obs.Json.Str p.p_job.job_class);
+              ("attempt", Obs.Json.num_of_int p.p_attempt);
+              ("degraded", Obs.Json.Bool p.p_degraded);
+            ]
+          thunk
       in
       Obs.Metrics.incr_counter "harness.jobs.launched";
       running :=
@@ -301,6 +313,12 @@ let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
   let loop () =
     while !queue <> [] || !running <> [] do
       let now = Obs.now_us () in
+      (* Service gauges: what the supervisor looks like from outside,
+         one write per loop turn (no-ops with observability off). *)
+      Obs.Metrics.set_gauge "harness.queue_depth"
+        (float_of_int (List.length !queue));
+      Obs.Metrics.set_gauge "harness.inflight"
+        (float_of_int (List.length !running));
       (* Launch every ready job while there is capacity. *)
       let rec fill () =
         if List.length !running < cfg.c_jobs then
@@ -370,6 +388,18 @@ let run ?(on_outcome = fun (_ : 'a outcome) -> ()) (cfg : config)
     Option.iter Checkpoint.close writer
   in
   Fun.protect ~finally:cleanup loop;
+  let t_end = Obs.now_us () in
+  Obs.Metrics.set_gauge "harness.queue_depth" 0.;
+  Obs.Metrics.set_gauge "harness.inflight" 0.;
+  let executed =
+    Hashtbl.fold
+      (fun _ o n -> if o.o_status <> Skipped then n + 1 else n)
+      outcomes 0
+  in
+  let elapsed_s = (t_end -. now0) /. 1e6 in
+  if executed > 0 && elapsed_s > 0. then
+    Obs.Metrics.set_gauge "harness.jobs_per_s"
+      (float_of_int executed /. elapsed_s);
   List.filter_map (fun j -> Hashtbl.find_opt outcomes j.job_id) jobs
 
 (* ------------------------------------------------------------------ *)

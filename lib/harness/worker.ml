@@ -28,6 +28,11 @@ module Diag = Support.Diagnostics
 (** Reserved exit status: the in-child memory watchdog tripped. *)
 let oom_exit_code = 125
 
+(** Reserved exit status: the child computed a result but could not
+    marshal it onto the pipe (unmarshalable payload, closed or full
+    pipe). Distinct from a crash: the job itself completed. *)
+let pipe_write_exit_code = 3
+
 (** What became of a worker, classified by the parent. *)
 type 'a verdict =
   | Returned of ('a, Diag.t) result
@@ -35,6 +40,9 @@ type 'a verdict =
           which may well be [Error]; that is a structured job failure,
           not a worker failure *)
   | Crashed of string  (** the child died: signal, bad exit, torn pipe *)
+  | Pipe_write_failed
+      (** the job ran to completion but its result never made it onto
+          the pipe ({!pipe_write_exit_code}) *)
   | Oom  (** the child's memory watchdog tripped *)
   | Timed_out  (** the parent killed the child at its deadline *)
 
@@ -73,9 +81,18 @@ let arm_memory_watchdog bytes =
     exception into an [Internal_error] diagnostic, marshals the result
     to the pipe and [_exit]s 0 (no [at_exit], no double-flushed
     buffers). The caller's payload must be marshalable (no closures) —
-    every payload in this repo is plain data. *)
-let spawn ?timeout_us ?memlimit_bytes (job : unit -> ('a, Diag.t) result) :
-    handle =
+    every payload in this repo is plain data.
+
+    Cross-process telemetry (ISSUE 6): when observability is on (the
+    child inherits the parent's [Obs.enabled] through fork), the child
+    first clears the sinks it inherited with the memory image, runs the
+    job inside a span named [label] (carrying [attrs]), and ships an
+    {!Obs.Snapshot} of everything it recorded — spans, counters,
+    gauges, histogram sketches — over the pipe next to the result. The
+    parent merges it in {!reap}, grafting the spans under the worker's
+    real pid. *)
+let spawn ?timeout_us ?memlimit_bytes ?(label = "job") ?(attrs = [])
+    (job : unit -> ('a, Diag.t) result) : handle =
   flush stdout;
   flush stderr;
   let rfd, wfd = Unix.pipe () in
@@ -88,16 +105,25 @@ let spawn ?timeout_us ?memlimit_bytes (job : unit -> ('a, Diag.t) result) :
     (try Sys.set_signal Sys.sigint Sys.Signal_default with _ -> ());
     (try Sys.set_signal Sys.sigterm Sys.Signal_default with _ -> ());
     Option.iter arm_memory_watchdog memlimit_bytes;
-    let result =
+    let obs_on = !Obs.enabled in
+    if obs_on then Obs.reset_all ();
+    let body () =
       match job () with
       | r -> r
       | exception e -> Error (Diag.of_exn ~phase:Diag.Batch e)
     in
+    let result =
+      if obs_on then Obs.Trace.with_span ~attrs label body else body ()
+    in
+    let payload :
+        ('a, Diag.t) result * Obs.Snapshot.t option =
+      (result, if obs_on then Some (Obs.Snapshot.capture ()) else None)
+    in
     (try
        let oc = Unix.out_channel_of_descr wfd in
-       Marshal.to_channel oc result [];
+       Marshal.to_channel oc payload [];
        flush oc
-     with _ -> Unix._exit 3);
+     with _ -> Unix._exit pipe_write_exit_code);
     Unix._exit 0
   | pid ->
     Unix.close wfd;
@@ -143,10 +169,26 @@ let reap (h : handle) ~timed_out : 'a verdict =
   else
     match status with
     | Unix.WEXITED 0 -> (
-      match Marshal.from_bytes (Buffer.to_bytes h.buf) 0 with
-      | result -> Returned result
+      match
+        (Marshal.from_bytes (Buffer.to_bytes h.buf) 0
+          : ('a, Diag.t) result * Obs.Snapshot.t option)
+      with
+      | result, snap ->
+        (* The worker's telemetry folds into this process's sinks:
+           counters add, gauges last-write-wins, histograms merge
+           bucket-wise, spans graft under the worker's pid. The merge
+           cost is itself metered (obs.snapshot_merge_us), so a batch
+           report shows what the cross-process telemetry costs. *)
+        Option.iter
+          (fun s ->
+            let t0 = Obs.now_us () in
+            Obs.Snapshot.merge ~pid:h.pid s;
+            Obs.Metrics.observe "obs.snapshot_merge_us" (Obs.now_us () -. t0))
+          snap;
+        Returned result
       | exception _ -> Crashed "result pipe carried a torn marshal")
     | Unix.WEXITED c when c = oom_exit_code -> Oom
+    | Unix.WEXITED c when c = pipe_write_exit_code -> Pipe_write_failed
     | Unix.WEXITED c -> Crashed (Printf.sprintf "exit %d" c)
     | Unix.WSIGNALED s -> Crashed (signal_name s)
     | Unix.WSTOPPED s -> Crashed (Printf.sprintf "stopped by %s" (signal_name s))
@@ -155,9 +197,9 @@ let reap (h : handle) ~timed_out : 'a verdict =
     pipe, enforce the deadline, reap. The supervisor has its own
     multi-worker loop; this is the one-shot form for tests and simple
     callers. *)
-let run ?timeout_us ?memlimit_bytes (job : unit -> ('a, Diag.t) result) :
-    'a verdict =
-  let h = spawn ?timeout_us ?memlimit_bytes job in
+let run ?timeout_us ?memlimit_bytes ?label ?attrs
+    (job : unit -> ('a, Diag.t) result) : 'a verdict =
+  let h = spawn ?timeout_us ?memlimit_bytes ?label ?attrs job in
   let rec pump () =
     let now = Obs.now_us () in
     if now >= h.deadline_us then begin

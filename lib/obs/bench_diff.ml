@@ -1,0 +1,118 @@
+(** Metrics-snapshot comparison: the bench regression gate (ISSUE 6
+    tentpole, part 5).
+
+    Compares two [Metrics.dump_json] snapshots (e.g. the committed
+    [BENCH_pipeline.json] baseline and a freshly regenerated one) key
+    by key with {e relative} thresholds, so the gate survives machines
+    of different speeds as long as baseline and candidate ran on the
+    same one — and CI can widen the threshold to absorb the
+    dev-box-to-runner gap instead of hardcoding an absolute budget.
+
+    Compared keys: every gauge, and every histogram's [mean_us] and
+    [p99_us]. A key present in only one snapshot is reported but never
+    a regression (new passes appear, old ones retire). The top-level
+    ["meta"] key (run provenance stamped by the bench harness) is
+    ignored entirely.
+
+    A key regresses when {e both} hold:
+    - the relative increase exceeds its threshold (per-key override or
+      the default), and
+    - the absolute increase exceeds [min_delta_us] — sub-microsecond
+      passes jitter by whole multiples of themselves; without an
+      absolute floor they would dominate the gate with noise. *)
+
+type verdict = {
+  v_key : string;
+  v_old : float;
+  v_new : float;
+  v_rel : float;  (** (new - old) / old; 0 when old <= 0 *)
+  v_regressed : bool;
+}
+
+(** Flatten one snapshot into the comparable (key, value) set. *)
+let comparable_values (j : Json.t) : (string * float) list =
+  let obj k =
+    match Json.member k j with Some (Json.Obj kvs) -> kvs | _ -> []
+  in
+  let gauges =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_num v))
+      (obj "gauges")
+  in
+  let hists =
+    List.concat_map
+      (fun (k, h) ->
+        List.filter_map
+          (fun field ->
+            Option.bind (Json.member field h) Json.to_num
+            |> Option.map (fun f -> (k ^ "." ^ field, f)))
+          [ "mean_us"; "p99_us" ])
+      (obj "histograms")
+  in
+  gauges @ hists
+
+(** Compare [current] against [baseline]. [default_threshold] and the
+    per-key [thresholds] are relative fractions (0.20 = a 20% increase
+    trips the gate). Returns one verdict per key present in both
+    snapshots, sorted by key. *)
+let compare_snapshots ?(default_threshold = 0.20) ?(thresholds = [])
+    ?(min_delta_us = 10.) ~(baseline : Json.t) ~(current : Json.t) () :
+    verdict list =
+  let old_vals = comparable_values baseline in
+  let new_vals = comparable_values current in
+  List.filter_map
+    (fun (k, ov) ->
+      match List.assoc_opt k new_vals with
+      | None -> None
+      | Some nv ->
+        let rel = if ov > 0. then (nv -. ov) /. ov else 0. in
+        let threshold =
+          (* The longest matching prefix override wins, so
+             "pass." can set a family-wide threshold while
+             "pass.Allocation.mean_us" pins one key. *)
+          List.fold_left
+            (fun (acc : (int * float) option) (prefix, t) ->
+              if
+                String.length prefix <= String.length k
+                && String.sub k 0 (String.length prefix) = prefix
+                && match acc with
+                   | Some (len, _) -> String.length prefix > len
+                   | None -> true
+              then Some (String.length prefix, t)
+              else acc)
+            None thresholds
+          |> Option.fold ~none:default_threshold ~some:snd
+        in
+        Some
+          {
+            v_key = k;
+            v_old = ov;
+            v_new = nv;
+            v_rel = rel;
+            v_regressed = rel > threshold && nv -. ov > min_delta_us;
+          })
+    (List.sort Stdlib.compare old_vals)
+
+let regressions (vs : verdict list) = List.filter (fun v -> v.v_regressed) vs
+
+(** Keys only one side has — informational, never a failure. *)
+let only_in (j1 : Json.t) (j2 : Json.t) : string list =
+  let k1 = List.map fst (comparable_values j1)
+  and k2 = List.map fst (comparable_values j2) in
+  List.filter (fun k -> not (List.mem k k2)) k1
+
+let pp_verdict fmt (v : verdict) =
+  Format.fprintf fmt "%-44s %12.1f %12.1f %+8.1f%%  %s" v.v_key v.v_old v.v_new
+    (100. *. v.v_rel)
+    (if v.v_regressed then "REGRESSED" else "ok")
+
+let pp_report fmt (vs : verdict list) =
+  Format.fprintf fmt "%-44s %12s %12s %9s@." "key" "old" "new" "delta";
+  List.iter (fun v -> Format.fprintf fmt "%a@." pp_verdict v) vs;
+  let r = regressions vs in
+  if r = [] then
+    Format.fprintf fmt "no regression across %d compared keys@."
+      (List.length vs)
+  else
+    Format.fprintf fmt "%d of %d keys regressed@." (List.length r)
+      (List.length vs)

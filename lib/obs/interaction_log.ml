@@ -21,6 +21,11 @@ type event =
   | Stuck  (** no step, no interaction: undefined behavior *)
   | Out_of_fuel
   | Fuel_consumed of int  (** total fuel a completed run burned *)
+  | Service of string
+      (** a service-level state transition (e.g. a circuit breaker
+          opening/closing in the batch supervisor) — the harness's own
+          interactions with its environment, logged in the same stream
+          as the LTS's *)
 
 let log : event list ref = ref []
 
@@ -40,6 +45,7 @@ let event_to_json = function
   | Out_of_fuel -> Json.Obj [ ("event", Json.Str "out_of_fuel") ]
   | Fuel_consumed n ->
     Json.Obj [ ("event", Json.Str "fuel_consumed"); ("count", Json.num_of_int n) ]
+  | Service s -> Json.Obj [ ("event", Json.Str "service"); ("payload", Json.Str s) ]
 
 let to_json () = Json.List (List.map event_to_json (events ()))
 
@@ -52,6 +58,7 @@ let pp_event fmt = function
   | Stuck -> Format.fprintf fmt "# stuck"
   | Out_of_fuel -> Format.fprintf fmt "# out of fuel"
   | Fuel_consumed n -> Format.fprintf fmt "~ %d fuel consumed" n
+  | Service s -> Format.fprintf fmt "@@ %s" s
 
 let pp fmt () =
   List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) (events ())

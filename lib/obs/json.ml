@@ -37,7 +37,12 @@ let escape_string s =
   Buffer.contents buf
 
 let pp_num fmt f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  (* JSON has no inf/nan literal; "%g" would print one and corrupt the
+     document. A non-finite measurement carries no information anyway,
+     so serialize it as null (and the parser reads null back as Null —
+     the round trip is lossy in type, never in well-formedness). *)
+  if not (Float.is_finite f) then Format.pp_print_string fmt "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Format.fprintf fmt "%.0f" f
   else Format.fprintf fmt "%.12g" f
 

@@ -4,13 +4,46 @@
     checker and the bench harness, so every consumer reads the same
     numbers (the bench's [BENCH_pipeline.json] is a [dump_json] of this
     registry, not a private timing table). Recording is gated on
-    [Control.enabled]; reading and dumping always work. *)
+    [Control.enabled]; reading and dumping always work.
+
+    Histograms are log-bucketed HDR-style sketches: each observation
+    lands in a geometric bucket (ratio {!gamma} between consecutive
+    bucket bounds), so quantiles are answerable at any time with a
+    bounded relative error of one bucket — p50/p90/p99 in [dump_json]
+    next to the exact count/sum/min/max. Because a bucket array is
+    plain data, two histograms merge bucket-wise, which is what lets a
+    forked worker's registry snapshot fold losslessly into the parent's
+    ({!snapshot} / {!absorb}, used by [Obs.Snapshot]). *)
+
+(** Ratio between consecutive histogram bucket bounds. Bucket [i]
+    (for [i >= 1]) covers [(gamma^(i-1), gamma^i]]; bucket 0 collects
+    everything [<= 1.0] (including non-positive outliers). With 1.2 a
+    reported quantile is within 10% of the true value. *)
+let gamma = 1.2
+
+let log_gamma = log gamma
+
+(** 170 buckets reach [gamma^169] ~ 2.4e13 µs (~280 days): every
+    duration this registry will ever see fits without overflow. *)
+let bucket_count = 170
+
+let bucket_of (v : float) : int =
+  if v <= 1.0 then 0
+  else
+    let i = int_of_float (Float.ceil (log v /. log_gamma)) in
+    if i < 1 then 1 else if i >= bucket_count then bucket_count - 1 else i
+
+(** The geometric midpoint of bucket [i], the value a quantile query
+    reports for observations that landed there. *)
+let bucket_rep (i : int) : float =
+  if i = 0 then 1.0 else gamma ** (float_of_int i -. 0.5)
 
 type histogram = {
   mutable count : int;
   mutable sum : float;
   mutable min : float;
   mutable max : float;
+  buckets : int array;  (** [bucket_count] log-spaced counts *)
 }
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
@@ -38,6 +71,13 @@ let set_gauge name v =
     | Some r -> r := v
     | None -> Hashtbl.add gauges name (ref v)
 
+let fresh_histogram v =
+  let h =
+    { count = 1; sum = v; min = v; max = v; buckets = Array.make bucket_count 0 }
+  in
+  h.buckets.(bucket_of v) <- 1;
+  h
+
 (** Record one observation (for durations: microseconds). *)
 let observe name v =
   if !Control.enabled then
@@ -46,8 +86,10 @@ let observe name v =
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
       h.min <- Float.min h.min v;
-      h.max <- Float.max h.max v
-    | None -> Hashtbl.add histograms name { count = 1; sum = v; min = v; max = v }
+      h.max <- Float.max h.max v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1
+    | None -> Hashtbl.add histograms name (fresh_histogram v)
 
 (** [time name f] runs [f ()] and records its wall time (µs) in the
     [name] histogram. When observability is off this is exactly [f ()]. *)
@@ -68,22 +110,139 @@ let get_counter name =
 let get_gauge name =
   Option.map ( ! ) (Hashtbl.find_opt gauges name)
 
-type stats = { count : int; sum : float; min : float; max : float; mean : float }
+(** The [q]-quantile (0 < q <= 1) of a histogram, from the sketch: the
+    representative value of the bucket holding the rank-[ceil(q*n)]
+    observation, clamped to the exact [min]/[max]. Within one bucket
+    (a factor of {!gamma}) of the true quantile. *)
+let hist_quantile (h : histogram) (q : float) : float =
+  if h.count = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+    let rank = min rank h.count in
+    let acc = ref 0 and found = ref h.max in
+    (try
+       for i = 0 to bucket_count - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= rank then begin
+           found := bucket_rep i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min h.max (Float.max h.min !found)
+  end
+
+type stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let stats_of (h : histogram) : stats =
+  {
+    count = h.count;
+    sum = h.sum;
+    min = h.min;
+    max = h.max;
+    mean = (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
+    p50 = hist_quantile h 0.50;
+    p90 = hist_quantile h 0.90;
+    p99 = hist_quantile h 0.99;
+  }
 
 let histogram_stats name : stats option =
-  Option.map
-    (fun (h : histogram) ->
-      {
-        count = h.count;
-        sum = h.sum;
-        min = h.min;
-        max = h.max;
-        mean = (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
-      })
-    (Hashtbl.find_opt histograms name)
+  Option.map stats_of (Hashtbl.find_opt histograms name)
+
+let quantile name q : float option =
+  Option.map (fun h -> hist_quantile h q) (Hashtbl.find_opt histograms name)
 
 let histogram_names () =
   Hashtbl.fold (fun k _ acc -> k :: acc) histograms [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process snapshot / merge                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A marshalable copy of the whole registry: what a forked worker
+    sends back over its result pipe. Plain data — no refs shared with
+    the live tables. *)
+type hist_snap = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : int array;
+}
+
+type snap = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hist_snap) list;
+}
+
+let snapshot () : snap =
+  {
+    s_counters = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters [];
+    s_gauges = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauges [];
+    s_histograms =
+      Hashtbl.fold
+        (fun k (h : histogram) acc ->
+          ( k,
+            {
+              hs_count = h.count;
+              hs_sum = h.sum;
+              hs_min = h.min;
+              hs_max = h.max;
+              hs_buckets = Array.copy h.buckets;
+            } )
+          :: acc)
+        histograms [];
+  }
+
+(** Fold a snapshot into this process's registry: counters add, gauges
+    last-write-wins (the snapshot is the later write), histograms merge
+    bucket-wise. Not gated on [Control.enabled] — merging is an
+    explicit management operation, like [reset]. *)
+let absorb (s : snap) : unit =
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt counters k with
+      | Some r -> r := !r + v
+      | None -> Hashtbl.add counters k (ref v))
+    s.s_counters;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt gauges k with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauges k (ref v))
+    s.s_gauges;
+  List.iter
+    (fun (k, hs) ->
+      if hs.hs_count > 0 then
+        match Hashtbl.find_opt histograms k with
+        | Some h ->
+          h.count <- h.count + hs.hs_count;
+          h.sum <- h.sum +. hs.hs_sum;
+          h.min <- Float.min h.min hs.hs_min;
+          h.max <- Float.max h.max hs.hs_max;
+          Array.iteri
+            (fun i n -> if n > 0 then h.buckets.(i) <- h.buckets.(i) + n)
+            hs.hs_buckets
+        | None ->
+          Hashtbl.add histograms k
+            {
+              count = hs.hs_count;
+              sum = hs.hs_sum;
+              min = hs.hs_min;
+              max = hs.hs_max;
+              buckets = Array.copy hs.hs_buckets;
+            })
+    s.s_histograms
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                             *)
@@ -95,7 +254,9 @@ let sorted_bindings tbl =
 
 (** Snapshot of the whole registry:
     [{"counters": {..}, "gauges": {..}, "histograms": {name:
-     {"count","sum_us","min_us","max_us","mean_us"}}}]. *)
+     {"count","sum_us","min_us","max_us","mean_us","p50_us","p90_us",
+      "p99_us"}}}]. The first five histogram keys predate the sketch
+    and keep their exact meaning; the percentiles are sketch-derived. *)
 let dump_json () : Json.t =
   Json.Obj
     [
@@ -110,17 +271,18 @@ let dump_json () : Json.t =
         Json.Obj
           (List.map
              (fun (k, (h : histogram)) ->
+               let s = stats_of h in
                ( k,
                  Json.Obj
                    [
-                     ("count", Json.num_of_int h.count);
-                     ("sum_us", Json.Num h.sum);
-                     ("min_us", Json.Num h.min);
-                     ("max_us", Json.Num h.max);
-                     ( "mean_us",
-                       Json.Num
-                         (if h.count = 0 then 0. else h.sum /. float_of_int h.count)
-                     );
+                     ("count", Json.num_of_int s.count);
+                     ("sum_us", Json.Num s.sum);
+                     ("min_us", Json.Num s.min);
+                     ("max_us", Json.Num s.max);
+                     ("mean_us", Json.Num s.mean);
+                     ("p50_us", Json.Num s.p50);
+                     ("p90_us", Json.Num s.p90);
+                     ("p99_us", Json.Num s.p99);
                    ] ))
              (sorted_bindings histograms)) );
     ]
@@ -134,8 +296,9 @@ let pp_summary fmt () =
     (sorted_bindings gauges);
   List.iter
     (fun (k, (h : histogram)) ->
-      Format.fprintf fmt "%-40s n=%-6d mean=%.1fus min=%.1fus max=%.1fus@." k
-        h.count
-        (if h.count = 0 then 0. else h.sum /. float_of_int h.count)
-        h.min h.max)
+      let s = stats_of h in
+      Format.fprintf fmt
+        "%-40s n=%-6d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus min=%.1fus \
+         max=%.1fus@."
+        k s.count s.mean s.p50 s.p90 s.p99 s.min s.max)
     (sorted_bindings histograms)

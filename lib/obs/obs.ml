@@ -5,10 +5,15 @@
     pieces:
 
     - {!Trace}: nested spans with attributes, exported as Chrome
-      trace-event JSON or a printed tree;
-    - {!Metrics}: process-global counters / gauges / duration
-      histograms with a JSON snapshot;
-    - {!Interaction_log}: the replayable log of LTS interaction points;
+      trace-event JSON (one lane per process) or a printed tree;
+    - {!Metrics}: process-global counters / gauges / log-bucketed
+      duration-histogram sketches (p50/p90/p99) with a JSON snapshot;
+    - {!Interaction_log}: the replayable log of LTS interaction points
+      and service-level events;
+    - {!Snapshot}: the marshalable capture of spans + metrics a forked
+      worker ships back over its result pipe, merged by the parent;
+    - {!Bench_diff}: relative-threshold comparison of two metrics
+      snapshots — the bench regression gate;
     - {!Json}: the minimal JSON tree the exporters print (and a parser,
       so tests can validate exported traces).
 
@@ -19,6 +24,8 @@ module Json = Json
 module Trace = Trace
 module Metrics = Metrics
 module Interaction_log = Interaction_log
+module Snapshot = Snapshot
+module Bench_diff = Bench_diff
 
 (** The process-global switch gating all recording. *)
 let enabled = Control.enabled

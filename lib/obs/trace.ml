@@ -22,15 +22,19 @@ type span = {
 
 (* The sink: open-span stack, finished roots (reverse order), and a
    sequence counter. All process-global, like the registry in
-   [Metrics]. *)
+   [Metrics]. [foreign] holds span forests grafted from other
+   processes (forked workers), keyed by their real pid, so the Chrome
+   export renders one lane per worker. *)
 let open_stack : span list ref = ref []
 let finished : span list ref = ref []
 let seq_counter = ref 0
+let foreign : (int * span list) list ref = ref []  (** reverse arrival order *)
 
 let reset () =
   open_stack := [];
   finished := [];
-  seq_counter := 0
+  seq_counter := 0;
+  foreign := []
 
 let next_seq () =
   incr seq_counter;
@@ -92,23 +96,38 @@ let with_span ?(attrs = []) name f =
 (** Completed top-level spans, oldest first. *)
 let roots () = List.rev !finished
 
+(** Graft a finished span forest recorded by another process (a forked
+    worker) into this trace under its real [pid]. The spans keep their
+    own timestamps — parent and children share the clock domain, so
+    they land correctly on the common timeline. *)
+let graft ~pid (spans : span list) =
+  if spans <> [] then foreign := (pid, spans) :: !foreign
+
+(** Grafted worker forests, oldest first: [(pid, roots)] per graft. *)
+let grafted () = List.rev !foreign
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 (* ------------------------------------------------------------------ *)
 
 (** Chrome trace-event JSON: one complete ("ph":"X") event per span,
-    timestamps and durations in microseconds, all on pid/tid 1 so the
-    nesting is reconstructed from the intervals. *)
+    timestamps and durations in microseconds. This process's spans go
+    on its own pid lane; grafted worker forests go on their real pid
+    lanes (with a "process_name" metadata event naming each worker),
+    so a multi-worker batch renders one lane per worker instead of
+    everything stacked on one pid. *)
 let to_chrome_json () : Json.t =
-  (* Timestamps are rebased to the earliest span so they stay small
-     (and exactly representable) regardless of the epoch. *)
+  let own_pid = Unix.getpid () in
+  (* Timestamps are rebased to the earliest span of any lane so they
+     stay small (and exactly representable) regardless of the epoch. *)
   let t0 =
     List.fold_left
       (fun acc sp -> Float.min acc sp.start_us)
-      infinity (roots ())
+      infinity
+      (roots () @ List.concat_map snd (grafted ()))
   in
   let t0 = if Float.is_finite t0 then t0 else 0. in
-  let rec events sp acc =
+  let rec events ~pid sp acc =
     let ev =
       Json.Obj
         [
@@ -117,17 +136,55 @@ let to_chrome_json () : Json.t =
           ("ph", Json.Str "X");
           ("ts", Json.Num (sp.start_us -. t0));
           ("dur", Json.Num sp.dur_us);
-          ("pid", Json.num_of_int 1);
-          ("tid", Json.num_of_int 1);
+          ("pid", Json.num_of_int pid);
+          ("tid", Json.num_of_int pid);
           ("args", Json.Obj sp.attrs);
         ]
     in
-    List.fold_left (fun acc child -> events child acc) (ev :: acc) sp.children
+    List.fold_left
+      (fun acc child -> events ~pid child acc)
+      (ev :: acc) sp.children
   in
-  let evs = List.fold_left (fun acc sp -> events sp acc) [] (roots ()) in
+  let own =
+    List.fold_left (fun acc sp -> events ~pid:own_pid sp acc) [] (roots ())
+  in
+  let worker_pids =
+    List.sort_uniq compare (List.map fst (grafted ()))
+  in
+  let lane_meta =
+    (* Metadata events only when worker lanes exist: a single-process
+       trace keeps its original all-"X" shape. *)
+    if worker_pids = [] then []
+    else
+      List.map
+        (fun pid ->
+          Json.Obj
+            [
+              ("name", Json.Str "process_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.num_of_int pid);
+              ("tid", Json.num_of_int pid);
+              ( "args",
+                Json.Obj
+                  [
+                    ( "name",
+                      Json.Str
+                        (if pid = own_pid then "occo supervisor"
+                         else Printf.sprintf "occo worker %d" pid) );
+                  ] );
+            ])
+        (List.sort_uniq compare (own_pid :: worker_pids))
+  in
+  let foreign_evs =
+    List.fold_left
+      (fun acc (pid, spans) ->
+        List.fold_left (fun acc sp -> events ~pid sp acc) acc spans)
+      [] (grafted ())
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.rev evs));
+      ( "traceEvents",
+        Json.List (lane_meta @ List.rev own @ List.rev foreign_evs) );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
@@ -150,4 +207,9 @@ let pp_tree fmt () =
     Format.pp_print_newline fmt ();
     List.iter (pp_span (indent ^ "  ")) sp.children
   in
-  List.iter (pp_span "") (roots ())
+  List.iter (pp_span "") (roots ());
+  List.iter
+    (fun (pid, spans) ->
+      Format.fprintf fmt "[worker %d]@." pid;
+      List.iter (pp_span "  ") spans)
+    (grafted ())

@@ -10,6 +10,7 @@ let () =
       Test_target.suite;
       Test_smallstep.suite;
       Test_obs.suite;
+      Test_snapshot.suite;
       Test_callconv.suite;
       Test_frontend.suite;
       Test_pipeline.suite;
