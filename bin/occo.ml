@@ -610,6 +610,124 @@ let chaos_cmd =
       $ jobs_arg $ retries_arg $ timeout_arg $ journal_arg $ resume_flag
       $ trace_arg $ metrics_flag)
 
+(** {1 compromise}
+
+    The compromised-component campaign: a correct compiled component
+    linked (via horizontal composition) against synthesized adversarial
+    partners that replay a recorded interaction prefix and then go
+    rogue. Reports a partner-mode × safety-property survival matrix.
+    Exit 0 iff every rogue partner was detected, the faithful control
+    stayed undetected, and every worker completed. *)
+
+let compromise_cmd_run seed partners fuel json_out jobs retries timeout_s
+    journal resume inject_hang trace metrics =
+  with_obs trace metrics @@ fun () ->
+  check_resume ~resume ~journal @@ fun () ->
+  let open Robust.Campaign in
+  let cfg =
+    supervisor_config ~jobs ~retries ~timeout_s ~journal ~resume ~seed ()
+  in
+  let result =
+    Obs.with_enabled (fun () ->
+        run_supervised ~fuel ~inject_hang ~cfg ~seed ~partners ())
+  in
+  match result with
+  | Error d ->
+    Format.eprintf "occo compromise: %a@." Support.Diagnostics.pp d;
+    1
+  | Ok (rp, outcomes) ->
+    let partner_outcomes, hang_outcomes =
+      List.partition (fun o -> o.Sup.o_id <> hang_job_id) outcomes
+    in
+    let skipped = Sup.count partner_outcomes Sup.Skipped in
+    Format.printf
+      "compromise campaign: seed %d, %d partners requested, %d judged%s@."
+      rp.rb_seed rp.rb_requested
+      (List.length rp.rb_trials)
+      (if skipped > 0 then
+         Printf.sprintf " (%d skipped via --resume journal)" skipped
+       else "");
+    Format.printf "@.%a@." pp_matrix rp;
+    Format.printf "%a@." pp_failures rp;
+    (match json_out with
+    | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (to_json rp));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "survival matrix written to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "occo compromise: cannot write report: %s@." msg)
+    | None -> ());
+    (* A resumed campaign only re-judges what the journal left open, so
+       it is held to the weaker "nothing judged this run escaped". *)
+    let sv = if skipped > 0 then partial_survival_ok rp else survival_ok rp in
+    let wk = Sup.all_ok partner_outcomes in
+    (* The injected hang must be *classified* by the watchdog — a
+       timeout verdict, not a wedged campaign. *)
+    let hg =
+      (not inject_hang)
+      || List.exists
+           (fun o -> o.Sup.o_status = Sup.Timed_out)
+           hang_outcomes
+    in
+    if not sv then
+      Format.printf
+        "FAIL: a partner trial missed its expectation (see above)@.";
+    if not wk then begin
+      Format.printf "FAIL: a partner worker did not complete:@.";
+      List.iter
+        (fun o ->
+          if not (Sup.status_ok o.Sup.o_status) then
+            Format.printf "  %a@." pp_outcome o)
+        partner_outcomes
+    end;
+    if not hg then
+      Format.printf
+        "FAIL: the injected diverging partner was not classified as a \
+         timeout@.";
+    if inject_hang && hg then
+      Format.printf "injected diverging partner classified as timeout: OK@.";
+    if sv && wk && hg then 0 else 1
+
+let compromise_cmd =
+  Cmd.v
+    (Cmd.info "compromise"
+       ~doc:
+         "Run the compromised-component campaign: link a correct compiled \
+          component against synthesized adversarial partners (faithful \
+          replay up to a seeded rogue activation, then wrong results, \
+          callee-save clobbers, wild pointers, re-entrant call storms, \
+          silent divergence, early halts) and report which safety \
+          properties detect each partner mode.")
+    Term.(
+      const compromise_cmd_run
+      $ Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED")
+      $ Arg.(
+          value & opt int 14
+          & info [ "partners" ] ~docv:"COUNT"
+              ~doc:"Number of synthesized partner trials.")
+      $ Arg.(
+          value
+          & opt int Robust.Campaign.default_fuel
+          & info [ "fuel" ] ~docv:"STEPS"
+              ~doc:"Step budget per composed run.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "json" ] ~docv:"FILE.json"
+              ~doc:"Write the survival matrix as JSON to $(docv).")
+      $ jobs_arg $ retries_arg $ timeout_arg $ journal_arg $ resume_flag
+      $ Arg.(
+          value & flag
+          & info [ "inject-hang" ]
+              ~doc:
+                "Add one deliberately diverging partner worker; the run \
+                 fails unless the supervisor classifies it as a timeout \
+                 (CI smoke test of the watchdog).")
+      $ trace_arg $ metrics_flag)
+
 (** {1 batch}
 
     Run a directory of C inputs through the pipeline under the
@@ -809,7 +927,7 @@ let main =
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
     [ compile_cmd; run_cmd; batch_cmd; derive_cmd; table_cmd; fuzz_cmd;
-      chaos_cmd; bench_diff_cmd ]
+      chaos_cmd; compromise_cmd; bench_diff_cmd ]
 
 (** An interrupt (SIGINT/SIGTERM) raised as an exception at the next
     safe point, so it unwinds through every [Fun.protect] on the way

@@ -19,21 +19,70 @@
     - [x•]  an environment answer resumes the top frame. *)
 
 open Smallstep
+module Diag = Support.Diagnostics
 
 type ('s1, 's2) frame = F1 of 's1 | F2 of 's2
 
 type ('s1, 's2) state = ('s1, 's2) frame list
 
-let compose (l1 : ('s1, 'q, 'r, 'q, 'r) lts) (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
+(** Which component of the composition a frame belongs to. *)
+type side = C1 | C2
+
+let side_name = function C1 -> "component-1" | C2 -> "component-2"
+
+(** Observable events at the component boundary: the push and pop rules
+    of Fig. 5, as seen from outside. [Bpush] fires when an external
+    question of the running frame starts a new activation; [Bpop] fires
+    when a finished activation answers the suspended caller below it.
+    Monitors (e.g. {!Robust.Property}) reconstruct the call tree from
+    these, pairing each pop with the push that opened the activation.
+
+    The hook is driven from the composite's [step] function while it
+    enumerates transitions, so it assumes the deterministic
+    first-transition execution discipline of {!Smallstep.run} /
+    {!Smallstep.run_to_interaction}: with a nondeterministic exploration
+    ([Smallstep.reachable]) events may fire for transitions never
+    taken. *)
+type ('q, 'r) boundary_event =
+  | Bpush of { caller : side; callee : side; question : 'q }
+  | Bpop of { callee : side; caller : side; answer : 'r }
+
+(** [compose ?observe ?on_diag l1 l2]. [observe] receives every boundary
+    event (default: none, zero overhead). [on_diag] fires when both
+    domains accept the same question — linked programs have disjoint
+    domains, so an overlap means a masked linker error; the composite
+    still routes to [l1] (the historical preference), but the
+    diagnostic makes the overlap visible instead of silent. *)
+let compose ?(observe : (('q, 'r) boundary_event -> unit) option)
+    ?(on_diag : (Diag.t -> unit) option) (l1 : ('s1, 'q, 'r, 'q, 'r) lts)
+    (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
     (('s1, 's2) state, 'q, 'r, 'q, 'r) lts =
   let dom q = l1.dom q || l2.dom q in
+  let overlap ~rule q =
+    if l1.dom q && l2.dom q then
+      Option.iter
+        (fun f ->
+          f
+            (Diag.make ~phase:Diag.Linking ~kind:Diag.Domain_overlap
+               ~context:
+                 [ ("component-1", l1.name); ("component-2", l2.name);
+                   ("rule", rule) ]
+               "both %s and %s accept the question: overlapping domains \
+                (routing to %s masks a linker error)"
+               l1.name l2.name l1.name))
+        on_diag
+  in
+  let emit e = match observe with Some f -> f e | None -> () in
   (* i°: pick the accepting component. Linked programs have disjoint
-     domains; if both accept, component 1 is preferred. *)
+     domains; if both accept, component 1 is preferred (and [on_diag]
+     reports the overlap). *)
   let init q =
+    overlap ~rule:"init" q;
     if l1.dom q then List.map (fun s -> [ F1 s ]) (l1.init q)
     else if l2.dom q then List.map (fun s -> [ F2 s ]) (l2.init q)
     else []
   in
+  let frame_side = function F1 _ -> C1 | F2 _ -> C2 in
   let frame_final = function F1 s -> l1.final s | F2 s -> l2.final s in
   let frame_external = function
     | F1 s -> l1.at_external s
@@ -57,10 +106,17 @@ let compose (l1 : ('s1, 'q, 'r, 'q, 'r) lts) (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
       let pushes =
         match frame_external f with
         | Some q ->
+          overlap ~rule:"push" q;
           let starts =
             (if l1.dom q then List.map (fun s -> F1 s) (l1.init q) else [])
             @ if l2.dom q then List.map (fun s -> F2 s) (l2.init q) else []
           in
+          (match starts with
+          | f' :: _ ->
+            emit
+              (Bpush
+                 { caller = frame_side f; callee = frame_side f'; question = q })
+          | [] -> ());
           List.map (fun f' -> (Events.e0, f' :: f :: k)) starts
         | None -> []
       in
@@ -68,6 +124,9 @@ let compose (l1 : ('s1, 'q, 'r, 'q, 'r) lts) (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
       let pops =
         match (frame_final f, k) with
         | Some r, caller :: k' ->
+          emit
+            (Bpop
+               { callee = frame_side f; caller = frame_side caller; answer = r });
           List.map (fun f' -> (Events.e0, f' :: k')) (frame_resume caller r)
         | _ -> []
       in
@@ -102,16 +161,37 @@ let compose (l1 : ('s1, 'q, 'r, 'q, 'r) lts) (l2 : ('s2, 'q, 'r, 'q, 'r) lts) :
 (** n-ary horizontal composition of components sharing a state type
     (e.g. [n] translation units of the same language). Frames carry the
     index of the component they belong to. Agreement with iterated binary
-    [compose] is checked in the test suite. *)
-let compose_all (ls : ('s, 'q, 'r, 'q, 'r) lts array) :
+    [compose] is checked in the test suite. [on_diag] reports overlapping
+    domains, as in {!compose}; routing goes to the lowest accepting
+    index. *)
+let compose_all ?(on_diag : (Diag.t -> unit) option)
+    (ls : ('s, 'q, 'r, 'q, 'r) lts array) :
     ((int * 's) list, 'q, 'r, 'q, 'r) lts =
   let n = Array.length ls in
   let find_dom q =
     let rec go i = if i >= n then None else if ls.(i).dom q then Some i else go (i + 1) in
     go 0
   in
+  let overlap ~rule q =
+    match on_diag with
+    | None -> ()
+    | Some f -> (
+      match List.filter (fun i -> ls.(i).dom q) (List.init n Fun.id) with
+      | _ :: _ :: _ as accepting ->
+        f
+          (Diag.make ~phase:Diag.Linking ~kind:Diag.Domain_overlap
+             ~context:
+               (("rule", rule)
+               :: List.map
+                    (fun i -> (Printf.sprintf "component-%d" i, ls.(i).name))
+                    accepting)
+             "%d components accept the same question: overlapping domains"
+             (List.length accepting))
+      | _ -> ())
+  in
   let dom q = find_dom q <> None in
   let init q =
+    overlap ~rule:"init" q;
     match find_dom q with
     | None -> []
     | Some i -> List.map (fun s -> [ (i, s) ]) (ls.(i).init q)
@@ -125,6 +205,7 @@ let compose_all (ls : ('s, 'q, 'r, 'q, 'r) lts array) :
       let pushes =
         match ls.(i).at_external s with
         | Some q -> (
+          overlap ~rule:"push" q;
           match find_dom q with
           | Some j ->
             List.map (fun s' -> (Events.e0, (j, s') :: (i, s) :: k)) (ls.(j).init q)

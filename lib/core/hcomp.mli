@@ -12,18 +12,45 @@ type ('s1, 's2) frame = F1 of 's1 | F2 of 's2
     suspended callers. *)
 type ('s1, 's2) state = ('s1, 's2) frame list
 
-(** [compose l1 l2] is [l1 ⊕ l2 : A ↠ A], implementing the eight rules
-    of Fig. 5 (i°, run, i•, push, pop, x°, x•). Incoming questions are
-    routed to the component whose domain accepts them; external questions
-    accepted by either component start a new activation (push); questions
-    accepted by neither escape to the environment (x°). *)
+(** Which component of a binary composition a frame belongs to. *)
+type side = C1 | C2
+
+val side_name : side -> string
+
+(** Observable events at the component boundary: the push and pop rules
+    of Fig. 5, as seen from outside. Emitted from the composite's [step]
+    function, so meaningful under the deterministic first-transition
+    discipline of {!Smallstep.run}. *)
+type ('q, 'r) boundary_event =
+  | Bpush of { caller : side; callee : side; question : 'q }
+      (** an external question of the running frame started a new
+          activation *)
+  | Bpop of { callee : side; caller : side; answer : 'r }
+      (** a finished activation answered the suspended caller below it *)
+
+(** [compose ?observe ?on_diag l1 l2] is [l1 ⊕ l2 : A ↠ A], implementing
+    the eight rules of Fig. 5 (i°, run, i•, push, pop, x°, x•). Incoming
+    questions are routed to the component whose domain accepts them;
+    external questions accepted by either component start a new
+    activation (push); questions accepted by neither escape to the
+    environment (x°).
+
+    [observe] receives every boundary (push/pop) event. [on_diag] fires
+    with a [Domain_overlap] diagnostic whenever both domains accept the
+    same question (a masked linker error); routing still prefers [l1]. *)
 val compose :
+  ?observe:(('q, 'r) boundary_event -> unit) ->
+  ?on_diag:(Support.Diagnostics.t -> unit) ->
   ('s1, 'q, 'r, 'q, 'r) lts ->
   ('s2, 'q, 'r, 'q, 'r) lts ->
   (('s1, 's2) state, 'q, 'r, 'q, 'r) lts
 
 (** n-ary composition of components sharing a state type (e.g. [n]
     translation units of one language); frames carry component indices.
-    Agrees with iterated binary [compose] (tested). *)
+    Agrees with iterated binary [compose] (tested). [on_diag] reports
+    overlapping domains, as in {!compose}; routing goes to the lowest
+    accepting index. *)
 val compose_all :
-  ('s, 'q, 'r, 'q, 'r) lts array -> ((int * 's) list, 'q, 'r, 'q, 'r) lts
+  ?on_diag:(Support.Diagnostics.t -> unit) ->
+  ('s, 'q, 'r, 'q, 'r) lts array ->
+  ((int * 's) list, 'q, 'r, 'q, 'r) lts

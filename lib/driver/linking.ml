@@ -22,12 +22,39 @@ module A = Backend.Asm
 
 (** The union of the symbols of several translation units, in
     first-occurrence order. Every unit's semantics must be built against
-    this list so that block identities agree. *)
+    this list so that block identities agree. A [Hashtbl] seen-set with a
+    reversed accumulator keeps this linear in the total number of
+    symbols (the naive [List.mem] + [acc @ [id]] version was quadratic,
+    which showed up on many-unit link experiments). *)
 let shared_symbols (defs_lists : Ident.t list list) : Ident.t list =
-  List.fold_left
-    (fun acc ids ->
-      List.fold_left (fun acc id -> if List.mem id acc then acc else acc @ [ id ]) acc ids)
-    [] defs_lists
+  let seen = Hashtbl.create 64 in
+  let rev =
+    List.fold_left
+      (fun acc ids ->
+        List.fold_left
+          (fun acc id ->
+            if Hashtbl.mem seen id then acc
+            else (
+              Hashtbl.add seen id ();
+              id :: acc))
+          acc ids)
+      [] defs_lists
+  in
+  List.rev rev
+
+(** Collect [Domain_overlap] diagnostics from a horizontal composition:
+    returns the [on_diag] hook to pass to {!Core.Hcomp.compose} and a
+    checker that demotes a successful outcome to [Error] if any overlap
+    fired while running. *)
+let overlap_guard () =
+  let diags = ref [] in
+  let on_diag d = diags := d :: !diags in
+  let check (r : ('a, string) result) : ('a, string) result =
+    match (r, !diags) with
+    | Error _, _ | Ok _, [] -> r
+    | Ok _, d :: _ -> Error (Diagnostics.to_string d)
+  in
+  (on_diag, check)
 
 type 'a experiment = {
   exp_composed : 'a;  (** behavior of the horizontal composition *)
@@ -46,10 +73,11 @@ let asm_link_experiment ~fuel (p1 : A.program) (p2 : A.program)
   | Ok linked -> (
     let l1 = A.semantics ~symbols p1 in
     let l2 = A.semantics ~symbols p2 in
-    let composed = Hcomp.compose l1 l2 in
+    let on_diag, check_overlap = overlap_guard () in
+    let composed = Hcomp.compose ~on_diag l1 l2 in
     let l_linked = A.semantics ~symbols linked in
     match
-      ( Runners.run_a_level composed ~fuel q,
+      ( check_overlap (Runners.run_a_level composed ~fuel q),
         Runners.run_a_level l_linked ~fuel q )
     with
     | Ok o1, Ok o2 ->
@@ -76,8 +104,9 @@ let separate_compilation_experiment ?options ~fuel (units : C.program list)
       Array.of_list
         (List.map (fun u -> Cfrontend.Clight.semantics ~symbols u) units)
     in
-    let src = Hcomp.compose_all srcs in
-    let src_out = Runners.run_c_level src ~fuel q in
+    let on_diag, check_overlap = overlap_guard () in
+    let src = Hcomp.compose_all ~on_diag srcs in
+    let* src_out = check_overlap (Ok (Runners.run_c_level src ~fuel q)) in
     (* Target side: compile each unit, link the Asm programs. *)
     let* asms =
       map_list

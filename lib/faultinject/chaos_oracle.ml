@@ -54,6 +54,33 @@ let mode_of_name s = List.find_opt (fun m -> mode_name m = s) all_modes
    to any source-level block. *)
 let wild_pointer m = Vptr (Mem.nextblock m + 64, 0)
 
+(** {1 Shared corruption vocabulary}
+
+    Register-file corruptions used both here (adversarial {e
+    environments}: oracles at the query/reply boundary) and by
+    {!Robust.Partner} (adversarial {e components}: whole synthesized
+    partners pushed through [⊕]). Keeping them in one place makes the
+    two campaigns' attack matrices comparable mode-for-mode. *)
+
+(** The pattern written into clobbered registers — recognizable in
+    dumps. *)
+let clobber_pattern = Vint 0xDEADl
+
+(** Trash every callee-save register of the target convention. *)
+let clobber_callee_saves (rs : Pregfile.t) : Pregfile.t =
+  List.fold_left
+    (fun rs m -> Pregfile.set (Mreg m) clobber_pattern rs)
+    rs Machregs.callee_save_regs
+
+(** Overwrite the result register of signature [sg] with [v]. *)
+let set_result ?(sg = signature_main) (v : value) (rs : Pregfile.t) :
+    Pregfile.t =
+  Pregfile.set (Mreg (Conventions.loc_result sg)) v rs
+
+(** A value guaranteed to be outside the signature's result type (the
+    conventions here never return floats in integer registers). *)
+let ill_typed_value = Vfloat 0.5
+
 let c_chaos (mode : mode) (base : c_query -> c_reply option) :
     c_query -> c_reply option =
  fun q ->
@@ -80,31 +107,12 @@ let a_chaos (mode : mode) (base : a_query -> a_reply option) :
   | Well_behaved -> base q
   | Refuse -> None
   | Ill_typed ->
-    Option.map
-      (fun r ->
-        { r with
-          ar_rs =
-            Pregfile.set
-              (Mreg (Conventions.loc_result signature_main))
-              (Vfloat 0.5) r.ar_rs })
-      (base q)
+    Option.map (fun r -> { r with ar_rs = set_result ill_typed_value r.ar_rs }) (base q)
   | Clobber_callee_save ->
-    Option.map
-      (fun r ->
-        { r with
-          ar_rs =
-            List.fold_left
-              (fun rs m -> Pregfile.set (Mreg m) (Vint 0xDEADl) rs)
-              r.ar_rs Machregs.callee_save_regs })
-      (base q)
+    Option.map (fun r -> { r with ar_rs = clobber_callee_saves r.ar_rs }) (base q)
   | Wild_pointer ->
     Option.map
-      (fun r ->
-        { r with
-          ar_rs =
-            Pregfile.set
-              (Mreg (Conventions.loc_result signature_main))
-              (wild_pointer r.ar_mem) r.ar_rs })
+      (fun r -> { r with ar_rs = set_result (wild_pointer r.ar_mem) r.ar_rs })
       (base q)
   | Burn_fuel -> base q
 

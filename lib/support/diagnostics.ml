@@ -35,6 +35,10 @@ type kind =
   | Job_crashed  (** a supervised worker process died (signal or bad exit) *)
   | Job_timeout  (** a supervised worker exceeded its wall-clock limit *)
   | Circuit_open  (** the job was shed: its class's circuit breaker is open *)
+  | Domain_overlap
+      (** two horizontally composed components both accept the same
+          question — linked programs must have disjoint domains, so the
+          routing choice would silently mask a linker error *)
 
 type t = {
   phase : phase;
@@ -71,6 +75,7 @@ let kind_name = function
   | Job_crashed -> "job-crashed"
   | Job_timeout -> "job-timeout"
   | Circuit_open -> "circuit-open"
+  | Domain_overlap -> "domain-overlap"
 
 (** Transient failure classes: ones where retrying the same job can
     plausibly succeed (a slow machine, a transiently loaded box, an
@@ -84,7 +89,7 @@ let is_transient = function
   | Budget_exceeded | Resource_exhausted | Job_crashed | Job_timeout -> true
   | Lexical_error | Syntax_error | Pass_failure | Validation_failure
   | Marshal_failure | Oracle_refusal | Oracle_violation | Internal_error
-  | Circuit_open ->
+  | Circuit_open | Domain_overlap ->
     false
 
 let make ?pass ?(context = []) ~phase ~kind fmt =

@@ -28,6 +28,7 @@ type kind =
   | Job_crashed
   | Job_timeout
   | Circuit_open
+  | Domain_overlap
 
 type t = {
   phase : phase;

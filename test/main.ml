@@ -26,5 +26,6 @@ let () =
       Test_diagnostics.suite;
       Test_faultinject.suite;
       Test_chaos.suite;
+      Test_robust.suite;
       Test_harness.suite;
     ]

@@ -148,12 +148,39 @@ let wrapper_tests =
         match Chaos.a_chaos Chaos.Clobber_callee_save base aq with
         | None -> Alcotest.fail "clobber should still answer"
         | Some r -> expect_error "clobber" "callee-save" (Chaos.conformance_a aq r));
+    Alcotest.test_case "a-level wild-pointer wrapper breaks conformance" `Quick
+      (fun () ->
+        (* a long result type, so the wild pointer passes the typing
+           check and must be caught by the injection check *)
+        let sg = { Mtypes.sig_args = []; sig_res = Some Mtypes.Tlong } in
+        let base _ = Some good_ar in
+        match Chaos.a_chaos Chaos.Wild_pointer base aq with
+        | None -> Alcotest.fail "wild-pointer should still answer"
+        | Some r ->
+          expect_error "wild" "outside the injection"
+            (Chaos.conformance_a ~sg aq r));
+    Alcotest.test_case "clobber vocabulary trashes every callee-save" `Quick
+      (fun () ->
+        let rs = Chaos.clobber_callee_saves aq_rs in
+        List.iter
+          (fun m ->
+            check "clobbered" true
+              (Li.Pregfile.get (Li.Mreg m) rs = Chaos.clobber_pattern))
+          Target.Machregs.callee_save_regs;
+        (* non-callee-save state is untouched *)
+        check "sp intact" true
+          (Li.Pregfile.get Li.SP rs = Li.Pregfile.get Li.SP aq_rs));
     Alcotest.test_case "burn-fuel clamps the fuel, others do not" `Quick
       (fun () ->
         Alcotest.(check int)
           "burnt" Chaos.burnt_fuel
           (Chaos.fuel_for Chaos.Burn_fuel ~fuel:1000);
-        Alcotest.(check int) "intact" 1000 (Chaos.fuel_for Chaos.Refuse ~fuel:1000));
+        Alcotest.(check int) "intact" 1000 (Chaos.fuel_for Chaos.Refuse ~fuel:1000);
+        (* burn-fuel leaves the reply itself untouched: starvation is
+           the whole attack *)
+        let base _ = Some good_ar in
+        check "reply intact" true
+          (Chaos.a_chaos Chaos.Burn_fuel base aq = Some good_ar));
   ]
 
 let matrix_tests =
