@@ -563,6 +563,87 @@ let ablation () =
     "All variants compute the same answer (checked by the no-optim rows of@.the test suite); the conventions of Thm 3.8 are insensitive to the@.optional passes (paper section 3.4, tested in test_convalg).@."
 
 (* ------------------------------------------------------------------ *)
+(* The compile service's cache: cold vs warm throughput                *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct small programs so each cold request is a genuine miss (the
+   cache is content-addressed: same source would hit). *)
+let serve_source i =
+  Printf.sprintf
+    "int f%d(int a, int b) { int i; int acc; acc = %d; for (i = 0; i < b; \
+     i = i + 1) { acc = acc + a * i; } return acc; }\n\
+     int main(void) { return f%d(%d, 7); }\n"
+    i i i (i + 3)
+
+let bench_serve () =
+  section "Compile service: content-addressed cache, cold vs warm";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "occo-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cache = Service.Cache.open_store dir in
+  let n = 8 in
+  let sources = List.init n serve_source in
+  let compile_all () =
+    List.iter
+      (fun source ->
+        match
+          Service.Engine.compile_cached cache ~source ~optimize:true ()
+        with
+        | Ok _ -> ()
+        | Error d ->
+          Format.printf "bench serve: compile failed: %a@."
+            Support.Diagnostics.pp d)
+      sources
+  in
+  (* Cold: every request runs the full pipeline (and pays the atomic
+     fsync'd cache writes). One-shot by nature — a repeat would hit. *)
+  let t0 = Obs.now_us () in
+  compile_all ();
+  let cold_us = Obs.now_us () -. t0 in
+  (* Warm: the same requests served from verified summary entries — the
+     daemon's no-fork fast path. Sustained over many rounds. *)
+  let rounds = 50 in
+  let t1 = Obs.now_us () in
+  for _ = 1 to rounds do
+    compile_all ()
+  done;
+  let warm_us = Obs.now_us () -. t1 in
+  let cold_req_us = cold_us /. float_of_int n in
+  let warm_req_us = warm_us /. float_of_int (n * rounds) in
+  let cold_jps = 1e6 /. cold_req_us and warm_jps = 1e6 /. warm_req_us in
+  Obs.with_enabled (fun () ->
+      (* Time-like keys ride the normal bench-diff gate; the jobs/sec
+         gauges are throughput (an increase is good) and get a
+         permissive --key override in CI. *)
+      Obs.Metrics.set_gauge "serve.cold_req_us" cold_req_us;
+      Obs.Metrics.set_gauge "serve.warm_req_us" warm_req_us;
+      Obs.Metrics.set_gauge "serve.jobs_per_s_cold" cold_jps;
+      Obs.Metrics.set_gauge "serve.jobs_per_s_warm" warm_jps);
+  table
+    [
+      [ "Path"; "per request"; "jobs/sec" ];
+      [ "cold (full pipeline + cache write)"; pp_ns (cold_req_us *. 1e3);
+        Printf.sprintf "%.0f" cold_jps ];
+      [ "warm (verified summary hit)"; pp_ns (warm_req_us *. 1e3);
+        Printf.sprintf "%.0f" warm_jps ];
+    ];
+  Format.printf "warm/cold speedup: %.1fx (gate: >= 5x)@."
+    (cold_req_us /. warm_req_us);
+  (* Scrub the throwaway store. *)
+  let rm_all d =
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (try Sys.readdir d with Sys_error _ -> [||])
+  in
+  rm_all (Filename.concat dir "quarantine");
+  rm_all dir;
+  (try Unix.rmdir (Filename.concat dir "quarantine") with Unix.Unix_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,5 +709,6 @@ let () =
   fig13 ();
   bench_pipeline ();
   ablation ();
+  bench_serve ();
   emit_bench_json ();
   Format.printf "@.Done.@."

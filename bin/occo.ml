@@ -619,8 +619,8 @@ let chaos_cmd =
     Exit 0 iff every rogue partner was detected, the faithful control
     stayed undetected, and every worker completed. *)
 
-let compromise_cmd_run seed partners fuel json_out jobs retries timeout_s
-    journal resume inject_hang trace metrics =
+let compromise_cmd_run seed partners multi fuel json_out jobs retries
+    timeout_s journal resume inject_hang trace metrics =
   with_obs trace metrics @@ fun () ->
   check_resume ~resume ~journal @@ fun () ->
   let open Robust.Campaign in
@@ -689,7 +689,31 @@ let compromise_cmd_run seed partners fuel json_out jobs retries timeout_s
          timeout@.";
     if inject_hang && hg then
       Format.printf "injected diverging partner classified as timeout: OK@.";
-    if sv && wk && hg then 0 else 1
+    (* The multi-partner arm: two synthesized partners (one faithful,
+       one rogue) linked via compose_all against the correct component.
+       The survival matrix must still catch every rogue mode. *)
+    let mu =
+      if multi <= 0 then true
+      else begin
+        match
+          Obs.with_enabled (fun () -> run_multi ~fuel ~seed ~trials:multi ())
+        with
+        | Error d ->
+          Format.printf "FAIL: multi-partner campaign: %a@."
+            Support.Diagnostics.pp d;
+          false
+        | Ok mrp ->
+          Format.printf "@.multi-partner (faithful + rogue via ⊕) matrix:@.";
+          Format.printf "%a@." pp_matrix mrp;
+          Format.printf "%a@." pp_failures mrp;
+          let ok = multi_survival_ok mrp in
+          if not ok then
+            Format.printf
+              "FAIL: a multi-partner trial missed its expectation@.";
+          ok
+      end
+    in
+    if sv && wk && hg && mu then 0 else 1
 
 let compromise_cmd =
   Cmd.v
@@ -708,6 +732,15 @@ let compromise_cmd =
           value & opt int 14
           & info [ "partners" ] ~docv:"COUNT"
               ~doc:"Number of synthesized partner trials.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "multi" ] ~docv:"COUNT"
+              ~doc:
+                "Additionally run $(docv) multi-partner trials: the \
+                 component linked against $(i,two) synthesized partners \
+                 (one faithful, one rogue) composed with compose_all; \
+                 the run fails unless every rogue mode is still \
+                 detected.")
       $ Arg.(
           value
           & opt int Robust.Campaign.default_fuel
@@ -922,12 +955,222 @@ let bench_diff_cmd =
                 "Absolute increase floor: a key under it never regresses, \
                  keeping sub-microsecond jitter out of the gate."))
 
+(** {1 serve / request}
+
+    The long-running compile service and its line-protocol client. The
+    daemon accepts one JSON request per line over a Unix-domain socket,
+    schedules compiles onto fork-isolated workers, memoizes results in
+    the content-addressed cache, and survives — by design — corrupt
+    cache entries, poison jobs, overload, blown deadlines, SIGTERM and
+    kill -9 (see {!Service.Serve}). *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "occo.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd_run socket cache_dir jobs retries timeout_s memlimit_mb
+    queue_cap degrade_watermark poison_threshold journal resume seed
+    inject_crash inject_crash_forever inject_hang inject_corrupt metrics =
+  check_resume ~resume ~journal @@ fun () ->
+  (* The service's gauges and counters are its operational surface;
+     they are always on while it runs ([--metrics] additionally prints
+     the snapshot on clean exit). *)
+  Obs.reset_all ();
+  Obs.enabled := true;
+  let cfg =
+    {
+      Service.Serve.default_config with
+      Service.Serve.s_socket = socket;
+      s_cache_dir = cache_dir;
+      s_jobs = jobs;
+      s_retries = max 0 retries;
+      s_timeout_us = (if timeout_s <= 0. then None else Some (timeout_s *. 1e6));
+      s_memlimit_bytes = Option.map (fun mb -> mb * 1024 * 1024) memlimit_mb;
+      s_queue_cap = max 1 queue_cap;
+      s_degrade_watermark = max 1 degrade_watermark;
+      s_poison_threshold = max 1 poison_threshold;
+      s_journal = journal;
+      s_resume = resume;
+      s_seed = seed;
+      s_chaos =
+        {
+          Service.Serve.ch_crash = inject_crash || inject_crash_forever;
+          ch_crash_forever = inject_crash_forever;
+          ch_hang = inject_hang;
+          ch_corrupt = inject_corrupt;
+        };
+    }
+  in
+  Format.eprintf "occo serve: listening on %s (cache %s)@." socket cache_dir;
+  let served = Service.Serve.serve cfg in
+  Format.eprintf "occo serve: drained after %d request%s@." served
+    (if served = 1 then "" else "s");
+  if metrics then
+    Format.printf "%s@." (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+  Obs.enabled := false;
+  0
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile service: accept line-JSON compile requests \
+          over a Unix-domain socket, schedule them onto fork-isolated \
+          workers, and memoize results in a checksummed \
+          content-addressed cache. Corrupt entries are quarantined and \
+          re-derived; requests that repeatedly crash workers are \
+          poisoned instead of retried forever; the queue is bounded \
+          (overload degrades to -O0, then sheds); SIGTERM drains \
+          in-flight work, compacts the journal and exits 0.")
+    Term.(
+      const serve_cmd_run $ socket_arg
+      $ Arg.(
+          value & opt string ".occo-cache"
+          & info [ "cache" ] ~docv:"DIR"
+              ~doc:"Content-addressed artifact cache directory.")
+      $ jobs_arg $ retries_arg $ timeout_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "memlimit" ] ~docv:"MB"
+              ~doc:"Per-worker major-heap cap in megabytes.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "queue-cap" ] ~docv:"N"
+              ~doc:
+                "Bound on queued requests; beyond it new work is shed \
+                 with an $(i,overloaded) diagnostic.")
+      $ Arg.(
+          value & opt int 32
+          & info [ "degrade-watermark" ] ~docv:"N"
+              ~doc:
+                "Queue depth at which new optimized requests are \
+                 degraded to the -O0 fast path.")
+      $ Arg.(
+          value & opt int 3
+          & info [ "poison-threshold" ] ~docv:"K"
+              ~doc:
+                "Worker crashes after which a request is quarantined \
+                 as poisoned and never retried.")
+      $ journal_arg $ resume_flag
+      $ Arg.(
+          value & opt int 0
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Retry-jitter determinism seed.")
+      $ Arg.(
+          value & flag
+          & info [ "inject-crash" ]
+              ~doc:
+                "Chaos: each compile's first attempt kills its own \
+                 worker with SIGSEGV (retries then succeed).")
+      $ Arg.(
+          value & flag
+          & info [ "inject-crash-forever" ]
+              ~doc:
+                "Chaos: every attempt crashes — drives requests into \
+                 the poison-quarantine path.")
+      $ Arg.(
+          value & flag
+          & info [ "inject-hang" ]
+              ~doc:
+                "Chaos: one attempt per request spins until the \
+                 wall-clock watchdog kills it.")
+      $ Arg.(
+          value & flag
+          & info [ "inject-corrupt" ]
+              ~doc:
+                "Chaos: flip a byte in each freshly written cache \
+                 summary, forcing the verify-on-read quarantine path.")
+      $ metrics_flag)
+
+let request_cmd_run file socket o0 deadline_s ping stats shutdown repeat =
+  let op =
+    match (ping, stats, shutdown) with
+    | true, false, false -> Some Service.Protocol.Ping
+    | false, true, false -> Some Service.Protocol.Stats
+    | false, false, true -> Some Service.Protocol.Shutdown
+    | false, false, false -> Some Service.Protocol.Compile
+    | _ -> None
+  in
+  match op with
+  | None ->
+    Format.eprintf "occo request: --ping, --stats and --shutdown are \
+                    mutually exclusive@.";
+    124
+  | Some Service.Protocol.Compile when file = None ->
+    Format.eprintf "occo request: a compile request needs FILE.c@.";
+    124
+  | Some op ->
+    let source =
+      match (op, file) with
+      | Service.Protocol.Compile, Some path -> read_file path
+      | _ -> ""
+    in
+    let ok = ref true in
+    for i = 1 to max 1 repeat do
+      let req =
+        {
+          Service.Protocol.rq_id = Printf.sprintf "cli-%d" i;
+          rq_op = op;
+          rq_source = source;
+          rq_optimize = not o0;
+          rq_deadline_ms =
+            Option.map (fun s -> int_of_float (s *. 1000.)) deadline_s;
+        }
+      in
+      match Service.Serve.request ~socket req with
+      | Error msg ->
+        Format.eprintf "occo request: %s@." msg;
+        ok := false
+      | Ok reply ->
+        Format.printf "%s@." (Obs.Json.to_string reply);
+        (match Service.Protocol.reply_status reply with
+        | Some ("ok" | "degraded" | "pong" | "stats" | "draining") -> ()
+        | _ -> ok := false)
+    done;
+    if !ok then 0 else 1
+
+let request_cmd =
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running compile service and print its \
+          reply line. Exit 0 if the reply status is ok/degraded (or \
+          pong/stats/draining), 1 otherwise or when the daemon is \
+          unreachable.")
+    Term.(
+      const request_cmd_run
+      $ Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c")
+      $ socket_arg
+      $ Arg.(
+          value & flag
+          & info [ "O0" ] ~doc:"Request the unoptimized pipeline.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "End-to-end deadline enforced by the daemon, queue wait \
+                 included.")
+      $ Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.")
+      $ Arg.(
+          value & flag
+          & info [ "stats" ] ~doc:"Fetch the daemon's serve.* metrics.")
+      $ Arg.(
+          value & flag
+          & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "repeat" ] ~docv:"N"
+              ~doc:"Send the request $(docv) times (throughput smoke)."))
+
 let main =
   Cmd.group
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
     [ compile_cmd; run_cmd; batch_cmd; derive_cmd; table_cmd; fuzz_cmd;
-      chaos_cmd; compromise_cmd; bench_diff_cmd ]
+      chaos_cmd; compromise_cmd; bench_diff_cmd; serve_cmd; request_cmd ]
 
 (** An interrupt (SIGINT/SIGTERM) raised as an exception at the next
     safe point, so it unwinds through every [Fun.protect] on the way

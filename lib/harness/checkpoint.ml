@@ -125,6 +125,70 @@ let load (path : string) : entry list =
     retries exactly those. *)
 let completed_statuses = [ "ok"; "degraded" ]
 
+(** {1 Compaction}
+
+    An outcome journal grows by one line per terminal outcome, across
+    every [--resume] cycle and for the whole life of a service — while
+    its information content is only the {e last} entry per job id.
+    [compact] rewrites the journal as that last-status-wins snapshot,
+    atomically (tmp file in the same directory, [fsync], [rename]), so
+    a crash mid-compaction leaves the original journal untouched. Ids
+    keep their first-appearance order, which keeps diffs of successive
+    compactions readable. Non-entry lines (foreign JSON appended via
+    {!append_json}, torn tails) are dropped — compaction is for
+    journals of job outcomes. *)
+
+(** Compact the journal at [path] in place. Returns
+    [(entries_kept, lines_dropped)]; a missing journal is a no-op
+    [(0, 0)]. *)
+let compact (path : string) : int * int =
+  match Sys.file_exists path with
+  | false -> (0, 0)
+  | true ->
+    let total_lines =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               ignore (input_line ic);
+               incr n
+             done
+           with End_of_file -> ());
+          !n)
+    in
+    let entries = load path in
+    let last : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace last e.e_id e) entries;
+    let seen = Hashtbl.create 64 in
+    let snapshot =
+      List.filter_map
+        (fun e ->
+          if Hashtbl.mem seen e.e_id then None
+          else begin
+            Hashtbl.add seen e.e_id ();
+            Hashtbl.find_opt last e.e_id
+          end)
+        entries
+    in
+    let tmp =
+      Printf.sprintf "%s.compact.%d.tmp" path (Unix.getpid ())
+    in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let w = { fd; path = tmp; closed = false } in
+    (try List.iter (append w) snapshot
+     with e ->
+       close w;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    close w;
+    Unix.rename tmp path;
+    (List.length snapshot, total_lines - List.length snapshot)
+
 (** The ids to skip on resume: the last recorded status wins, so a job
     that failed and was later re-run to completion is skipped. *)
 let completed_ids (entries : entry list) : (string, entry) Hashtbl.t =

@@ -467,6 +467,175 @@ let run_supervised ?(fuel = default_fuel) ?(on_result = fun _ -> ())
     record_report_metrics rp;
     Ok (rp, outcomes)
 
+(** {1 Multi-partner composition}
+
+    The linking scenario of the paper is n-ary: a component's
+    environment is usually {e several} other components, linked by
+    iterated [⊕]. A multi-partner trial splits the corpus program's
+    primitives between {e two} synthesized partners — one faithful
+    control and one rogue — links the pair with {!Core.Hcomp.compose_all}
+    (they share the {!Partner.pstate} state type), and composes the
+    result with the correct compiled component. The survival question
+    sharpens: with an honest co-resident partner answering half the
+    calls, does every rogue mode still get caught, and is the faithful
+    pair still indistinguishable from the reference run? *)
+
+let prim_names prims = List.map (fun p -> p.Io.prim_name) prims
+
+(** The sub-trace a partner exporting [prims] is responsible for:
+    exactly the recorded calls to its primitives, in global order —
+    which is the order its own activation counter will see them. *)
+let partner_trace prims (trace : Io.log_entry list) : Io.log_entry list =
+  let names = prim_names prims in
+  List.filter (fun e -> List.mem e.Io.call_name names) trace
+
+(** The global trace index of the rogue partner's [local]-th activation
+    (its rogue point), for the whole-composite prefix check. *)
+let global_rogue_index ~rogue_prims ~(trace : Io.log_entry list) ~local : int =
+  let names = prim_names rogue_prims in
+  let rec go k local = function
+    | [] -> k
+    | e :: rest ->
+      if List.mem e.Io.call_name names then
+        if local = 0 then k else go (k + 1) (local - 1) rest
+      else go (k + 1) local rest
+  in
+  go 0 local trace
+
+(** Run multi-partner trial [i]: the corpus program linked against a
+    faithful partner and a rogue one (mode cycling with [i], the rogue
+    primitive and activation drawn from the [(seed, i)] RNG).
+    [Replay_faithful] trials make both partners faithful — the control
+    arm. Deterministic in [(seed, i)]; never raises. *)
+let try_multi ~(compiled : compiled list) ~fuel ~seed i : trial_result =
+  let n_modes = List.length Partner.all_modes in
+  let mode = List.nth Partner.all_modes (i mod n_modes) in
+  let cp = List.nth compiled (i mod List.length compiled) in
+  let rng = Random.State.make [| seed; 24593 * (i + 1) |] in
+  let rogue_idx = Random.State.int rng (List.length cp.cc_prims) in
+  let rogue_prims = [ List.nth cp.cc_prims rogue_idx ] in
+  let faithful_prims =
+    List.filteri (fun j _ -> j <> rogue_idx) cp.cc_prims
+  in
+  let rogue_trace = partner_trace rogue_prims cp.cc_trace in
+  let rogue_local_at =
+    if rogue_trace = [] then 0
+    else Random.State.int rng (List.length rogue_trace)
+  in
+  let global_rogue_at =
+    global_rogue_index ~rogue_prims ~trace:cp.cc_trace ~local:rogue_local_at
+  in
+  try
+    let faithful =
+      Partner.synthesize ~symbols:cp.cc_symbols ~prims:faithful_prims
+        ~entry:cp.cc_entry
+        ~trace:(partner_trace faithful_prims cp.cc_trace)
+        ~mode:Partner.Replay_faithful ~rogue_at:0 ()
+    in
+    let rogue =
+      Partner.synthesize ~symbols:cp.cc_symbols ~prims:rogue_prims
+        ~entry:cp.cc_entry ~trace:rogue_trace ~mode ~rogue_at:rogue_local_at
+        ()
+    in
+    (* The two partners become one environment component; their domains
+       are disjoint by construction (distinct primitive symbols). *)
+    let pair =
+      Core.Hcomp.compose_all [| faithful.Partner.p_lts; rogue.Partner.p_lts |]
+    in
+    let exports =
+      List.map
+        (fun (b, p) -> (b, (p.Io.prim_name, p.Io.prim_sig)))
+        (Partner.export_table ~symbols:cp.cc_symbols cp.cc_prims)
+    in
+    let mon = Property.monitor ~exports ~partner_imports:[] () in
+    let composed =
+      Core.Hcomp.compose ~observe:mon.Property.m_observe
+        (Backend.Asm.semantics ~symbols:cp.cc_symbols cp.cc_asm)
+        pair
+    in
+    let outcome, diagnosed, diverged =
+      match Driver.Runners.run_a_level composed ~fuel cp.cc_query with
+      | Error e -> ("marshal: " ^ e, true, false)
+      | Ok o ->
+        let name, diagnosed = classify_outcome o in
+        let diverged =
+          (not diagnosed)
+          && not
+               (Driver.Runners.outcome_refines cp.cc_ref o
+               && Driver.Runners.outcome_refines o cp.cc_ref)
+        in
+        (name, diagnosed, diverged)
+    in
+    let violations = mon.Property.m_violations () in
+    let props = Property.violated violations in
+    let calls = mon.Property.m_calls () in
+    let prefix_ok =
+      let upto =
+        if mode = Partner.Replay_faithful then
+          max (List.length cp.cc_trace) (List.length calls)
+        else global_rogue_at
+      in
+      prefix_matches ~trace:cp.cc_trace ~calls ~upto
+    in
+    let detected_by =
+      List.map (fun p -> "property:" ^ Property.prop_name p) props
+      @ (if diagnosed then [ "diagnosed:" ^ outcome ] else [])
+      @ if diverged then [ "divergence" ] else []
+    in
+    {
+      t_index = i;
+      t_program = cp.cc_name;
+      t_mode = mode;
+      t_rogue_at = global_rogue_at;
+      t_outcome = outcome;
+      t_props = props;
+      t_detected_by = detected_by;
+      t_prefix_ok = prefix_ok;
+      t_verdict = (if detected_by <> [] then Detected else Undetected);
+    }
+  with e ->
+    {
+      t_index = i;
+      t_program = cp.cc_name;
+      t_mode = mode;
+      t_rogue_at = global_rogue_at;
+      t_outcome = "uncaught exception: " ^ Printexc.to_string e;
+      t_props = [];
+      t_detected_by = [];
+      t_prefix_ok = false;
+      t_verdict = Undetected;
+    }
+
+(** The multi-partner campaign, in-process (the trials are cheap: the
+    expensive corpus compile happens once). *)
+let run_multi ?(fuel = default_fuel) ?(on_result = fun _ -> ()) ~seed ~trials
+    () : (report, Diag.t) result =
+  match compile_corpus ~fuel () with
+  | Error d -> Error d
+  | Ok compiled ->
+    let results =
+      List.init trials (fun i ->
+          let t = try_multi ~compiled ~fuel ~seed i in
+          Obs.Metrics.incr_counter "robust.multi.trials";
+          if t.t_mode <> Partner.Replay_faithful then
+            Obs.Metrics.incr_counter
+              (match t.t_verdict with
+              | Detected -> "robust.multi.detected"
+              | Undetected -> "robust.multi.undetected");
+          on_result t;
+          t)
+    in
+    let rp = assemble ~seed ~requested:trials ~results in
+    Obs.Metrics.set_gauge "robust.multi.undetected_rogues"
+      (float_of_int (List.length (undetected_rogues rp)));
+    Ok rp
+
+(** Acceptance for the multi-partner matrix: the same bar as the
+    single-partner campaign — every rogue mode exercised and detected
+    (with the replay prefix intact up to the rogue point), the
+    both-faithful control undetected with a full-prefix match. *)
+let multi_survival_ok (rp : report) : bool = survival_ok rp
+
 (** {1 Reporting} *)
 
 let pp_matrix fmt (rp : report) =

@@ -1,0 +1,133 @@
+(** The compile service's wire protocol: one JSON object per line, in
+    both directions, over a Unix-domain stream socket.
+
+    A request line looks like
+
+    {v
+    {"id":"r1","op":"compile","source":"int main(void){return 0;}",
+     "optimize":true,"deadline_ms":5000}
+    v}
+
+    and every request — accepted, shed, failed or poisoned — gets
+    exactly one reply line carrying its [id], a [status], and on
+    failure a {e typed} diagnostic (phase, kind, message), so clients
+    can dispatch on [kind] ("overloaded", "poisoned", ...) instead of
+    parsing prose. Unknown fields are ignored on both sides; a request
+    that does not parse at all still gets a reply (with id ["?"]), so a
+    confused client is never left hanging on a read. *)
+
+module Json = Obs.Json
+module Diag = Support.Diagnostics
+
+type op =
+  | Compile  (** compile [rq_source]; the normal case *)
+  | Ping  (** liveness probe: replies ["ok"] without touching the queue *)
+  | Stats  (** reply carries the current [serve.*] metrics snapshot *)
+  | Shutdown  (** ask the daemon to drain and exit (same path as SIGTERM) *)
+
+type request = {
+  rq_id : string;
+  rq_op : op;
+  rq_source : string;  (** C source text (op = [Compile]) *)
+  rq_optimize : bool;  (** [false] requests the [-O0] pipeline *)
+  rq_deadline_ms : int option;
+      (** end-to-end deadline, queue wait included, from receipt *)
+}
+
+let op_name = function
+  | Compile -> "compile"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "compile" -> Some Compile
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+let request_to_json (r : request) : Json.t =
+  Json.Obj
+    ([
+       ("id", Json.Str r.rq_id);
+       ("op", Json.Str (op_name r.rq_op));
+       ("source", Json.Str r.rq_source);
+       ("optimize", Json.Bool r.rq_optimize);
+     ]
+    @
+    match r.rq_deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.num_of_int ms) ]
+    | None -> [])
+
+(** Parse a request line. Tolerant: [op] defaults to [compile],
+    [optimize] to [true]; only a line that is not a JSON object at all
+    is rejected. *)
+let request_of_line (line : string) : (request, string) result =
+  match Json.parse_opt line with
+  | None -> Error "request is not a JSON object"
+  | Some j -> (
+    let str k = Option.bind (Json.member k j) Json.to_str in
+    let op =
+      match str "op" with
+      | None -> Some Compile
+      | Some name -> op_of_name name
+    in
+    match op with
+    | None ->
+      Error (Printf.sprintf "unknown op %S" (Option.value ~default:"" (str "op")))
+    | Some op ->
+      Ok
+        {
+          rq_id = Option.value ~default:"?" (str "id");
+          rq_op = op;
+          rq_source = Option.value ~default:"" (str "source");
+          rq_optimize =
+            (match Json.member "optimize" j with
+            | Some (Json.Bool b) -> b
+            | _ -> true);
+          rq_deadline_ms =
+            Option.map int_of_float
+              (Option.bind (Json.member "deadline_ms" j) Json.to_num);
+        })
+
+(** {1 Replies} *)
+
+(** Build a reply line. [status] is one of ["ok"], ["degraded"] (the
+    [-O0] fallback compiled it), ["failed"], ["shed"], ["poisoned"],
+    ["pong"], ["stats"], ["draining"]. Failure replies carry the typed
+    diagnostic under ["diagnostic"]. *)
+let reply ?cache ?(degraded = false) ?elapsed_us ?summary ?diag ~id ~status ()
+    : Json.t =
+  Json.Obj
+    ([ ("id", Json.Str id); ("status", Json.Str status) ]
+    @ (match cache with Some c -> [ ("cache", Json.Str c) ] | None -> [])
+    @ (if degraded then [ ("degraded", Json.Bool true) ] else [])
+    @ (match elapsed_us with
+      | Some us -> [ ("elapsed_us", Json.Num us) ]
+      | None -> [])
+    @ (match summary with Some s -> [ ("summary", s) ] | None -> [])
+    @
+    match diag with
+    | Some (d : Diag.t) ->
+      [
+        ( "diagnostic",
+          Json.Obj
+            [
+              ("phase", Json.Str (Diag.phase_name d.Diag.phase));
+              ("kind", Json.Str (Diag.kind_name d.Diag.kind));
+              ("message", Json.Str d.Diag.message);
+            ] );
+      ]
+    | None -> [])
+
+(** Read one reply's [status] (and [cache] mode, diagnostic kind) back
+    out — the client side of the protocol. *)
+let reply_field (j : Json.t) (k : string) : string option =
+  Option.bind (Json.member k j) Json.to_str
+
+let reply_status (j : Json.t) : string option = reply_field j "status"
+
+let reply_diag_kind (j : Json.t) : string option =
+  Option.bind (Json.member "diagnostic" j) (fun d ->
+      Option.bind (Json.member "kind" d) Json.to_str)

@@ -1,0 +1,23 @@
+(** The compile service (ISSUE 8 tentpole): a long-running daemon that
+    accepts compile requests over a Unix-domain socket, schedules them
+    onto fork-isolated workers, and memoizes results in a
+    content-addressed on-disk cache.
+
+    The pieces, bottom-up:
+
+    - {!Cache}: the content-addressed artifact store — atomic writes
+      (tmp + fsync + rename), per-entry checksums, verify-on-read with
+      quarantine, epoch scoping for marshaled program payloads;
+    - {!Protocol}: the line-JSON wire protocol (requests, typed
+      diagnostic replies) and its tolerant parser;
+    - {!Engine}: one request compiled through the cache at pass
+      granularity (summary hit → RTL resume → full pipeline);
+    - {!Serve}: the daemon loop itself — bounded queue, load-shedding,
+      degraded [-O0] path, poison-job quarantine, end-to-end deadlines,
+      circuit breaker, SIGTERM drain, crash-safe [--resume] — and the
+      line-protocol client ([occo request]). *)
+
+module Cache = Cache
+module Protocol = Protocol
+module Engine = Engine
+module Serve = Serve

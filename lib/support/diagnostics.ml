@@ -19,6 +19,7 @@ type phase =
   | Running  (** executing a semantics / marshaling a query *)
   | Campaign  (** the fault-injection campaign harness *)
   | Batch  (** the supervised batch-execution layer *)
+  | Service  (** the long-running compile service ([occo serve]) *)
 
 (** What kind of failure it was. *)
 type kind =
@@ -39,6 +40,16 @@ type kind =
       (** two horizontally composed components both accept the same
           question — linked programs must have disjoint domains, so the
           routing choice would silently mask a linker error *)
+  | Cache_corrupt
+      (** an on-disk artifact-cache entry failed its checksum on read;
+          the entry was quarantined and the artifact re-derived *)
+  | Poisoned
+      (** the request crashed its workers repeatedly and was quarantined
+          — it will not be retried into a crash loop *)
+  | Overloaded  (** the service queue is full; the request was shed *)
+  | Deadline_exceeded
+      (** the request's end-to-end deadline passed before a worker
+          could finish it *)
 
 type t = {
   phase : phase;
@@ -60,6 +71,7 @@ let phase_name = function
   | Running -> "running"
   | Campaign -> "campaign"
   | Batch -> "batch"
+  | Service -> "service"
 
 let kind_name = function
   | Lexical_error -> "lexical-error"
@@ -76,6 +88,10 @@ let kind_name = function
   | Job_timeout -> "job-timeout"
   | Circuit_open -> "circuit-open"
   | Domain_overlap -> "domain-overlap"
+  | Cache_corrupt -> "cache-corrupt"
+  | Poisoned -> "poisoned"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
 
 (** Transient failure classes: ones where retrying the same job can
     plausibly succeed (a slow machine, a transiently loaded box, an
@@ -86,10 +102,17 @@ let kind_name = function
     deliberately not transient either; shed load must fail fast, the
     breaker's half-open probe is the retry mechanism. *)
 let is_transient = function
-  | Budget_exceeded | Resource_exhausted | Job_crashed | Job_timeout -> true
+  | Budget_exceeded | Resource_exhausted | Job_crashed | Job_timeout
+  | Cache_corrupt ->
+    (* A corrupt cache entry is quarantined on detection, so the retry
+       recompiles from scratch — it can plausibly succeed. *)
+    true
   | Lexical_error | Syntax_error | Pass_failure | Validation_failure
   | Marshal_failure | Oracle_refusal | Oracle_violation | Internal_error
-  | Circuit_open | Domain_overlap ->
+  | Circuit_open | Domain_overlap | Poisoned | Overloaded
+  | Deadline_exceeded ->
+    (* Poisoned requests must never re-enter the crash loop; shed load
+       and blown deadlines must fail fast — the client decides. *)
     false
 
 let make ?pass ?(context = []) ~phase ~kind fmt =

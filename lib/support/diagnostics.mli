@@ -13,6 +13,7 @@ type phase =
   | Running
   | Campaign
   | Batch
+  | Service
 
 type kind =
   | Lexical_error
@@ -29,6 +30,10 @@ type kind =
   | Job_timeout
   | Circuit_open
   | Domain_overlap
+  | Cache_corrupt
+  | Poisoned
+  | Overloaded
+  | Deadline_exceeded
 
 type t = {
   phase : phase;

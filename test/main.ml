@@ -28,4 +28,5 @@ let () =
       Test_chaos.suite;
       Test_robust.suite;
       Test_harness.suite;
+      Test_service.suite;
     ]

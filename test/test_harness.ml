@@ -228,6 +228,146 @@ let checkpoint_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint compaction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compact_tests =
+  [
+    Alcotest.test_case "compact keeps the last status per id" `Quick
+      (fun () ->
+        let path = tmpfile "compact.jsonl" in
+        let w = Checkpoint.open_journal ~truncate:true path in
+        Checkpoint.append w (entry "a" "crashed" 1);
+        Checkpoint.append w (entry "b" "ok" 1);
+        Checkpoint.append w (entry "a" "crashed" 2);
+        Checkpoint.append w (entry "a" "ok" 3);
+        Checkpoint.close w;
+        let kept, dropped = Checkpoint.compact path in
+        check_int "two survivors" 2 kept;
+        check_int "two superseded lines dropped" 2 dropped;
+        (match Checkpoint.load path with
+        | [ a; b ] ->
+          (* first-appearance order, each with its final status *)
+          check "a first" true (a.Checkpoint.e_id = "a");
+          check "a final status" true (a.Checkpoint.e_status = "ok");
+          check_int "a final attempts" 3 a.Checkpoint.e_attempts;
+          check "b second" true (b.Checkpoint.e_id = "b")
+        | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+        (* compaction is idempotent *)
+        let kept2, dropped2 = Checkpoint.compact path in
+        check_int "second pass keeps both" 2 kept2;
+        check_int "second pass drops nothing" 0 dropped2);
+    Alcotest.test_case "compact drops torn and foreign lines" `Quick
+      (fun () ->
+        let path = tmpfile "compact-torn.jsonl" in
+        let w = Checkpoint.open_journal ~truncate:true path in
+        Checkpoint.append w (entry "a" "ok" 1);
+        Checkpoint.append_json w
+          (Obs.Json.Obj [ ("note", Obs.Json.Str "not an entry") ]);
+        Checkpoint.close w;
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "{\"job\": \"b\", \"stat";
+        close_out oc;
+        let kept, dropped = Checkpoint.compact path in
+        check_int "one entry survives" 1 kept;
+        check_int "foreign + torn dropped" 2 dropped;
+        match Checkpoint.load path with
+        | [ a ] -> check "a" true (a.Checkpoint.e_id = "a")
+        | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es));
+    Alcotest.test_case "compacting a missing journal is a no-op" `Quick
+      (fun () ->
+        check "zero" true
+          (Checkpoint.compact "/nonexistent/occo-journal.jsonl" = (0, 0)));
+    Alcotest.test_case "a compacted journal still resumes correctly" `Quick
+      (fun () ->
+        let path = tmpfile "compact-resume.jsonl" in
+        let w = Checkpoint.open_journal ~truncate:true path in
+        Checkpoint.append w (entry "a" "ok" 1);
+        Checkpoint.append w (entry "b" "failed" 2);
+        Checkpoint.append w (entry "c" "poisoned" 3);
+        Checkpoint.close w;
+        ignore (Checkpoint.compact path);
+        let ids = Checkpoint.completed_ids (Checkpoint.load path) in
+        check "a still done" true (Hashtbl.mem ids "a");
+        check "b still retries" false (Hashtbl.mem ids "b");
+        (* the poisoned marker — what `occo serve --resume` greps for —
+           must survive compaction verbatim *)
+        check "c still poisoned" true
+          (List.exists
+             (fun e ->
+               e.Checkpoint.e_id = "c" && e.Checkpoint.e_status = "poisoned")
+             (Checkpoint.load path)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Breaker under the service admission loop                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve loop calls [allow] once per queued request each launch
+   round and [record] when the worker concludes. These tests drive the
+   breaker exactly that way, with a simulated clock. *)
+let breaker_service_tests =
+  [
+    Alcotest.test_case "open breaker sheds a whole queued burst" `Quick
+      (fun () ->
+        let b = Breaker.create ~threshold:2 ~cooldown_us:1_000. "svc" in
+        Breaker.record b ~now_us:0. ~ok:false;
+        Breaker.record b ~now_us:10. ~ok:false;
+        (* six requests queued while open: every admission check fails *)
+        let admitted =
+          List.filter (fun t -> Breaker.allow b ~now_us:t)
+            [ 20.; 30.; 40.; 50.; 60.; 70. ]
+        in
+        check_int "all shed" 0 (List.length admitted));
+    Alcotest.test_case
+      "half-open: one probe from a burst of queued requests" `Quick
+      (fun () ->
+        let b = Breaker.create ~threshold:2 ~cooldown_us:1_000. "svc" in
+        Breaker.record b ~now_us:0. ~ok:false;
+        Breaker.record b ~now_us:10. ~ok:false;
+        (* cooldown elapses with five requests waiting; the same launch
+           round polls allow for each of them *)
+        let admitted =
+          List.filter (fun t -> Breaker.allow b ~now_us:t)
+            [ 1_100.; 1_101.; 1_102.; 1_103.; 1_104. ]
+        in
+        check_int "exactly one probe admitted" 1 (List.length admitted);
+        (* probe succeeds: the next round admits everyone *)
+        Breaker.record b ~now_us:1_200. ~ok:true;
+        let admitted =
+          List.filter (fun t -> Breaker.allow b ~now_us:t)
+            [ 1_300.; 1_301.; 1_302. ]
+        in
+        check_int "closed again, burst admitted" 3 (List.length admitted));
+    Alcotest.test_case "failed probe re-opens; queue keeps shedding" `Quick
+      (fun () ->
+        let b = Breaker.create ~threshold:2 ~cooldown_us:1_000. "svc" in
+        Breaker.record b ~now_us:0. ~ok:false;
+        Breaker.record b ~now_us:10. ~ok:false;
+        check "probe admitted" true (Breaker.allow b ~now_us:1_100.);
+        Breaker.record b ~now_us:1_150. ~ok:false;
+        check_int "re-opened (second trip)" 2 (Breaker.trips b);
+        (* the fresh cooldown is measured from the re-open, so the
+           still-queued requests shed for another full window... *)
+        check "sheds right after re-open" false
+          (Breaker.allow b ~now_us:1_200.);
+        check "sheds near the end of the window" false
+          (Breaker.allow b ~now_us:2_100.);
+        (* ...and only then is a second probe admitted *)
+        check "second probe after the full cooldown" true
+          (Breaker.allow b ~now_us:2_200.));
+    Alcotest.test_case "late failure from a pre-open worker is ignored"
+      `Quick (fun () ->
+        (* a worker launched before the trip concludes while the
+           breaker is open: its outcome must not extend the cooldown *)
+        let b = Breaker.create ~threshold:1 ~cooldown_us:1_000. "svc" in
+        Breaker.record b ~now_us:0. ~ok:false;
+        Breaker.record b ~now_us:500. ~ok:false;
+        check "probe timing unaffected by the late failure" true
+          (Breaker.allow b ~now_us:1_100.));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Worker                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,5 +599,5 @@ let clock_tests =
 
 let suite =
   ( "harness",
-    backoff_tests @ breaker_tests @ checkpoint_tests @ worker_tests
-    @ supervisor_tests @ clock_tests )
+    backoff_tests @ breaker_tests @ breaker_service_tests @ checkpoint_tests
+    @ compact_tests @ worker_tests @ supervisor_tests @ clock_tests )

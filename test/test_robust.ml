@@ -113,6 +113,55 @@ let campaign_tests =
         check "seed matters" true (json 11 <> json 12));
   ]
 
+(* Two synthesized partners (one faithful, one rogue) linked with
+   compose_all, then composed with the correct component: the survival
+   matrix must still detect every rogue mode, and the rogue partner
+   must not be able to hide behind its faithful sibling. *)
+let multi_tests =
+  [
+    Alcotest.test_case "both-faithful control stays undetected" `Quick
+      (fun () ->
+        let compiled = Lazy.force compiled_corpus in
+        let n_modes = List.length Partner.all_modes in
+        List.iteri
+          (fun k _ ->
+            let t = Campaign.try_multi ~compiled ~fuel ~seed:7 (k * n_modes) in
+            check "undetected" true (t.Campaign.t_verdict = Campaign.Undetected);
+            check "full prefix replayed" true t.Campaign.t_prefix_ok;
+            check "final" true (t.Campaign.t_outcome = "final"))
+          compiled);
+    Alcotest.test_case "every rogue mode detected with a faithful sibling"
+      `Slow (fun () ->
+        match Campaign.run_multi ~fuel ~seed:5 ~trials:28 () with
+        | Error d -> Alcotest.failf "multi: %s" (Diagnostics.to_string d)
+        | Ok rp ->
+          check "multi_survival_ok" true (Campaign.multi_survival_ok rp);
+          check "no undetected rogues" true
+            (Campaign.undetected_rogues rp = []);
+          (* every mode exercised at least once across 28 trials *)
+          List.iter
+            (fun m ->
+              check (Partner.mode_name m) true
+                (List.exists
+                   (fun t -> t.Campaign.t_mode = m)
+                   rp.Campaign.rb_trials))
+            Partner.all_modes;
+          (* the composite's replay prefix holds up to the global rogue
+             activation even though it interleaves both partners *)
+          List.iter
+            (fun t -> check "prefix" true t.Campaign.t_prefix_ok)
+            rp.Campaign.rb_trials);
+    Alcotest.test_case "multi matrix is reproducible per seed" `Slow
+      (fun () ->
+        let json seed =
+          match Campaign.run_multi ~fuel ~seed ~trials:14 () with
+          | Error d -> Alcotest.failf "multi: %s" (Diagnostics.to_string d)
+          | Ok rp -> Obs.Json.to_string (Campaign.to_json rp)
+        in
+        Alcotest.(check string) "reproducible" (json 11) (json 11);
+        check "seed matters" true (json 11 <> json 12));
+  ]
+
 (* Unit-level monitor checks: feed boundary events by hand. *)
 let monitor_tests =
   let sg = Mtypes.signature_main in
@@ -292,5 +341,5 @@ let shared_symbols_tests =
 
 let suite =
   ( "robust",
-    name_tests @ corpus_tests @ campaign_tests @ monitor_tests @ hcomp_tests
-    @ shared_symbols_tests )
+    name_tests @ corpus_tests @ campaign_tests @ multi_tests @ monitor_tests
+    @ hcomp_tests @ shared_symbols_tests )
