@@ -484,11 +484,22 @@ let bench_pipeline () =
   (* Feed the whole-pipeline numbers into the shared registry so they
      land in BENCH_pipeline.json next to the per-pass histograms. Gauges
      use microseconds, like the pass histograms ([*_us]). *)
+  (* Decode-cache effectiveness of the direct-threaded interpreter: the
+     repeated interp-asm runs above hit the per-function decode cache
+     after the first, so the rate should sit near 1.0. Exported as a
+     dimensionless gauge so CI can assert the cache is actually wired
+     in, not silently bypassed. *)
+  let dc_lookups, dc_misses = Backend.Asm.decode_cache_stats () in
+  let dc_hit_rate =
+    if dc_lookups = 0 then 0.
+    else float_of_int (dc_lookups - dc_misses) /. float_of_int dc_lookups
+  in
   Obs.with_enabled (fun () ->
       Obs.Metrics.set_gauge "bench.compile_us" (t_compile /. 1e3);
       Obs.Metrics.set_gauge "bench.compile_O0_us" (t_compile_o0 /. 1e3);
       Obs.Metrics.set_gauge "bench.interp_clight_us" (t_src /. 1e3);
-      Obs.Metrics.set_gauge "bench.interp_asm_us" (t_asm /. 1e3));
+      Obs.Metrics.set_gauge "bench.interp_asm_us" (t_asm /. 1e3);
+      Obs.Metrics.set_gauge "asm.decode_cache.hit_rate" dc_hit_rate);
   table
     [
       [ "Measurement"; "Time" ];
@@ -496,6 +507,10 @@ let bench_pipeline () =
       [ "compilation without optional passes"; pp_ns t_compile_o0 ];
       [ "Clight interpretation of the workload"; pp_ns t_src ];
       [ "Asm interpretation (through convention C)"; pp_ns t_asm ];
+      [
+        "Asm decode-cache hit rate";
+        Printf.sprintf "%.1f%% (%d lookups)" (100. *. dc_hit_rate) dc_lookups;
+      ];
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -68,6 +68,34 @@ let metrics_flag =
           "Print the metrics registry (per-pass duration histograms, \
            counters) as JSON on stdout after the command finishes.")
 
+(** [--allocator] picks the register-allocation strategy for every
+    compile the command performs, by setting
+    {!Passes.Allocation.default_strategy}. *)
+let allocator_arg =
+  let strategy_conv =
+    ( (fun s ->
+        match Passes.Allocation.strategy_of_string s with
+        | Some st -> `Ok st
+        | None ->
+          `Error
+            (Printf.sprintf
+               "unknown allocator %S (expected linear-scan or graph)" s)),
+      fun fmt st ->
+        Format.pp_print_string fmt (Passes.Allocation.strategy_name st) )
+  in
+  Arg.(
+    value
+    & opt (some strategy_conv) None
+    & info [ "allocator" ] ~docv:"STRATEGY"
+        ~doc:
+          "Register allocator: $(b,linear-scan) (the default — a single-pass \
+           live-interval fast path, validated on every run and falling back \
+           to $(b,graph) when the validator rejects its coloring) or \
+           $(b,graph) (the greedy graph coloring).")
+
+let set_allocator st =
+  Option.iter (fun st -> Passes.Allocation.default_strategy := st) st
+
 let with_obs trace metrics f =
   if trace = None && not metrics then f ()
   else begin
@@ -177,7 +205,8 @@ let pp_outcome fmt (o : 'a Sup.outcome) =
 
 (** {1 compile} *)
 
-let compile_cmd_run file o0 dumps trace metrics =
+let compile_cmd_run file o0 dumps trace metrics allocator =
+  set_allocator allocator;
   with_obs trace metrics @@ fun () ->
   try
     let p = parse_file file in
@@ -241,7 +270,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a C file and dump IRs.")
     Term.(
       const compile_cmd_run $ file_arg $ o0_flag $ dump_flags $ trace_arg
-      $ metrics_flag)
+      $ metrics_flag $ allocator_arg)
 
 (** {1 run} *)
 
@@ -267,7 +296,8 @@ let parse_args (spec : string) (sg : signature) : value list option =
         (List.combine parts sg.sig_args)
         (Some [])
 
-let run_cmd_run file level entry args_spec fuel o0 trace metrics =
+let run_cmd_run file level entry args_spec fuel o0 trace metrics allocator =
+  set_allocator allocator;
   with_obs trace metrics @@ fun () ->
   try
     let p = parse_file file in
@@ -369,7 +399,7 @@ let run_cmd =
           through the simulation conventions.")
     Term.(
       const run_cmd_run $ file_arg $ level $ entry $ args_spec $ fuel $ o0_flag
-      $ trace_arg $ metrics_flag)
+      $ trace_arg $ metrics_flag $ allocator_arg)
 
 (** {1 derive} *)
 

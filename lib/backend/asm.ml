@@ -150,6 +150,9 @@ let exec_instr (ge : genv) (f : coq_function) (fb : block) (pos : int)
     | None -> None)
   | Pret -> Some (Pregfile.set PC (Pregfile.get RA rs) rs, m)
 
+(** The naive dispatcher: one [Genv] lookup plus one instruction match
+    per step. Kept as the executable reference the direct-threaded
+    dispatcher below is tested against in lockstep. *)
 let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
   match Pregfile.get PC s.rs with
   | Vptr (fb, pos) -> (
@@ -161,49 +164,388 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
     | _ -> [])
   | _ -> []
 
+(** {2 Pre-decoded, direct-threaded dispatch}
+
+    [step] re-matches [f.fn_code.(pos)], re-resolves the function block
+    in the global environment, re-scans for labels and re-allocates the
+    successor PC value on {e every} step. The fast path decodes each
+    function once into an array of closures (superinstructions): operand
+    register indices, label targets, symbol addresses and successor PC
+    values are all resolved at decode time, so executing an instruction
+    is one array index plus one closure call, and the register file is
+    copied once per step even when an instruction writes several
+    registers. Decoded functions are memoized in a per-[semantics]
+    decode cache keyed by function block (the shape the second-backend
+    roadmap item needs: one cache per backend signature); the global
+    hit/miss counters feed the [asm.decode_cache.*] bench gauges. *)
+
+type exec = Pregfile.t -> Mem.t -> state option
+
+type decoded = exec array
+
+let ipc = preg_index PC
+let isp = preg_index SP
+let ira = preg_index RA
+
+(* Copy-on-write register-file updates fused into a single copy. The
+   result is fresh, so in-place writes preserve [Pregfile]'s purity. *)
+let set1 (i1 : int) v1 (rs : Pregfile.t) : Pregfile.t =
+  let rf = Array.copy rs in
+  rf.(i1) <- v1;
+  rf
+
+let set2 (i1 : int) v1 (i2 : int) v2 (rs : Pregfile.t) : Pregfile.t =
+  let rf = Array.copy rs in
+  rf.(i1) <- v1;
+  rf.(i2) <- v2;
+  rf
+
+let set3 (i1 : int) v1 (i2 : int) v2 (i3 : int) v3 (rs : Pregfile.t) :
+    Pregfile.t =
+  let rf = Array.copy rs in
+  rf.(i1) <- v1;
+  rf.(i2) <- v2;
+  rf.(i3) <- v3;
+  rf
+
+(* Operand fetch specialized on arity, so the common 0–3 argument cases
+   build their value list without an intermediate index list. *)
+let fetch_args (args : preg list) : Pregfile.t -> value list =
+  match List.map preg_index args with
+  | [] -> fun _ -> []
+  | [ a ] -> fun rs -> [ rs.(a) ]
+  | [ a; b ] -> fun rs -> [ rs.(a); rs.(b) ]
+  | [ a; b; c ] -> fun rs -> [ rs.(a); rs.(b); rs.(c) ]
+  | idx -> fun rs -> List.map (fun i -> rs.(i)) idx
+
+let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
+    (fb : block) (pos : int) (i : instruction) : exec =
+  let pc_next = Vptr (fb, pos + 1) in
+  let stuck : exec = fun _ _ -> None in
+  match i with
+  | Pallocframe (sz, ofs_link, ofs_ra) ->
+    fun rs m -> (
+      match Mem.alloc_frame m sz ofs_link rs.(isp) ofs_ra rs.(ira) with
+      | Some (m', b) -> Some { rs = set2 isp (Vptr (b, 0)) ipc pc_next rs; m = m' }
+      | None -> None)
+  | Pfreeframe (sz, ofs_link, ofs_ra) ->
+    fun rs m -> (
+      match rs.(isp) with
+      | Vptr (b, 0) -> (
+        match (Mem.load Mint64 m b ofs_link, Mem.load Mint64 m b ofs_ra) with
+        | Some link, Some ra -> (
+          match Mem.free m b 0 sz with
+          | Some m' -> Some { rs = set3 isp link ira ra ipc pc_next rs; m = m' }
+          | None -> None)
+        | _ -> None)
+      | _ -> None)
+  (* Superinstructions: the operand shapes the register allocator emits
+     most (moves, constants, two-operand integer arithmetic, reg/stack
+     addressing) get dedicated closures that skip the operand list and
+     the [eval_operation]/[eval_addressing] dispatch. Each one computes
+     exactly what the generic arm below computes for the same shape —
+     the lockstep suite checks this against the naive interpreter. *)
+  | Pop (Op.Omove, [ a ], res) ->
+    let ia = preg_index a and ires = preg_index res in
+    fun rs m -> Some { rs = set2 ires rs.(ia) ipc pc_next rs; m }
+  | Pop (Op.Ointconst n, [], res) ->
+    let v = Vint n and ires = preg_index res in
+    fun rs m -> Some { rs = set2 ires v ipc pc_next rs; m }
+  | Pop (Op.Olongconst n, [], res) ->
+    let v = Vlong n and ires = preg_index res in
+    fun rs m -> Some { rs = set2 ires v ipc pc_next rs; m }
+  | Pop (Op.Oaddimm n, [ a ], res) ->
+    let vn = Vint n and ia = preg_index a and ires = preg_index res in
+    fun rs m -> Some { rs = set2 ires (Values.add rs.(ia) vn) ipc pc_next rs; m }
+  | Pop (Op.Oadd, [ a; b ], res) ->
+    let ia = preg_index a and ib = preg_index b and ires = preg_index res in
+    fun rs m ->
+      Some { rs = set2 ires (Values.add rs.(ia) rs.(ib)) ipc pc_next rs; m }
+  | Pop (Op.Osub, [ a; b ], res) ->
+    let ia = preg_index a and ib = preg_index b and ires = preg_index res in
+    fun rs m ->
+      Some { rs = set2 ires (Values.sub rs.(ia) rs.(ib)) ipc pc_next rs; m }
+  | Pop (Op.Omul, [ a; b ], res) ->
+    let ia = preg_index a and ib = preg_index b and ires = preg_index res in
+    fun rs m ->
+      Some { rs = set2 ires (Values.mul rs.(ia) rs.(ib)) ipc pc_next rs; m }
+  | Pop (Op.Olongofint, [ a ], res) ->
+    let ia = preg_index a and ires = preg_index res in
+    fun rs m ->
+      Some { rs = set2 ires (Values.longofint rs.(ia)) ipc pc_next rs; m }
+  | Pop (op, args, res) ->
+    let fetch = fetch_args args in
+    let ires = preg_index res in
+    fun rs m -> (
+      match Op.eval_operation gv rs.(isp) op (fetch rs) m with
+      | Some v -> Some { rs = set2 ires v ipc pc_next rs; m }
+      | None -> None)
+  | Pload (chunk, Op.Aindexed ofs, [ a ], dst) ->
+    let ia = preg_index a and idst = preg_index dst in
+    fun rs m -> (
+      match rs.(ia) with
+      | Vptr (b, o) -> (
+        match Mem.load chunk m b (o + ofs) with
+        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | None -> None)
+      | _ -> None)
+  | Pload (chunk, Op.Ainstack ofs, [], dst) ->
+    let idst = preg_index dst in
+    fun rs m -> (
+      match rs.(isp) with
+      | Vptr (b, base) -> (
+        match Mem.load chunk m b (base + ofs) with
+        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | None -> None)
+      | _ -> None)
+  | Pload (chunk, addr, args, dst) ->
+    let fetch = fetch_args args in
+    let idst = preg_index dst in
+    fun rs m -> (
+      match Op.eval_addressing gv rs.(isp) addr (fetch rs) with
+      | Some va -> (
+        match Mem.loadv chunk m va with
+        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | None -> None)
+      | None -> None)
+  | Pstore (chunk, Op.Aindexed ofs, [ a ], src) ->
+    let ia = preg_index a and isrc = preg_index src in
+    fun rs m -> (
+      match rs.(ia) with
+      | Vptr (b, o) -> (
+        match Mem.store chunk m b (o + ofs) rs.(isrc) with
+        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | None -> None)
+      | _ -> None)
+  | Pstore (chunk, Op.Ainstack ofs, [], src) ->
+    let isrc = preg_index src in
+    fun rs m -> (
+      match rs.(isp) with
+      | Vptr (b, base) -> (
+        match Mem.store chunk m b (base + ofs) rs.(isrc) with
+        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | None -> None)
+      | _ -> None)
+  | Pstore (chunk, addr, args, src) ->
+    let fetch = fetch_args args in
+    let isrc = preg_index src in
+    fun rs m -> (
+      match Op.eval_addressing gv rs.(isp) addr (fetch rs) with
+      | Some va -> (
+        match Mem.storev chunk m va rs.(isrc) with
+        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | None -> None)
+      | None -> None)
+  | Plabel _ -> fun rs m -> Some { rs = set1 ipc pc_next rs; m }
+  | Pjmp lbl -> (
+    match find_label lbl f.fn_code with
+    | Some pos' ->
+      let target = Vptr (fb, pos') in
+      fun rs m -> Some { rs = set1 ipc target rs; m }
+    | None -> stuck)
+  | Pjcc (cond, args, lbl) ->
+    (* The label resolves at decode time, but a missing label only
+       sticks the taken branch — the fall-through must still work,
+       exactly as in [exec_instr]. *)
+    let eval_cond =
+      match (cond, args) with
+      | Op.Ccompimm (c, n), [ a ] ->
+        let vn = Vint n and ia = preg_index a in
+        fun rs _m -> Values.cmp_bool c rs.(ia) vn
+      | Op.Ccomp c, [ a; b ] ->
+        let ia = preg_index a and ib = preg_index b in
+        fun rs _m -> Values.cmp_bool c rs.(ia) rs.(ib)
+      | _ ->
+        let fetch = fetch_args args in
+        fun rs m -> Op.eval_condition cond (fetch rs) m
+    in
+    let target =
+      match find_label lbl f.fn_code with
+      | Some pos' -> Some (Vptr (fb, pos'))
+      | None -> None
+    in
+    fun rs m -> (
+      match eval_cond rs m with
+      | Some true -> (
+        match target with
+        | Some t -> Some { rs = set1 ipc t rs; m }
+        | None -> None)
+      | Some false -> Some { rs = set1 ipc pc_next rs; m }
+      | None -> None)
+  | Pcall ros -> (
+    match ros with
+    | Rsymbol id -> (
+      match Genv.find_symbol ge id with
+      | Some b ->
+        let vf = Vptr (b, 0) in
+        fun rs m -> Some { rs = set2 ira pc_next ipc vf rs; m }
+      | None -> stuck)
+    | Rreg r ->
+      let ir = preg_index r in
+      fun rs m -> Some { rs = set2 ira pc_next ipc rs.(ir) rs; m })
+  | Pjmp_tail ros -> (
+    match ros with
+    | Rsymbol id -> (
+      match Genv.find_symbol ge id with
+      | Some b ->
+        let vf = Vptr (b, 0) in
+        fun rs m -> Some { rs = set1 ipc vf rs; m }
+      | None -> stuck)
+    | Rreg r ->
+      let ir = preg_index r in
+      fun rs m -> Some { rs = set1 ipc rs.(ir) rs; m })
+  | Pret -> fun rs m -> Some { rs = set1 ipc rs.(ira) rs; m }
+
+let decode_function (ge : genv) (fb : block) (f : coq_function) : decoded =
+  let gv = genv_view ge in
+  Array.mapi (fun pos i -> decode_instr gv ge f fb pos i) f.fn_code
+
+(* Global decode-cache counters: every consultation (including the
+   same-block fast path) counts as a lookup; a miss decodes. The bench
+   derives the hit-rate gauge from these. *)
+let decode_cache_lookups = ref 0
+let decode_cache_misses = ref 0
+let decode_cache_stats () = (!decode_cache_lookups, !decode_cache_misses)
+
+let reset_decode_cache_stats () =
+  decode_cache_lookups := 0;
+  decode_cache_misses := 0
+
+type decode_cache = {
+  dc_tbl : (block, decoded option) Hashtbl.t;
+      (** [None] caches "this block is not internal code" *)
+  mutable dc_last_fb : block;  (** -1 when empty; blocks start at 1 *)
+  mutable dc_last : decoded option;
+}
+
+let make_decode_cache () : decode_cache =
+  { dc_tbl = Hashtbl.create 16; dc_last_fb = -1; dc_last = None }
+
+let decoded_at (ge : genv) (dc : decode_cache) (fb : block) : decoded option =
+  incr decode_cache_lookups;
+  if fb = dc.dc_last_fb then dc.dc_last
+  else begin
+    let d =
+      match Hashtbl.find_opt dc.dc_tbl fb with
+      | Some d -> d
+      | None ->
+        incr decode_cache_misses;
+        let d =
+          match Genv.find_funct_ptr ge fb with
+          | Some (Ast.Internal f) -> Some (decode_function ge fb f)
+          | _ -> None
+        in
+        Hashtbl.add dc.dc_tbl fb d;
+        d
+    in
+    dc.dc_last_fb <- fb;
+    dc.dc_last <- d;
+    d
+  end
+
+let step_threaded (ge : genv) (dc : decode_cache) (s : state) :
+    (Core.Events.trace * state) list =
+  match Pregfile.get PC s.rs with
+  | Vptr (fb, pos) -> (
+    match decoded_at ge dc fb with
+    | Some code when pos >= 0 && pos < Array.length code -> (
+      match code.(pos) s.rs s.m with
+      | Some st -> [ (Core.Events.e0, st) ]
+      | None -> [])
+    | _ -> [])
+  | _ -> []
+
 type full_state = { asm_init_ra : value; asm_st : state }
 
-let semantics ~(symbols : Ident.t list) (p : program) :
+(* PC-shaped value equality, specialized to avoid the polymorphic
+   [caml_compare] the per-step final/at-external tests would otherwise
+   pay. Agrees with [(=)] on every case, including its IEEE treatment
+   of float payloads (NaN unequal to itself). *)
+let pc_eq (a : value) (b : value) : bool =
+  match (a, b) with
+  | Vptr (b1, o1), Vptr (b2, o2) -> b1 = b2 && o1 = o2
+  | Vint x, Vint y -> Int32.equal x y
+  | Vlong x, Vlong y -> Int64.equal x y
+  | Vundef, Vundef -> true
+  | Vfloat x, Vfloat y -> x = y
+  | Vsingle x, Vsingle y -> x = y
+  | _ -> false
+
+let semantics_gen ~(threaded : bool) ~(symbols : Ident.t list) (p : program) :
     (full_state, a_query, a_reply, a_query, a_reply) Core.Smallstep.lts =
   let ge = Genv.globalenv ~symbols p in
+  let dc = make_decode_cache () in
   (* A state is at an interaction point when the PC leaves this unit's
      internal code: either at the environment return address (final) or
-     at a block this unit does not define internally (external call). *)
+     at a block this unit does not define internally (external call).
+     The threaded dispatcher answers "is this internal code?" from the
+     decode cache, so the per-step interaction test costs no [Genv]
+     descent either. *)
   let is_internal v =
     match v with
-    | Vptr (b, 0) -> (
-      match Genv.find_funct_ptr ge b with Some (Ast.Internal _) -> true | _ -> false)
+    | Vptr (b, 0) ->
+      if threaded then Option.is_some (decoded_at ge dc b)
+      else (
+        match Genv.find_funct_ptr ge b with
+        | Some (Ast.Internal _) -> true
+        | _ -> false)
     | _ -> false
+  in
+  (* The threaded step is inlined here rather than wrapping
+     [step_threaded] in a [List.map]: the rewrap would allocate a second
+     cons/tuple/record per step, a measurable share of the hot loop. *)
+  let step_full =
+    if threaded then fun s ->
+      match s.asm_st.rs.(ipc) with
+      | Vptr (fb, pos) -> (
+        match decoded_at ge dc fb with
+        | Some code when pos >= 0 && pos < Array.length code -> (
+          match code.(pos) s.asm_st.rs s.asm_st.m with
+          | Some st -> [ (Core.Events.e0, { s with asm_st = st }) ]
+          | None -> [])
+        | _ -> [])
+      | _ -> []
+    else fun s ->
+      List.map (fun (t, st) -> (t, { s with asm_st = st })) (step ge s.asm_st)
   in
   {
     Core.Smallstep.name = "Asm";
     dom = (fun q -> is_internal (Pregfile.get PC q.aq_rs));
     init = (fun q -> [ { asm_init_ra = Pregfile.get RA q.aq_rs;
                          asm_st = { rs = q.aq_rs; m = q.aq_mem } } ]);
-    step =
-      (fun s ->
-        List.map (fun (t, st) -> (t, { s with asm_st = st })) (step ge s.asm_st));
+    step = step_full;
     at_external =
       (fun s ->
         (* An external call is a control transfer to the base of a global
            symbol block this unit does not define internally. Return
            addresses point into the middle of code blocks and are excluded;
            garbage PCs are stuck, not external. *)
-        let pc = Pregfile.get PC s.asm_st.rs in
+        let pc = s.asm_st.rs.(ipc) in
         if
           Genv.plausible_funct ge pc
           && (not (is_internal pc))
-          && pc <> s.asm_init_ra
+          && not (pc_eq pc s.asm_init_ra)
         then Some { aq_rs = s.asm_st.rs; aq_mem = s.asm_st.m }
         else None);
     after_external =
       (fun s r -> [ { s with asm_st = { rs = r.ar_rs; m = r.ar_mem } } ]);
     final =
       (fun s ->
-        if Pregfile.get PC s.asm_st.rs = s.asm_init_ra then
+        if pc_eq s.asm_st.rs.(ipc) s.asm_init_ra then
           Some { ar_rs = s.asm_st.rs; ar_mem = s.asm_st.m }
         else None);
   }
+
+(** The Asm open semantics, on the direct-threaded dispatcher. *)
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (full_state, a_query, a_reply, a_query, a_reply) Core.Smallstep.lts =
+  semantics_gen ~threaded:true ~symbols p
+
+(** The same semantics on the naive per-step dispatcher — the reference
+    the differential suite locksteps against [semantics]. *)
+let semantics_naive ~(symbols : Ident.t list) (p : program) :
+    (full_state, a_query, a_reply, a_query, a_reply) Core.Smallstep.lts =
+  semantics_gen ~threaded:false ~symbols p
 
 (** {1 Printing} *)
 

@@ -71,21 +71,22 @@ let observed name ~(before : 'a -> Sizes.shape) ~(after : 'b -> Sizes.shape)
         Obs.Trace.add_attr "functions_before" (Obs.Json.num_of_int sb.Sizes.functions);
         Obs.Trace.add_attr "size_before" (Obs.Json.num_of_int sb.Sizes.size);
         let g0 = Gc.quick_stat () in
-        (* [quick_stat]'s [minor_words] only advances at minor
-           collections on OCaml 5; [Gc.minor_words ()] reads the real
-           allocation pointer, so short passes don't report 0. *)
-        let mw0 = Gc.minor_words () in
+        (* All three allocation counters come from one [Gc.counters]
+           call so the deltas are mutually coherent. Mixing
+           [Gc.minor_words ()] with [quick_stat] deltas — the previous
+           scheme — is unsound on OCaml 5: the [quick_stat] counters are
+           only synchronized at collection boundaries, so the combined
+           delta could (and in practice did) go negative. Each delta is
+           clamped at 0 as a second line of defense. *)
+        let mi0, pr0, ma0 = Gc.counters () in
         let r = Obs.Metrics.time ("pass." ^ name) (fun () -> pass p) in
-        let mw1 = Gc.minor_words () in
+        let mi1, pr1, ma1 = Gc.counters () in
         let g1 = Gc.quick_stat () in
         (* Words the pass allocated: everything born in the minor heap
            plus direct major allocations, not double-counting survivors
            promoted from one to the other. *)
-        let minor_alloc = mw1 -. mw0 in
-        let major_alloc =
-          g1.Gc.major_words -. g0.Gc.major_words
-          -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
-        in
+        let minor_alloc = Float.max 0. (mi1 -. mi0) in
+        let major_alloc = Float.max 0. (ma1 -. ma0 -. (pr1 -. pr0)) in
         Obs.Trace.add_attr "minor_alloc_words" (Obs.Json.Num minor_alloc);
         Obs.Trace.add_attr "major_alloc_words" (Obs.Json.Num major_alloc);
         Obs.Trace.add_attr "major_collections"
@@ -271,24 +272,51 @@ let compile_diag ?(options = all_optims) ?budget_us (p : C.program) :
   let* rtl =
     rtl_stage "Deadcode" Passes.Deadcode.transf_program options.opt_deadcode rtl5
   in
-  let* ltl, allocator_assigns =
-    stage ~phase:Diag.Backend "Allocation" ~before:Sizes.rtl
-      ~after:(fun (l, _) -> Sizes.ltl l)
-      ~save:(fun pa (l, _) -> { pa with pa_ltl = Some l })
-      Passes.Allocation.transf_program_with_assignments rtl
-  in
   (* Translation validation of the untrusted allocator (CompCert-style):
      a miscompilation in Allocation aborts the compilation here. The
      validator receives the allocator's own colorings and checks them
-     from scratch instead of re-deriving them. *)
-  let* () =
-    stage ~phase:Diag.Backend "AllocCheck" ~before:Sizes.ltl
-      ~after:(fun () -> Sizes.ltl ltl)
-      ~save:(fun pa () -> pa)
-      (fun ltl ->
-        Passes.Alloc_check.validate_program ~assignments:allocator_assigns rtl
-          ltl)
-      ltl
+     from scratch instead of re-deriving them. When the linear-scan fast
+     path produces a coloring the validator rejects, the driver falls
+     back to the graph allocator and validates again — performance from
+     the fast path, correctness from the check. *)
+  let allocate_and_check strat =
+    let* ltl, allocator_assigns =
+      stage ~phase:Diag.Backend "Allocation" ~before:Sizes.rtl
+        ~after:(fun (l, _) -> Sizes.ltl l)
+        ~save:(fun pa (l, _) -> { pa with pa_ltl = Some l })
+        (Passes.Allocation.transf_program_with_assignments ~strategy:strat)
+        rtl
+    in
+    let* () =
+      stage ~phase:Diag.Backend "AllocCheck" ~before:Sizes.ltl
+        ~after:(fun () -> Sizes.ltl ltl)
+        ~save:(fun pa () -> pa)
+        (fun ltl ->
+          Passes.Alloc_check.validate_program ~assignments:allocator_assigns
+            rtl ltl)
+        ltl
+    in
+    Ok ltl
+  in
+  let requested = !Passes.Allocation.default_strategy in
+  let* ltl =
+    match allocate_and_check requested with
+    | Ok ltl ->
+      Obs.Trace.add_attr "allocator"
+        (Obs.Json.Str (Passes.Allocation.strategy_name requested));
+      Ok ltl
+    | Error f
+      when requested = Passes.Allocation.Linear_scan
+           && (f.fail_diag.Diag.pass = Some "AllocCheck"
+              || f.fail_diag.Diag.pass = Some "Allocation")
+           && f.fail_diag.Diag.kind <> Diag.Budget_exceeded ->
+      (* The validator rejected the fast path (or it crashed): retry
+         with the graph allocator, surfaced on the compile span and in
+         the metrics registry. *)
+      Obs.Metrics.incr_counter "alloc.linear_scan_fallback";
+      Obs.Trace.add_attr "allocator" (Obs.Json.Str "graph_fallback");
+      allocate_and_check Passes.Allocation.Graph
+    | Error _ as e -> e
   in
   let* ltl_tunneled =
     stage ~phase:Diag.Backend "Tunneling" ~before:Sizes.ltl ~after:Sizes.ltl
@@ -402,13 +430,26 @@ let backend_from_rtl (rtl : Middle.Rtl.program) : backend_artifacts Errors.t =
     | exception e ->
       Errors.error "%s: uncaught exception: %s" name (Printexc.to_string e)
   in
-  let* ltl, assignments =
-    guard "Allocation" Passes.Allocation.transf_program_with_assignments rtl
+  let allocate_and_check strat =
+    let* ltl, assignments =
+      guard "Allocation"
+        (Passes.Allocation.transf_program_with_assignments ~strategy:strat)
+        rtl
+    in
+    let* () =
+      guard "AllocCheck"
+        (Passes.Alloc_check.validate_program ~assignments rtl)
+        ltl
+    in
+    ok ltl
   in
-  let* () =
-    guard "AllocCheck"
-      (Passes.Alloc_check.validate_program ~assignments rtl)
-      ltl
+  let requested = !Passes.Allocation.default_strategy in
+  let* ltl =
+    match allocate_and_check requested with
+    | Error _ when requested = Passes.Allocation.Linear_scan ->
+      Obs.Metrics.incr_counter "alloc.linear_scan_fallback";
+      allocate_and_check Passes.Allocation.Graph
+    | r -> r
   in
   let* ltl_tunneled = guard "Tunneling" Passes.Tunneling.transf_program ltl in
   let* linear = guard "Linearize" Passes.Linearize.transf_program ltl_tunneled in

@@ -266,15 +266,48 @@ let scratch_reg = Mach.R10
 let self_move op args dest =
   match (op, args) with Middle.Op.Omove, [ src ] -> src = dest | _ -> false
 
+(* A write to [reg] at instruction [i] realizes a convention slot only
+   if the written value actually reaches the convention point: a call
+   that takes [reg] as a parameter register, or a return with [reg] the
+   result register — with no intervening redefinition. Otherwise the
+   write merely happens to target a register that doubles as a parameter
+   register (a call result retrieved into CX, say), and corrupting it
+   can be semantically invisible: the callee may have left the very same
+   value there. Equivalent mutants like that would defeat the must-kill
+   gate. The scan is intraprocedural and stops conservatively at labels
+   and branches; convention writes are emitted immediately before their
+   call/return, so the straight-line suffix always contains them. *)
+let reaches_convention_point (sg : Memory.Mtypes.signature)
+    (code : L.instruction array) (i : int) (reg : Mach.mreg) : bool =
+  let n = Array.length code in
+  let defines = function
+    | L.Lop (_, _, d) | L.Lload (_, _, _, d) | L.Lgetstack (_, _, _, d) ->
+      d = reg
+    | _ -> false
+  in
+  let rec go j =
+    if j >= n then false
+    else
+      match code.(j) with
+      | L.Lcall _ | L.Ltailcall _ ->
+        List.mem reg Target.Conventions.int_param_regs
+      | L.Lreturn -> reg = Target.Conventions.loc_result sg
+      | L.Llabel _ | L.Lgoto _ | L.Lcond _ -> false
+      | instr -> if defines instr then false else go (j + 1)
+  in
+  go (i + 1)
+
 let linear_fun_sites (name : string) (f : L.coq_function) : site list =
   let site loc note = { site_fun = name; site_loc = loc; site_note = note } in
+  let code = Array.of_list f.L.fn_code in
   List.concat
     (List.mapi
        (fun i instr ->
          match instr with
          | L.Lop (op, args, dest)
            when List.mem dest conv_regs && dest <> scratch_reg
-                && not (self_move op args dest) ->
+                && not (self_move op args dest)
+                && reaches_convention_point f.L.fn_sig code i dest ->
            [ site i "redirect convention-register write to scratch" ]
          | L.Lgetstack (_, _, _, _) -> [ site i "shift stack slot by one word" ]
          | L.Lsetstack (_, _, _, _) -> [ site i "shift stack slot by one word" ]

@@ -70,15 +70,31 @@ type block_info = {
   perms : perms;
 }
 
-type t = { next_block : block; blocks : block_info IMap.t }
+type t = {
+  next_block : block;
+  blocks : block_info IMap.t;  (** blocks with at least one permission *)
+  dead : block_info IMap.t;
+      (** fully-freed blocks, kept for [valid_block]/[block_bounds]/
+          [contents_at] observability. Segregating them keeps [blocks] —
+          which every load, store and alloc searches and rebuilds — at
+          live-block size instead of growing by one tombstone per
+          function call executed by the interpreter. *)
+}
 
-let empty = { next_block = 1; blocks = IMap.empty }
+let empty = { next_block = 1; blocks = IMap.empty; dead = IMap.empty }
 
 let nextblock m = m.next_block
-let valid_block m b = b > 0 && b < m.next_block && IMap.mem b m.blocks
+
+let valid_block m b =
+  b > 0 && b < m.next_block && (IMap.mem b m.blocks || IMap.mem b m.dead)
+
+let find_block m b =
+  match IMap.find_opt b m.blocks with
+  | Some _ as r -> r
+  | None -> IMap.find_opt b m.dead
 
 let block_bounds m b =
-  match IMap.find_opt b m.blocks with
+  match find_block m b with
   | Some bi -> Some (bi.lo, bi.hi)
   | None -> None
 
@@ -161,13 +177,13 @@ let carved pm = if IMap.is_empty pm then Uniform None else Carved pm
 let alloc m lo hi =
   let b = m.next_block in
   let bi = { lo; hi; contents = IMap.empty; perms = Uniform (Some Freeable) } in
-  ({ next_block = b + 1; blocks = IMap.add b bi m.blocks }, b)
+  ({ m with next_block = b + 1; blocks = IMap.add b bi m.blocks }, b)
 
 let free m b lo hi =
   if lo >= hi then Some m
   else
     match IMap.find_opt b m.blocks with
-    | None -> None
+    | None -> None (* never-allocated or already fully freed: no permission *)
     | Some bi ->
       if not (block_range_perm bi lo hi Freeable) then None
       else
@@ -176,7 +192,16 @@ let free m b lo hi =
           | Uniform _ when lo <= bi.lo && hi >= bi.hi -> Uniform None
           | _ -> carved (map_set_range (perms_to_map bi) lo hi None)
         in
-        Some { m with blocks = IMap.add b { bi with perms } m.blocks }
+        (match perms with
+        | Uniform None ->
+          (* No permission left anywhere: retire the block to [dead]
+             (contents are retained, exactly as a freed block keeps its
+             contents in the one-map representation). *)
+          Some
+            { m with
+              blocks = IMap.remove b m.blocks;
+              dead = IMap.add b { bi with perms } m.dead }
+        | _ -> Some { m with blocks = IMap.add b { bi with perms } m.blocks })
 
 let rec free_list m = function
   | [] -> Some m
@@ -188,13 +213,15 @@ let drop_range m b lo hi = free m b lo hi
 
 (** Restrict permissions on a range to at most [p]. *)
 let drop_perm m b lo hi p =
-  match IMap.find_opt b m.blocks with
+  match find_block m b with
   | None -> None
   | Some bi ->
     if lo >= hi then Some m
     else
       if not (block_range_perm bi lo hi p) then None
       else
+        (* [bi] is live: a [dead] block has no permission and cannot pass
+           the range check above. *)
         let perms =
           match bi.perms with
           | Uniform (Some p0) when p0 = p -> bi.perms
@@ -209,7 +236,7 @@ let drop_perm m b lo hi p =
     the allocation valid — and a range entirely outside the bounds is an
     error ([None]). *)
 let grant_perm m b lo hi p =
-  match IMap.find_opt b m.blocks with
+  match find_block m b with
   | None -> None
   | Some bi ->
     if lo >= hi then Some m
@@ -223,7 +250,12 @@ let grant_perm m b lo hi p =
           | Uniform _ when lo <= bi.lo && hi >= bi.hi -> Uniform (Some p)
           | _ -> Carved (map_set_range (perms_to_map bi) lo hi (Some p))
         in
-        Some { m with blocks = IMap.add b { bi with perms } m.blocks }
+        (* A grant on a fully-freed block resurrects permissions, so the
+           block moves back from [dead] to [blocks]. *)
+        Some
+          { m with
+            blocks = IMap.add b { bi with perms } m.blocks;
+            dead = IMap.remove b m.dead }
 
 (** {1 Loads and stores} *)
 
@@ -280,7 +312,7 @@ let aligned chunk ofs = ofs mod align_chunk chunk = 0
 let loadbytes m b ofs n =
   if n < 0 then None
   else
-    match IMap.find_opt b m.blocks with
+    match find_block m b with
     | None -> None
     | Some bi ->
       if not (block_range_perm bi ofs (ofs + n) Readable) then None
@@ -292,31 +324,168 @@ let storebytes_unchecked m b bi ofs mvl =
 
 let storebytes m b ofs mvl =
   match IMap.find_opt b m.blocks with
-  | None -> None
+  | None -> (
+    match IMap.find_opt b m.dead with
+    | None -> None
+    | Some bi ->
+      (* A dead block passes the range check only for the empty range,
+         which writes nothing. *)
+      let n = List.length mvl in
+      if not (block_range_perm bi ofs (ofs + n) Writable) then None else Some m)
   | Some bi ->
     let n = List.length mvl in
     if not (block_range_perm bi ofs (ofs + n) Writable) then None
     else Some (storebytes_unchecked m b bi ofs mvl)
+
+(* {2 Fast paths for the interpreter-hot access shapes}
+
+   An aligned 4- or 8-byte access never crosses a 16-byte chunk boundary,
+   so the common [Mint32]/[Mint64] loads and stores can read or write one
+   chunk array directly instead of going through the intermediate
+   [memval list] of [encode_val]/[getN]/[decode_val]. The fast paths
+   produce bit-identical chunk contents and results; every shape they do
+   not cover (undef bytes, mixed fragments, float chunks, sub-word
+   accesses) returns [None] and falls back to the generic path. *)
+
+let byte_at a i = match a.(i) with Byte b -> b | _ -> -1
+
+let load_fast chunk bi ofs : value option =
+  match chunk with
+  | Mint32 | Mint64 -> (
+    match IMap.find_opt (chunk_ix ofs) bi.contents with
+    | None -> None
+    | Some a -> (
+      let base = chunk_sub ofs in
+      match (chunk, a.(base)) with
+      | Mint32, Byte b0 ->
+        let b1 = byte_at a (base + 1)
+        and b2 = byte_at a (base + 2)
+        and b3 = byte_at a (base + 3) in
+        if b1 lor b2 lor b3 < 0 then None
+        else
+          Some
+            (Vint (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))))
+      | Mint64, Byte b0 ->
+        let b1 = byte_at a (base + 1)
+        and b2 = byte_at a (base + 2)
+        and b3 = byte_at a (base + 3)
+        and b4 = byte_at a (base + 4)
+        and b5 = byte_at a (base + 5)
+        and b6 = byte_at a (base + 6)
+        and b7 = byte_at a (base + 7) in
+        if b1 lor b2 lor b3 lor b4 lor b5 lor b6 lor b7 < 0 then None
+        else
+          let lo = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+          let hi = b4 lor (b5 lsl 8) lor (b6 lsl 16) lor (b7 lsl 24) in
+          Some
+            (Vlong
+               (Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)))
+      | Mint64, Fragment (v0, Q64, 7) ->
+        (* A pointer stored by [inj_value Q64]: the same value at
+           decreasing indices 7..0. Stores write one shared value into
+           all eight fragments, so physical equality suffices; anything
+           else falls back to [proj_value]. *)
+        let rec check i =
+          i > 7
+          ||
+          match a.(base + i) with
+          | Fragment (v', Q64, idx) when idx = 7 - i && v' == v0 -> check (i + 1)
+          | _ -> false
+        in
+        if check 1 then (match v0 with Vptr _ -> Some v0 | _ -> None) else None
+      | _ -> None))
+  | _ -> None
+
+let chunk_for_write bi ix =
+  match IMap.find_opt ix bi.contents with
+  | Some a -> Array.copy a
+  | None -> Array.make chunk_size Undef
+
+let store_fast bi ofs chunk v : block_info option =
+  match (chunk, v) with
+  | Mint32, Vint n ->
+    let ix = chunk_ix ofs and base = chunk_sub ofs in
+    let a = chunk_for_write bi ix in
+    let x = Int32.to_int n land 0xFFFFFFFF in
+    a.(base) <- Byte (x land 0xFF);
+    a.(base + 1) <- Byte ((x lsr 8) land 0xFF);
+    a.(base + 2) <- Byte ((x lsr 16) land 0xFF);
+    a.(base + 3) <- Byte ((x lsr 24) land 0xFF);
+    Some { bi with contents = IMap.add ix a bi.contents }
+  | Mint64, Vlong n ->
+    let ix = chunk_ix ofs and base = chunk_sub ofs in
+    let a = chunk_for_write bi ix in
+    let lo = Int64.to_int (Int64.logand n 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical n 32) in
+    a.(base) <- Byte (lo land 0xFF);
+    a.(base + 1) <- Byte ((lo lsr 8) land 0xFF);
+    a.(base + 2) <- Byte ((lo lsr 16) land 0xFF);
+    a.(base + 3) <- Byte ((lo lsr 24) land 0xFF);
+    a.(base + 4) <- Byte (hi land 0xFF);
+    a.(base + 5) <- Byte ((hi lsr 8) land 0xFF);
+    a.(base + 6) <- Byte ((hi lsr 16) land 0xFF);
+    a.(base + 7) <- Byte ((hi lsr 24) land 0xFF);
+    Some { bi with contents = IMap.add ix a bi.contents }
+  | Mint64, (Vptr _ as vp) ->
+    let ix = chunk_ix ofs and base = chunk_sub ofs in
+    let a = chunk_for_write bi ix in
+    for i = 0 to 7 do
+      a.(base + i) <- Fragment (vp, Q64, 7 - i)
+    done;
+    Some { bi with contents = IMap.add ix a bi.contents }
+  | _ -> None
 
 let load chunk m b ofs =
   if not (aligned chunk ofs) then None
   else
     match IMap.find_opt b m.blocks with
     | None -> None
-    | Some bi ->
+    | Some bi -> (
       let n = size_chunk chunk in
       if not (block_range_perm bi ofs (ofs + n) Readable) then None
-      else Some (decode_val chunk (getN bi ofs n))
+      else
+        match load_fast chunk bi ofs with
+        | Some v -> Some v
+        | None -> Some (decode_val chunk (getN bi ofs n)))
 
 let store chunk m b ofs v =
   if not (aligned chunk ofs) then None
   else
     match IMap.find_opt b m.blocks with
     | None -> None
-    | Some bi ->
+    | Some bi -> (
       if not (block_range_perm bi ofs (ofs + size_chunk chunk) Writable) then
         None
-      else Some (storebytes_unchecked m b bi ofs (encode_val chunk v))
+      else
+        match store_fast bi ofs chunk v with
+        | Some bi' -> Some { m with blocks = IMap.add b bi' m.blocks }
+        | None -> Some (storebytes_unchecked m b bi ofs (encode_val chunk v)))
+
+(* Fused frame allocation: observably identical to
+   [alloc m 0 sz] followed by two [store Mint64] of the frame link and
+   return address, but builds the block's contents locally and inserts
+   into the blocks map once instead of three times. [Pallocframe]
+   executes this on every function entry, so the two saved map rebuilds
+   are measurable in the interpreter hot loop. *)
+let store_bi bi ofs chunk v =
+  if not (aligned chunk ofs) then None
+  else if not (block_range_perm bi ofs (ofs + size_chunk chunk) Writable) then
+    None
+  else
+    match store_fast bi ofs chunk v with
+    | Some bi' -> Some bi'
+    | None -> Some (setN bi ofs (encode_val chunk v))
+
+let alloc_frame m sz ofs_link link ofs_ra ra =
+  let b = m.next_block in
+  let bi = { lo = 0; hi = sz; contents = IMap.empty; perms = Uniform (Some Freeable) } in
+  match store_bi bi ofs_link Mint64 link with
+  | None -> None
+  | Some bi1 -> (
+    match store_bi bi1 ofs_ra Mint64 ra with
+    | None -> None
+    | Some bi2 ->
+      Some ({ m with next_block = b + 1; blocks = IMap.add b bi2 m.blocks }, b))
 
 let loadv chunk m = function
   | Vptr (b, ofs) -> load chunk m b ofs
@@ -344,12 +513,12 @@ let fold_live_offsets m f acc =
     m.blocks acc
 
 let contents_at m b ofs =
-  match IMap.find_opt b m.blocks with
+  match find_block m b with
   | None -> Undef
   | Some bi -> get_byte bi.contents ofs
 
 let perm_at m b ofs =
-  match IMap.find_opt b m.blocks with
+  match find_block m b with
   | None -> None
   | Some bi -> block_perm bi ofs
 
@@ -399,12 +568,18 @@ let block_equal b1 b2 =
      in
      go b1.lo)
 
+(* Equality compares the union view: whether a permission-less block sits
+   in [blocks] (freed piecewise, normalized carved) or in [dead] (freed
+   whole) is representation, not semantics. *)
+let all_blocks m = IMap.union (fun _ bi _ -> Some bi) m.blocks m.dead
+
 let equal m1 m2 =
-  m1.next_block = m2.next_block && IMap.equal block_equal m1.blocks m2.blocks
+  m1.next_block = m2.next_block
+  && IMap.equal block_equal (all_blocks m1) (all_blocks m2)
 
 let pp fmt m =
   Format.fprintf fmt "@[<v>mem (next=b%d)" m.next_block;
   IMap.iter
     (fun b bi -> Format.fprintf fmt "@ b%d: [%d,%d)" b bi.lo bi.hi)
-    m.blocks;
+    (all_blocks m);
   Format.fprintf fmt "@]"

@@ -48,6 +48,14 @@ val free : t -> block -> int -> int -> t option
 
 val free_list : t -> (block * int * int) list -> t option
 
+(** [alloc_frame m sz ofs_link link ofs_ra ra] is observably identical to
+    [alloc m 0 sz] followed by [store Mint64] of [link] at [ofs_link] and
+    [ra] at [ofs_ra], but performs one blocks-map insertion instead of
+    three. The [Pallocframe] fast path in the Asm interpreter uses it;
+    the naive reference interpreter keeps the three-step composition. *)
+val alloc_frame :
+  t -> int -> int -> value -> int -> value -> (t * block) option
+
 (** Remove all permissions on a range (the [LM] convention's
     [free_args], Fig. 13). *)
 val drop_range : t -> block -> int -> int -> t option

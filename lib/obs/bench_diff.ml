@@ -8,11 +8,16 @@
     same one — and CI can widen the threshold to absorb the
     dev-box-to-runner gap instead of hardcoding an absolute budget.
 
-    Compared keys: every gauge, and every histogram's [mean_us] and
-    [p99_us]. A key present in only one snapshot is reported but never
-    a regression (new passes appear, old ones retire). The top-level
-    ["meta"] key (run provenance stamped by the bench harness) is
-    ignored entirely.
+    Compared keys: every gauge, and every histogram's mean and p99 —
+    spelled [mean_us]/[p99_us] for duration histograms and plain
+    [mean]/[p99] for dimensionless ones ({!Metrics.unit_suffix}).
+    Baselines written before the unit-honest key change spelled every
+    field with [_us]; those are still read (the [_us] spelling is
+    accepted as a fallback for any histogram), so an old committed
+    baseline keeps gating a new binary. A key present in only one
+    snapshot is reported but never a regression (new passes appear,
+    old ones retire). The top-level ["meta"] key (run provenance
+    stamped by the bench harness) is ignored entirely.
 
     A key regresses when {e both} hold:
     - the relative increase exceeds its threshold (per-key override or
@@ -42,11 +47,17 @@ let comparable_values (j : Json.t) : (string * float) list =
   let hists =
     List.concat_map
       (fun (k, h) ->
+        let u = Metrics.unit_suffix k in
         List.filter_map
-          (fun field ->
-            Option.bind (Json.member field h) Json.to_num
-            |> Option.map (fun f -> (k ^ "." ^ field, f)))
-          [ "mean_us"; "p99_us" ])
+          (fun base ->
+            (* Canonical spelling first, legacy [_us] second: the
+               comparison key is always the canonical one, so an old
+               baseline and a new snapshot still meet on one key. *)
+            (match Json.member (base ^ u) h with
+            | Some v -> Json.to_num v
+            | None -> Option.bind (Json.member (base ^ "_us") h) Json.to_num)
+            |> Option.map (fun f -> (k ^ "." ^ base ^ u, f)))
+          [ "mean"; "p99" ])
       (obj "histograms")
   in
   gauges @ hists

@@ -16,27 +16,40 @@
     ({!snapshot} / {!absorb}, used by [Obs.Snapshot]). *)
 
 (** Ratio between consecutive histogram bucket bounds. Bucket [i]
-    (for [i >= 1]) covers [(gamma^(i-1), gamma^i]]; bucket 0 collects
-    everything [<= 1.0] (including non-positive outliers). With 1.2 a
-    reported quantile is within 10% of the true value. *)
+    (for [i >= 2]) covers [(gamma^(i-2), gamma^(i-1)]]. Two special
+    buckets sit below the geometric ladder:
+    - bucket 0 holds non-positive observations ([v <= 0]) and reports
+      0.0 — a histogram of zeros (an [alloc_words] sketch for a pass
+      that allocates nothing) must answer 0 for every quantile, not
+      1.0 as it did when non-positives shared the [<= 1.0] bucket;
+    - bucket 1 holds [(0, 1]], whose geometric midpoint is undefined,
+      and reports 0.5.
+    With 1.2 a reported quantile is within 10% of the true value, and
+    every quantile is additionally clamped to the exact min/max the
+    histogram tracks alongside the sketch. *)
 let gamma = 1.2
 
 let log_gamma = log gamma
 
-(** 170 buckets reach [gamma^169] ~ 2.4e13 µs (~280 days): every
+(** 170 buckets reach [gamma^168] ~ 2e13 µs (~230 days): every
     duration this registry will ever see fits without overflow. *)
 let bucket_count = 170
 
 let bucket_of (v : float) : int =
-  if v <= 1.0 then 0
+  if v <= 0.0 then 0
+  else if v <= 1.0 then 1
   else
-    let i = int_of_float (Float.ceil (log v /. log_gamma)) in
-    if i < 1 then 1 else if i >= bucket_count then bucket_count - 1 else i
+    let i = 1 + int_of_float (Float.ceil (log v /. log_gamma)) in
+    if i < 2 then 2 else if i >= bucket_count then bucket_count - 1 else i
 
-(** The geometric midpoint of bucket [i], the value a quantile query
-    reports for observations that landed there. *)
+(** The representative of bucket [i] — the value a quantile query
+    reports for observations that landed there: 0.0 for the
+    non-positive bucket, 0.5 for [(0, 1]], and the geometric midpoint
+    of the bucket's bounds above that. *)
 let bucket_rep (i : int) : float =
-  if i = 0 then 1.0 else gamma ** (float_of_int i -. 0.5)
+  if i = 0 then 0.0
+  else if i = 1 then 0.5
+  else gamma ** (float_of_int i -. 1.5)
 
 type histogram = {
   mutable count : int;
@@ -252,11 +265,27 @@ let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(** Histograms measure microseconds unless their name says otherwise:
+    a [_words], [_bytes] or [_count] suffix marks a size/count
+    histogram. The suffix returned here is appended to the sketch
+    field names in [dump_json] — ["_us"] for durations, nothing for
+    dimensionless histograms, so ["pass.Allocation.alloc_words"] dumps
+    a plain ["sum"], not the lie ["sum_us"]. *)
+let unit_suffix (name : string) : string =
+  let ends_with suffix =
+    let ls = String.length suffix and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
+  if ends_with "_words" || ends_with "_bytes" || ends_with "_count" then ""
+  else "_us"
+
 (** Snapshot of the whole registry:
     [{"counters": {..}, "gauges": {..}, "histograms": {name:
      {"count","sum_us","min_us","max_us","mean_us","p50_us","p90_us",
-      "p99_us"}}}]. The first five histogram keys predate the sketch
-    and keep their exact meaning; the percentiles are sketch-derived. *)
+      "p99_us"}}}] — with the [_us] suffix dropped on every field of a
+    non-duration histogram (see {!unit_suffix}). The count/sum/min/max
+    fields predate the sketch and keep their exact meaning; the
+    percentiles are sketch-derived. *)
 let dump_json () : Json.t =
   Json.Obj
     [
@@ -272,17 +301,18 @@ let dump_json () : Json.t =
           (List.map
              (fun (k, (h : histogram)) ->
                let s = stats_of h in
+               let u = unit_suffix k in
                ( k,
                  Json.Obj
                    [
                      ("count", Json.num_of_int s.count);
-                     ("sum_us", Json.Num s.sum);
-                     ("min_us", Json.Num s.min);
-                     ("max_us", Json.Num s.max);
-                     ("mean_us", Json.Num s.mean);
-                     ("p50_us", Json.Num s.p50);
-                     ("p90_us", Json.Num s.p90);
-                     ("p99_us", Json.Num s.p99);
+                     ("sum" ^ u, Json.Num s.sum);
+                     ("min" ^ u, Json.Num s.min);
+                     ("max" ^ u, Json.Num s.max);
+                     ("mean" ^ u, Json.Num s.mean);
+                     ("p50" ^ u, Json.Num s.p50);
+                     ("p90" ^ u, Json.Num s.p90);
+                     ("p99" ^ u, Json.Num s.p99);
                    ] ))
              (sorted_bindings histograms)) );
     ]
@@ -297,8 +327,9 @@ let pp_summary fmt () =
   List.iter
     (fun (k, (h : histogram)) ->
       let s = stats_of h in
+      let u = if unit_suffix k = "" then "" else "us" in
       Format.fprintf fmt
-        "%-40s n=%-6d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus min=%.1fus \
-         max=%.1fus@."
-        k s.count s.mean s.p50 s.p90 s.p99 s.min s.max)
+        "%-40s n=%-6d mean=%.1f%s p50=%.1f%s p90=%.1f%s p99=%.1f%s min=%.1f%s \
+         max=%.1f%s@."
+        k s.count s.mean u s.p50 u s.p90 u s.p99 u s.min u s.max u)
     (sorted_bindings histograms)

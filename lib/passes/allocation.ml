@@ -86,10 +86,34 @@ let loc_of_assignment = function
   | Lreg r -> R r
   | Lslot (i, t) -> S (Local, i, t)
 
-(* [allocate_with types f]: the coloring itself, reusing an
+(** Which allocator runs. [Linear_scan] is the fast path (one pass over
+    live intervals); [Graph] is the greedy graph coloring. Both are
+    untrusted: [Alloc_check] validates every run, and the driver falls
+    back to [Graph] when the validator rejects a linear-scan coloring. *)
+type strategy = Linear_scan | Graph
+
+let strategy_name = function Linear_scan -> "linear_scan" | Graph -> "graph"
+
+let strategy_of_string = function
+  | "linear-scan" | "linear_scan" | "linear" -> Some Linear_scan
+  | "graph" -> Some Graph
+  | _ -> None
+
+(** The strategy used when callers don't pick one ([occo --allocator]
+    sets this). *)
+let default_strategy : strategy ref = ref Linear_scan
+
+(** Test hook: when set, the linear-scan allocator ignores interval
+    overlap and hands every pseudo-register the first register of its
+    pool — a deliberately broken coloring, used to prove that the
+    validator rejects it and the driver falls back to the graph
+    allocator. *)
+let clobber_linear_scan_for_test = ref false
+
+(* [allocate_graph_with types f]: the graph coloring itself, reusing an
    already-inferred typing (type inference runs once per function, shared
    with code generation). *)
-let allocate_with (types : typ R.Regmap.t) (f : R.coq_function) :
+let allocate_graph_with (types : typ R.Regmap.t) (f : R.coq_function) :
     assignment R.Regmap.t * int (* number of Local slots used, incl. temps *) =
   let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
   let live_out = Middle.Liveness.analyze_out f in
@@ -201,6 +225,219 @@ let allocate_with (types : typ R.Regmap.t) (f : R.coq_function) :
     ordered;
   (!assignment, !next_slot)
 
+(** {2 Linear scan}
+
+    The fast path: one pass over the numbered RTL derives a live
+    {e interval} per pseudo-register — the span of instruction positions
+    (ascending node order) where it is live or defined — and intervals
+    are allocated in start order against a free-register pool,
+    spilling on exhaustion. Interval overlap over-approximates
+    interference (two registers simultaneously live at a node share that
+    node's position), so a coloring that keeps overlapping intervals
+    apart satisfies the validator's interference check; the callee-save
+    discipline across calls is the same pool restriction the graph
+    allocator applies. *)
+let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
+    assignment R.Regmap.t * int =
+  let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
+  let live_in, live_out = Middle.Liveness.analyze_both f in
+  let nregs = R.max_reg_function f + 1 in
+  (* Interval bounds, indexed by pseudo-register. Parameters are defined
+     simultaneously at a virtual entry position -1, so they all overlap
+     there and get pairwise-distinct locations. *)
+  let istart = Array.make nregs max_int in
+  let ifinish = Array.make nregs min_int in
+  let extend r p =
+    if p < istart.(r) then istart.(r) <- p;
+    if p > ifinish.(r) then ifinish.(r) <- p
+  in
+  List.iter (fun r -> extend r (-1)) f.R.fn_params;
+  let across_call = ref RSet.empty in
+  let all_moves = ref [] in
+  let pos = ref 0 in
+  R.Regmap.iter
+    (fun n i ->
+      let p = !pos in
+      incr pos;
+      RSet.iter (fun r -> extend r p) (live_in n);
+      RSet.iter (fun r -> extend r p) (live_out n);
+      (* Dead definitions still occupy their location at the def point. *)
+      List.iter (fun r -> extend r p) (R.instr_defs i);
+      match i with
+      | R.Icall (_, _, _, res, _) ->
+        across_call := RSet.union !across_call (RSet.remove res (live_out n))
+      | R.Iop (Op.Omove, [ src ], res, _) when src <> res ->
+        all_moves := (res, src) :: !all_moves
+      | _ -> ())
+    f.R.fn_code;
+  (* Calling-convention hints: bias call arguments, call results, return
+     values and parameters toward the fixed register their convention
+     location prescribes, so the marshalling moves around calls, entry
+     and return collapse to elidable self-moves. Best-effort: the hint
+     register is taken only when it is legal for the pseudo-register's
+     pool (the across-call restriction still excludes caller-saves) and
+     free over its whole interval. *)
+  let fhint : mreg option array = Array.make nregs None in
+  let suggest r m = if fhint.(r) = None then fhint.(r) <- Some m in
+  let suggest_args args locs =
+    List.iter2
+      (fun r l -> match l with R m -> suggest r m | S _ -> ())
+      args locs
+  in
+  R.Regmap.iter
+    (fun _ i ->
+      match i with
+      | R.Icall (sg, _, args, res, _) ->
+        suggest res (loc_result sg);
+        suggest_args args (loc_arguments sg)
+      | R.Itailcall (sg, _, args) -> suggest_args args (loc_arguments sg)
+      | R.Ireturn (Some r) -> suggest r (loc_result f.R.fn_sig)
+      | _ -> ())
+    f.R.fn_code;
+  suggest_args f.R.fn_params (loc_arguments f.R.fn_sig);
+  (* Move-coalescing hints: for every move [res := src], each side is
+     hinted toward the other's register, whichever is allocated first.
+     Whether the shared register is actually taken is decided at
+     allocation time by {!interferes} below. *)
+  let hint = Array.make nregs (-1) in
+  let rhint = Array.make nregs (-1) in
+  List.iter
+    (fun (res, src) ->
+      hint.(res) <- src;
+      rhint.(src) <- res)
+    !all_moves;
+  (* [a] and [b] interfere iff some definition of one happens while the
+     other is live-out (the graph allocator's rule, including its move
+     exemption: a move's destination does not interfere with its
+     source), or both are parameters (defined simultaneously at entry).
+     This is node-level truth, strictly finer than interval overlap: a
+     move destination whose interval merely touches or even encloses the
+     source's can still share its register. *)
+  let interferes a b =
+    (List.mem a f.R.fn_params && List.mem b f.R.fn_params)
+    || R.Regmap.exists
+         (fun n i ->
+           let out = live_out n in
+           let out =
+             match i with
+             | R.Iop (Op.Omove, [ s ], _, _) -> RSet.remove s out
+             | _ -> out
+           in
+           let defs = R.instr_defs i in
+           (List.mem a defs && RSet.mem b out)
+           || (List.mem b defs && RSet.mem a out))
+         f.R.fn_code
+  in
+  let intervals = ref [] in
+  for r = nregs - 1 downto 0 do
+    if istart.(r) <= ifinish.(r) then intervals := r :: !intervals
+  done;
+  let intervals =
+    List.stable_sort
+      (fun a b ->
+        let c = compare istart.(a) istart.(b) in
+        if c <> 0 then c else compare ifinish.(a) ifinish.(b))
+      !intervals
+  in
+  let assignment = ref R.Regmap.empty in
+  let next_slot = ref 0 in
+  (* Active intervals holding a machine register, sorted by increasing
+     finish; [reg_used] mirrors their occupancy for O(pool) probes. Each
+     entry remembers its pseudo-register so a coalescing hint can
+     recognize (and take over from) the move source it targets. *)
+  let active : (int * int * mreg) list ref = ref [] in
+  let reg_used = Array.make num_mregs false in
+  (* Coalesced intervals can co-hold one register, so releasing it on
+     expiry must wait until no remaining active interval holds it. *)
+  let expire p =
+    let rec go = function
+      | (fin, _, m) :: rest when fin < p ->
+        let rest = go rest in
+        if not (List.exists (fun (_, _, m') -> mreg_index m' = mreg_index m) rest)
+        then reg_used.(mreg_index m) <- false;
+        rest
+      | l -> l
+    in
+    active := go !active
+  in
+  let rec insert ((fe, _, _) as entry) = function
+    | [] -> [ entry ]
+    | (fin, _, _) :: _ as l when fe <= fin -> entry :: l
+    | e :: rest -> e :: insert entry rest
+  in
+  (* A hint register is usable when every active interval currently
+     holding it is provably non-interfering with [r] — in particular
+     when it is plain free. [r] then joins as a co-holder: the register
+     stays occupied from every other interval's point of view, while the
+     coalesced intervals share it and the moves between them lower to
+     deletable self-moves. *)
+  let co_holdable r m =
+    List.for_all
+      (fun (_, v, m') -> mreg_index m' <> mreg_index m || not (interferes v r))
+      !active
+  in
+  let try_hint r pool =
+    let usable m = List.memq m pool && co_holdable r m in
+    let from_vreg s =
+      if s < 0 then None
+      else
+        match R.Regmap.find_opt s !assignment with
+        | Some (Lreg m) when usable m -> Some m
+        | _ -> None
+    in
+    match from_vreg hint.(r) with
+    | Some m -> Some m
+    | None -> (
+      match fhint.(r) with
+      | Some m when usable m -> Some m
+      | _ -> from_vreg rhint.(r))
+  in
+  List.iter
+    (fun r ->
+      expire istart.(r);
+      let t = typ_of r in
+      let pool = if is_float_typ t then allocatable_float else allocatable_int in
+      let pool =
+        if RSet.mem r !across_call then List.filter is_callee_save pool
+        else
+          (* Caller-save first: callee-saves cost a save/restore. *)
+          List.filter (fun m -> not (is_callee_save m)) pool
+          @ List.filter is_callee_save pool
+      in
+      let candidate =
+        if !clobber_linear_scan_for_test then List.nth_opt pool 0
+        else
+          match try_hint r pool with
+          | Some m -> Some m
+          | None -> List.find_opt (fun m -> not reg_used.(mreg_index m)) pool
+      in
+      let a =
+        match candidate with
+        | Some m ->
+          if not !clobber_linear_scan_for_test then begin
+            reg_used.(mreg_index m) <- true;
+            active := insert (ifinish.(r), r, m) !active
+          end;
+          Lreg m
+        | None ->
+          let i = !next_slot in
+          incr next_slot;
+          Lslot (i, t)
+      in
+      assignment := R.Regmap.add r a !assignment)
+    intervals;
+  (!assignment, !next_slot)
+
+let allocate_for (strat : strategy) (types : typ R.Regmap.t)
+    (f : R.coq_function) : assignment R.Regmap.t * int =
+  match strat with
+  | Linear_scan -> allocate_linear_with types f
+  | Graph -> allocate_graph_with types f
+
+let allocate_with (types : typ R.Regmap.t) (f : R.coq_function) :
+    assignment R.Regmap.t * int =
+  allocate_for !default_strategy types f
+
 let allocate (f : R.coq_function) : assignment R.Regmap.t * int =
   allocate_with (infer_types f) f
 
@@ -267,8 +504,12 @@ let scratch_for t which =
   else if which = 0 then int_scratch1
   else int_scratch2
 
-(* Instructions realizing a single move between locations. *)
+(* Instructions realizing a single move between locations. A move whose
+   endpoints coincide — the normal outcome of coalescing — realizes as
+   nothing at all. *)
 let move_loc (src : loc) (dst : loc) : (L.node -> L.instruction) list =
+  if loc_equal src dst then []
+  else
   match (src, dst) with
   | R r1, R r2 -> [ (fun n -> L.Lop (Op.Omove, [ r1 ], r2, n)) ]
   | R r1, S (k, o, t) -> [ (fun n -> L.Lsetstack (r1, k, o, t, n)) ]
@@ -325,11 +566,12 @@ let loc_of (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ) (r : R.reg) 
 (* Translate one function; also returns the coloring used, so the
    validator can check the allocator's actual (untrusted) output instead
    of re-deriving it. *)
-let transf_function_with_assignment (f : R.coq_function) :
+let transf_function_with_assignment ?strategy (f : R.coq_function) :
     (L.coq_function * assignment R.Regmap.t) Errors.t =
+  let strat = Option.value strategy ~default:!default_strategy in
   let types = infer_types f in
   let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
-  let assign, nslots = allocate_with types f in
+  let assign, nslots = allocate_for strat types f in
   let temp_slot = nslots in
   let callee_slot = nslots + 1 in
   let st = { code = L.Nodemap.empty; next_node = R.max_node f + 1 } in
@@ -345,6 +587,10 @@ let transf_function_with_assignment (f : R.coq_function) :
     match i with
     | R.Inop n' -> L.Lnop n'
     | R.Iop (Op.Omove, [ src ], res, n') ->
+      (* When coalescing gave both sides the same location, [move_loc]
+         returns no builders and the move lowers to a bare [Lnop], which
+         the validator accepts (the copy equation is trivially
+         satisfied) and linearization elides on fall-through. *)
       let s = loc_of assign typ_of src and d = loc_of assign typ_of res in
       with_chain (move_loc s d) n'
     | R.Iop (op, args, res, n') ->
@@ -490,8 +736,9 @@ let transf_function (f : R.coq_function) : L.coq_function Errors.t =
 
 (** Translate a whole program, returning alongside the LTL the coloring
     the allocator chose for each internal function — the untrusted input
-    [Alloc_check.validate_program] validates. *)
-let transf_program_with_assignments (p : R.program) :
+    [Alloc_check.validate_program] validates. [strategy] picks the
+    allocator (default {!default_strategy}). *)
+let transf_program_with_assignments ?strategy (p : R.program) :
     (L.program * (Support.Ident.t * assignment R.Regmap.t) list) Errors.t =
   let open Errors in
   let* defs =
@@ -499,7 +746,7 @@ let transf_program_with_assignments (p : R.program) :
       (fun (id, d) ->
         match d with
         | Iface.Ast.Gfun (Iface.Ast.Internal f) ->
-          let* f', assign = transf_function_with_assignment f in
+          let* f', assign = transf_function_with_assignment ?strategy f in
           ok ((id, Iface.Ast.Gfun (Iface.Ast.Internal f')), Some (id, assign))
         | Iface.Ast.Gfun (Iface.Ast.External ef) ->
           ok ((id, Iface.Ast.Gfun (Iface.Ast.External ef)), None)

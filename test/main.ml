@@ -20,6 +20,7 @@ let () =
       Test_open.suite;
       Test_parametricity.suite;
       Test_passes.suite;
+      Test_allocdiff.suite;
       Test_convalg.suite;
       Test_refinement.suite;
       Test_random.suite;

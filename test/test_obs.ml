@@ -160,6 +160,101 @@ let metrics_tests =
         Obs.Metrics.observe "off" 1.;
         checki "counter untouched" 0 (Obs.Metrics.get_counter "off");
         check "histogram untouched" true (Obs.Metrics.histogram_stats "off" = None));
+    Alcotest.test_case "quantiles around zero" `Quick (fun () ->
+        with_fresh_obs (fun () ->
+            (* All-zero histogram: the normal shape of an alloc_words
+               sketch for a pass that allocates nothing. Every
+               quantile must answer 0, not the old bucket-0
+               representative of 1.0. *)
+            List.iter (Obs.Metrics.observe "zeros") [ 0.; 0.; 0.; 0. ];
+            (match Obs.Metrics.histogram_stats "zeros" with
+            | None -> Alcotest.fail "zeros histogram missing"
+            | Some s ->
+              check "p50 of zeros is 0" true (s.Obs.Metrics.p50 = 0.);
+              check "p99 of zeros is 0" true (s.Obs.Metrics.p99 = 0.);
+              check "min exact" true (s.Obs.Metrics.min = 0.);
+              check "max exact" true (s.Obs.Metrics.max = 0.));
+            (* Mostly-zero with one large outlier: the median sits in
+               the non-positive bucket and must not be dragged to 1. *)
+            List.iter (Obs.Metrics.observe "mixed") [ 0.; 0.; 0.; 1000. ];
+            (match Obs.Metrics.histogram_stats "mixed" with
+            | None -> Alcotest.fail "mixed histogram missing"
+            | Some s ->
+              check "p50 of mostly-zeros is 0" true (s.Obs.Metrics.p50 = 0.);
+              check "max exact" true (s.Obs.Metrics.max = 1000.));
+            (* Negative observations: quantiles stay clamped inside
+               the exact [min, max], hence non-positive. *)
+            List.iter (Obs.Metrics.observe "neg") [ -5.; -2. ];
+            (match Obs.Metrics.histogram_stats "neg" with
+            | None -> Alcotest.fail "neg histogram missing"
+            | Some s ->
+              check "min exact" true (s.Obs.Metrics.min = -5.);
+              check "max exact" true (s.Obs.Metrics.max = -2.);
+              check "p50 within [min, max]" true
+                (s.Obs.Metrics.p50 >= -5. && s.Obs.Metrics.p50 <= -2.);
+              check "p99 within [min, max]" true
+                (s.Obs.Metrics.p99 >= -5. && s.Obs.Metrics.p99 <= -2.));
+            (* Small positive values live in the (0, 1] bucket and are
+               clamped to the exact extremes, never rounded to 1. *)
+            Obs.Metrics.observe "small" 0.3;
+            match Obs.Metrics.quantile "small" 0.5 with
+            | Some q -> check "p50 of {0.3} is 0.3" true (q = 0.3)
+            | None -> Alcotest.fail "small histogram missing"));
+    Alcotest.test_case "unit-honest dump keys for non-time histograms" `Quick
+      (fun () ->
+        with_fresh_obs (fun () ->
+            Obs.Metrics.observe "pass.X" 120.;
+            Obs.Metrics.observe "pass.X.alloc_words" 512.;
+            let j = Obs.Metrics.dump_json () in
+            let hists = Option.get (Obs.Json.member "histograms" j) in
+            let time_h = Option.get (Obs.Json.member "pass.X" hists) in
+            let words_h =
+              Option.get (Obs.Json.member "pass.X.alloc_words" hists)
+            in
+            check "duration keeps _us keys" true
+              (Obs.Json.member "mean_us" time_h <> None);
+            check "duration has no bare mean" true
+              (Obs.Json.member "mean" time_h = None);
+            check "alloc_words drops the _us suffix" true
+              (Obs.Json.member "mean" words_h <> None
+              && Obs.Json.member "sum" words_h <> None
+              && Obs.Json.member "p99" words_h <> None);
+            check "alloc_words has no _us keys" true
+              (Obs.Json.member "mean_us" words_h = None
+              && Obs.Json.member "sum_us" words_h = None)));
+    Alcotest.test_case "pipeline alloc_words histograms are non-negative" `Quick
+      (fun () ->
+        (* Regression test for the Gc accounting bug the bench exposed:
+           mixing [Gc.minor_words] with a separately-sampled
+           [Gc.counters] let promoted words exceed the apparent major
+           allocation, dumping negative alloc_words into the bench
+           snapshot. The pass instrumentation now derives every figure
+           from one [Gc.counters] call and clamps at 0. *)
+        with_fresh_obs (fun () ->
+            let src =
+              "int f(int x) { return x * x + 1; }\n\
+               int main(void) { int s = 0; int i; for (i = 0; i < 20; i = i + \
+               1) s = s + f(i); return s; }"
+            in
+            let p = Cfrontend.Cparser.parse_program src in
+            ignore (Support.Errors.get (Driver.Compiler.compile p));
+            let words_hists =
+              List.filter
+                (fun n -> Obs.Metrics.unit_suffix n = "")
+                (Obs.Metrics.histogram_names ())
+            in
+            check "compile recorded alloc_words histograms" true
+              (words_hists <> []);
+            List.iter
+              (fun n ->
+                match Obs.Metrics.histogram_stats n with
+                | None -> Alcotest.fail (n ^ " vanished")
+                | Some s ->
+                  check (n ^ " min is non-negative") true
+                    (s.Obs.Metrics.min >= 0.);
+                  check (n ^ " p50 is non-negative") true
+                    (s.Obs.Metrics.p50 >= 0.))
+              words_hists));
     Alcotest.test_case "dump_json parses and carries the values" `Quick (fun () ->
         with_fresh_obs (fun () ->
             Obs.Metrics.incr_counter "k" ~by:3;

@@ -336,6 +336,32 @@ let bench_diff_tests =
           (regressed [ ("pass.", 1.0) ]);
         check "a longer exact-key override beats the family" true
           (regressed [ ("pass.", 1.0); ("pass.x_us", 0.10) ]));
+    Alcotest.test_case "legacy _us spellings of non-time histograms still gate"
+      `Quick (fun () ->
+        (* Baselines committed before the unit-honest key change
+           spelled every histogram field with [_us], including the
+           dimensionless alloc_words sketches. A new snapshot spells
+           them plainly; both must meet on the canonical key so the
+           old baseline still detects a regression. *)
+        let baseline =
+          Obs.Json.parse
+            {|{"histograms": {"pass.Allocation.alloc_words":
+                 {"count": 10, "sum_us": 1000, "mean_us": 100, "p99_us": 110}}}|}
+        and current =
+          Obs.Json.parse
+            {|{"histograms": {"pass.Allocation.alloc_words":
+                 {"count": 10, "sum": 3000, "mean": 300, "p99": 330}}}|}
+        in
+        let vs = Obs.Bench_diff.compare_snapshots ~baseline ~current () in
+        Alcotest.(check (list string))
+          "compared under the canonical unit-honest keys"
+          [
+            "pass.Allocation.alloc_words.mean";
+            "pass.Allocation.alloc_words.p99";
+          ]
+          (List.map (fun v -> v.Obs.Bench_diff.v_key) vs);
+        checki "the 3x growth regresses both keys" 2
+          (List.length (Obs.Bench_diff.regressions vs)));
     Alcotest.test_case "sub-floor absolute deltas never regress" `Quick
       (fun () ->
         let baseline = Obs.Json.parse {|{"gauges": {"tiny_us": 2.0}}|}
