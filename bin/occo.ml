@@ -909,6 +909,32 @@ let batch_cmd =
               ~doc:"Open time before the breaker admits a half-open probe.")
       $ trace_arg $ metrics_flag)
 
+(** {1 bench}
+
+    The full evaluation harness (tables, figures, pipeline and service
+    benchmarks), in process. [--runs] is the sampling depth: CI runs a
+    fast smoke with a small value; the dev box takes more samples. *)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the evaluation harness (paper tables and figures, \
+          whole-pipeline and compile-service benchmarks) and write the \
+          metrics snapshot to BENCH_pipeline.json in the current \
+          directory.")
+    Term.(
+      const (fun runs -> Benchkit.Bench_main.main ~runs ())
+      $ Arg.(
+          value & opt int 20
+          & info [ "runs" ] ~docv:"N"
+              ~doc:
+                "Sampling depth: instrumented pipeline runs feeding the \
+                 per-pass histograms, with the per-estimate timing quota \
+                 and the service warm rounds scaled proportionally. The \
+                 default reproduces the historical sampling; a small \
+                 $(docv) is a fast CI smoke."))
+
 (** {1 bench-diff}
 
     Compare two metrics snapshots (as emitted by the bench harness or
@@ -938,6 +964,7 @@ let bench_diff_cmd_run old_path new_path threshold_pct key_overrides
         ~thresholds ~min_delta_us ~baseline ~current ()
     in
     Format.printf "%a" Obs.Bench_diff.pp_report verdicts;
+    Format.printf "%a" Obs.Bench_diff.pp_movers verdicts;
     (match Obs.Bench_diff.only_in current baseline with
     | [] -> ()
     | fresh ->
@@ -1200,7 +1227,8 @@ let main =
     (Cmd.info "occo" ~version:"0.1"
        ~doc:"CompCertO in OCaml: a compiler for certified open C components.")
     [ compile_cmd; run_cmd; batch_cmd; derive_cmd; table_cmd; fuzz_cmd;
-      chaos_cmd; compromise_cmd; bench_diff_cmd; serve_cmd; request_cmd ]
+      chaos_cmd; compromise_cmd; bench_cmd; bench_diff_cmd; serve_cmd;
+      request_cmd ]
 
 (** An interrupt (SIGINT/SIGTERM) raised as an exception at the next
     safe point, so it unwinds through every [Fun.protect] on the way
@@ -1230,7 +1258,19 @@ let install_interrupt_handlers () =
       user;
     - 124: command-line usage error (Cmdliner's convention, shared by
       [--resume] without [--journal]). *)
+(* The pipeline is allocation-heavy even after the mutable-core work:
+   a full compile churns through a few hundred kwords of short-lived
+   sets, maps and closures, and the stock 256kw minor heap forces a
+   minor collection every couple of passes — the pauses land inside
+   whichever pass crosses the threshold and dominate its histogram.
+   A larger nursery moves those collections out of the hot paths;
+   OCAMLRUNPARAM still wins if the user sets one explicitly. *)
+let tune_gc () =
+  if Option.is_none (Sys.getenv_opt "OCAMLRUNPARAM") then
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 }
+
 let () =
+  tune_gc ();
   install_interrupt_handlers ();
   match Cmd.eval' ~catch:false main with
   | code -> exit code

@@ -172,41 +172,40 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
     function once into an array of closures (superinstructions): operand
     register indices, label targets, symbol addresses and successor PC
     values are all resolved at decode time, so executing an instruction
-    is one array index plus one closure call, and the register file is
-    copied once per step even when an instruction writes several
-    registers. Decoded functions are memoized in a per-[semantics]
-    decode cache keyed by function block (the shape the second-backend
-    roadmap item needs: one cache per backend signature); the global
-    hit/miss counters feed the [asm.decode_cache.*] bench gauges. *)
+    is one array index plus one closure call. Decoded functions are
+    memoized in a per-[semantics] decode cache keyed by function block
+    (the shape the second-backend roadmap item needs: one cache per
+    backend signature); the global hit/miss counters feed the
+    [asm.decode_cache.*] bench gauges.
 
-type exec = Pregfile.t -> Mem.t -> state option
+    The threaded core executes over a {e flat mutable register file}: a
+    closure writes the run's single register array in place and returns
+    only the successor memory, so a register-to-register step allocates
+    nothing at all. Two invariants make this safe under the LTS
+    discipline:
+
+    - {e no write before fallibility is resolved}: a closure performs no
+      register write until every way it can get stuck has been ruled
+      out, so a stuck step leaves the state bit-identical and the run
+      loop's subsequent [at_external]/[final] probes see the pre-step
+      registers;
+    - {e copy-on-observe}: the LTS hands out {!Pregfile.copy} snapshots
+      at every observation point ([init], [at_external],
+      [after_external], [final]) and never leaks the live array into a
+      query or reply, so composition operators ([⊕], layering) and the
+      co-execution harness can retain boundary payloads without seeing
+      later mutations. *)
+
+(** A decoded instruction: mutates the register file in place and
+    returns the successor memory, or [None] (stuck) having written
+    nothing. *)
+type exec = Pregfile.t -> Mem.t -> Mem.t option
 
 type decoded = exec array
 
 let ipc = preg_index PC
 let isp = preg_index SP
 let ira = preg_index RA
-
-(* Copy-on-write register-file updates fused into a single copy. The
-   result is fresh, so in-place writes preserve [Pregfile]'s purity. *)
-let set1 (i1 : int) v1 (rs : Pregfile.t) : Pregfile.t =
-  let rf = Array.copy rs in
-  rf.(i1) <- v1;
-  rf
-
-let set2 (i1 : int) v1 (i2 : int) v2 (rs : Pregfile.t) : Pregfile.t =
-  let rf = Array.copy rs in
-  rf.(i1) <- v1;
-  rf.(i2) <- v2;
-  rf
-
-let set3 (i1 : int) v1 (i2 : int) v2 (i3 : int) v3 (rs : Pregfile.t) :
-    Pregfile.t =
-  let rf = Array.copy rs in
-  rf.(i1) <- v1;
-  rf.(i2) <- v2;
-  rf.(i3) <- v3;
-  rf
 
 (* Operand fetch specialized on arity, so the common 0–3 argument cases
    build their value list without an intermediate index list. *)
@@ -226,7 +225,10 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
   | Pallocframe (sz, ofs_link, ofs_ra) ->
     fun rs m -> (
       match Mem.alloc_frame m sz ofs_link rs.(isp) ofs_ra rs.(ira) with
-      | Some (m', b) -> Some { rs = set2 isp (Vptr (b, 0)) ipc pc_next rs; m = m' }
+      | Some (m', b) ->
+        rs.(isp) <- Vptr (b, 0);
+        rs.(ipc) <- pc_next;
+        Some m'
       | None -> None)
   | Pfreeframe (sz, ofs_link, ofs_ra) ->
     fun rs m -> (
@@ -235,7 +237,11 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
         match (Mem.load Mint64 m b ofs_link, Mem.load Mint64 m b ofs_ra) with
         | Some link, Some ra -> (
           match Mem.free m b 0 sz with
-          | Some m' -> Some { rs = set3 isp link ira ra ipc pc_next rs; m = m' }
+          | Some m' ->
+            rs.(isp) <- link;
+            rs.(ira) <- ra;
+            rs.(ipc) <- pc_next;
+            Some m'
           | None -> None)
         | _ -> None)
       | _ -> None)
@@ -247,38 +253,73 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
      the lockstep suite checks this against the naive interpreter. *)
   | Pop (Op.Omove, [ a ], res) ->
     let ia = preg_index a and ires = preg_index res in
-    fun rs m -> Some { rs = set2 ires rs.(ia) ipc pc_next rs; m }
+    fun rs m ->
+      rs.(ires) <- rs.(ia);
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Ointconst n, [], res) ->
     let v = Vint n and ires = preg_index res in
-    fun rs m -> Some { rs = set2 ires v ipc pc_next rs; m }
+    fun rs m ->
+      rs.(ires) <- v;
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Olongconst n, [], res) ->
     let v = Vlong n and ires = preg_index res in
-    fun rs m -> Some { rs = set2 ires v ipc pc_next rs; m }
+    fun rs m ->
+      rs.(ires) <- v;
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Oaddimm n, [ a ], res) ->
     let vn = Vint n and ia = preg_index a and ires = preg_index res in
-    fun rs m -> Some { rs = set2 ires (Values.add rs.(ia) vn) ipc pc_next rs; m }
+    fun rs m ->
+      rs.(ires) <- Values.add rs.(ia) vn;
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Oadd, [ a; b ], res) ->
     let ia = preg_index a and ib = preg_index b and ires = preg_index res in
     fun rs m ->
-      Some { rs = set2 ires (Values.add rs.(ia) rs.(ib)) ipc pc_next rs; m }
+      rs.(ires) <- Values.add rs.(ia) rs.(ib);
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Osub, [ a; b ], res) ->
     let ia = preg_index a and ib = preg_index b and ires = preg_index res in
     fun rs m ->
-      Some { rs = set2 ires (Values.sub rs.(ia) rs.(ib)) ipc pc_next rs; m }
+      rs.(ires) <- Values.sub rs.(ia) rs.(ib);
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Omul, [ a; b ], res) ->
     let ia = preg_index a and ib = preg_index b and ires = preg_index res in
     fun rs m ->
-      Some { rs = set2 ires (Values.mul rs.(ia) rs.(ib)) ipc pc_next rs; m }
+      rs.(ires) <- Values.mul rs.(ia) rs.(ib);
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (Op.Olongofint, [ a ], res) ->
     let ia = preg_index a and ires = preg_index res in
     fun rs m ->
-      Some { rs = set2 ires (Values.longofint rs.(ia)) ipc pc_next rs; m }
+      rs.(ires) <- Values.longofint rs.(ia);
+      rs.(ipc) <- pc_next;
+      Some m
+  | Pop (Op.Oaddlimm n, [ a ], res) ->
+    let vn = Vlong n and ia = preg_index a and ires = preg_index res in
+    fun rs m ->
+      rs.(ires) <- Values.addl rs.(ia) vn;
+      rs.(ipc) <- pc_next;
+      Some m
+  | Pop (Op.Omullimm n, [ a ], res) ->
+    let vn = Vlong n and ia = preg_index a and ires = preg_index res in
+    fun rs m ->
+      rs.(ires) <- Values.mull rs.(ia) vn;
+      rs.(ipc) <- pc_next;
+      Some m
   | Pop (op, args, res) ->
     let fetch = fetch_args args in
     let ires = preg_index res in
     fun rs m -> (
       match Op.eval_operation gv rs.(isp) op (fetch rs) m with
-      | Some v -> Some { rs = set2 ires v ipc pc_next rs; m }
+      | Some v ->
+        rs.(ires) <- v;
+        rs.(ipc) <- pc_next;
+        Some m
       | None -> None)
   | Pload (chunk, Op.Aindexed ofs, [ a ], dst) ->
     let ia = preg_index a and idst = preg_index dst in
@@ -286,7 +327,10 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match rs.(ia) with
       | Vptr (b, o) -> (
         match Mem.load chunk m b (o + ofs) with
-        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | Some v ->
+          rs.(idst) <- v;
+          rs.(ipc) <- pc_next;
+          Some m
         | None -> None)
       | _ -> None)
   | Pload (chunk, Op.Ainstack ofs, [], dst) ->
@@ -295,9 +339,24 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match rs.(isp) with
       | Vptr (b, base) -> (
         match Mem.load chunk m b (base + ofs) with
-        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | Some v ->
+          rs.(idst) <- v;
+          rs.(ipc) <- pc_next;
+          Some m
         | None -> None)
       | _ -> None)
+  | Pload (chunk, Op.Aindexed2 ofs, [ a; b ], dst) ->
+    (* Matches the generic arm exactly: [eval_addressing] on [Aindexed2]
+       is [addl (addl v1 v2) ofs] and never gets stuck on two args. *)
+    let ia = preg_index a and ib = preg_index b and idst = preg_index dst in
+    let vofs = Vlong (Int64.of_int ofs) in
+    fun rs m -> (
+      match Mem.loadv chunk m (Values.addl (Values.addl rs.(ia) rs.(ib)) vofs) with
+      | Some v ->
+        rs.(idst) <- v;
+        rs.(ipc) <- pc_next;
+        Some m
+      | None -> None)
   | Pload (chunk, addr, args, dst) ->
     let fetch = fetch_args args in
     let idst = preg_index dst in
@@ -305,7 +364,10 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match Op.eval_addressing gv rs.(isp) addr (fetch rs) with
       | Some va -> (
         match Mem.loadv chunk m va with
-        | Some v -> Some { rs = set2 idst v ipc pc_next rs; m }
+        | Some v ->
+          rs.(idst) <- v;
+          rs.(ipc) <- pc_next;
+          Some m
         | None -> None)
       | None -> None)
   | Pstore (chunk, Op.Aindexed ofs, [ a ], src) ->
@@ -314,7 +376,9 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match rs.(ia) with
       | Vptr (b, o) -> (
         match Mem.store chunk m b (o + ofs) rs.(isrc) with
-        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | Some m' ->
+          rs.(ipc) <- pc_next;
+          Some m'
         | None -> None)
       | _ -> None)
   | Pstore (chunk, Op.Ainstack ofs, [], src) ->
@@ -323,9 +387,23 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match rs.(isp) with
       | Vptr (b, base) -> (
         match Mem.store chunk m b (base + ofs) rs.(isrc) with
-        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | Some m' ->
+          rs.(ipc) <- pc_next;
+          Some m'
         | None -> None)
       | _ -> None)
+  | Pstore (chunk, Op.Aindexed2 ofs, [ a; b ], src) ->
+    let ia = preg_index a and ib = preg_index b and isrc = preg_index src in
+    let vofs = Vlong (Int64.of_int ofs) in
+    fun rs m -> (
+      match
+        Mem.storev chunk m (Values.addl (Values.addl rs.(ia) rs.(ib)) vofs)
+          rs.(isrc)
+      with
+      | Some m' ->
+        rs.(ipc) <- pc_next;
+        Some m'
+      | None -> None)
   | Pstore (chunk, addr, args, src) ->
     let fetch = fetch_args args in
     let isrc = preg_index src in
@@ -333,15 +411,22 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match Op.eval_addressing gv rs.(isp) addr (fetch rs) with
       | Some va -> (
         match Mem.storev chunk m va rs.(isrc) with
-        | Some m' -> Some { rs = set1 ipc pc_next rs; m = m' }
+        | Some m' ->
+          rs.(ipc) <- pc_next;
+          Some m'
         | None -> None)
       | None -> None)
-  | Plabel _ -> fun rs m -> Some { rs = set1 ipc pc_next rs; m }
+  | Plabel _ ->
+    fun rs m ->
+      rs.(ipc) <- pc_next;
+      Some m
   | Pjmp lbl -> (
     match find_label lbl f.fn_code with
     | Some pos' ->
       let target = Vptr (fb, pos') in
-      fun rs m -> Some { rs = set1 ipc target rs; m }
+      fun rs m ->
+        rs.(ipc) <- target;
+        Some m
     | None -> stuck)
   | Pjcc (cond, args, lbl) ->
     (* The label resolves at decode time, but a missing label only
@@ -368,9 +453,13 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match eval_cond rs m with
       | Some true -> (
         match target with
-        | Some t -> Some { rs = set1 ipc t rs; m }
+        | Some t ->
+          rs.(ipc) <- t;
+          Some m
         | None -> None)
-      | Some false -> Some { rs = set1 ipc pc_next rs; m }
+      | Some false ->
+        rs.(ipc) <- pc_next;
+        Some m
       | None -> None)
   | Pcall ros -> (
     match ros with
@@ -378,23 +467,40 @@ let decode_instr (gv : Op.genv_view) (ge : genv) (f : coq_function)
       match Genv.find_symbol ge id with
       | Some b ->
         let vf = Vptr (b, 0) in
-        fun rs m -> Some { rs = set2 ira pc_next ipc vf rs; m }
+        fun rs m ->
+          rs.(ira) <- pc_next;
+          rs.(ipc) <- vf;
+          Some m
       | None -> stuck)
     | Rreg r ->
       let ir = preg_index r in
-      fun rs m -> Some { rs = set2 ira pc_next ipc rs.(ir) rs; m })
+      (* Read the callee address before overwriting RA: with an in-place
+         register file, [Pcall RA] must call the OLD return address
+         (matching [exec_instr], which resolves [ros] first). *)
+      fun rs m ->
+        let vf = rs.(ir) in
+        rs.(ira) <- pc_next;
+        rs.(ipc) <- vf;
+        Some m)
   | Pjmp_tail ros -> (
     match ros with
     | Rsymbol id -> (
       match Genv.find_symbol ge id with
       | Some b ->
         let vf = Vptr (b, 0) in
-        fun rs m -> Some { rs = set1 ipc vf rs; m }
+        fun rs m ->
+          rs.(ipc) <- vf;
+          Some m
       | None -> stuck)
     | Rreg r ->
       let ir = preg_index r in
-      fun rs m -> Some { rs = set1 ipc rs.(ir) rs; m })
-  | Pret -> fun rs m -> Some { rs = set1 ipc rs.(ira) rs; m }
+      fun rs m ->
+        rs.(ipc) <- rs.(ir);
+        Some m)
+  | Pret ->
+    fun rs m ->
+      rs.(ipc) <- rs.(ira);
+      Some m
 
 let decode_function (ge : genv) (fb : block) (f : coq_function) : decoded =
   let gv = genv_view ge in
@@ -443,14 +549,19 @@ let decoded_at (ge : genv) (dc : decode_cache) (fb : block) : decoded option =
     d
   end
 
+(* The caller owns [s.rs] exclusively: a successful step has written the
+   register file in place, so the successor state reuses the same array
+   (and, when memory is untouched, is [s] itself — a step allocates
+   nothing). *)
 let step_threaded (ge : genv) (dc : decode_cache) (s : state) :
     (Core.Events.trace * state) list =
-  match Pregfile.get PC s.rs with
+  match s.rs.(ipc) with
   | Vptr (fb, pos) -> (
     match decoded_at ge dc fb with
     | Some code when pos >= 0 && pos < Array.length code -> (
       match code.(pos) s.rs s.m with
-      | Some st -> [ (Core.Events.e0, st) ]
+      | Some m' ->
+        [ (Core.Events.e0, if m' == s.m then s else { rs = s.rs; m = m' }) ]
       | None -> [])
     | _ -> [])
   | _ -> []
@@ -493,7 +604,29 @@ let semantics_gen ~(threaded : bool) ~(symbols : Ident.t list) (p : program) :
   in
   (* The threaded step is inlined here rather than wrapping
      [step_threaded] in a [List.map]: the rewrap would allocate a second
-     cons/tuple/record per step, a measurable share of the hot loop. *)
+     cons/tuple/record per step, a measurable share of the hot loop.
+     The run owns its register array exclusively between observation
+     points, so a register-only step reuses both state records; the
+     singleton transition list is the only allocation.
+
+     One LTS step executes a bounded {e run} of instructions, not just
+     one: after each decoded closure the dispatcher keeps going while
+     the PC stays inside the same function's code and differs from the
+     activation return address. Such intermediate states are provably
+     silent non-interaction states — [final] needs the PC to equal
+     [asm_init_ra] (excluded explicitly) and [at_external] needs a
+     control transfer to the base of a {e non-internal} block (the
+     current block is internal by construction) — and every internal
+     step emits the empty trace, so fusing them under one transition
+     preserves the observable behavior while paying the run loop's
+     probe-and-allocate overhead once per run instead of once per
+     instruction. A stuck instruction mid-run ends the fused step with
+     the progress made; the decode invariant (no register write before
+     fallibility is resolved) means re-executing it on the next [step]
+     fails identically, reporting the same stuck state one transition
+     later. The budget bounds a fused step so fuel still bounds
+     in-function loops. *)
+  let fuse_budget = 64 in
   let step_full =
     if threaded then fun s ->
       match s.asm_st.rs.(ipc) with
@@ -501,7 +634,25 @@ let semantics_gen ~(threaded : bool) ~(symbols : Ident.t list) (p : program) :
         match decoded_at ge dc fb with
         | Some code when pos >= 0 && pos < Array.length code -> (
           match code.(pos) s.asm_st.rs s.asm_st.m with
-          | Some st -> [ (Core.Events.e0, { s with asm_st = st }) ]
+          | Some m0 ->
+            let rs = s.asm_st.rs in
+            let len = Array.length code in
+            let rec fuse budget m =
+              if budget = 0 then m
+              else
+                match rs.(ipc) with
+                | Vptr (fb', pos')
+                  when fb' = fb && pos' >= 0 && pos' < len
+                       && not (pc_eq rs.(ipc) s.asm_init_ra) -> (
+                  match code.(pos') rs m with
+                  | Some m' -> fuse (budget - 1) m'
+                  | None -> m)
+                | _ -> m
+            in
+            let m' = fuse (fuse_budget - 1) m0 in
+            [ ( Core.Events.e0,
+                if m' == s.asm_st.m then s
+                else { s with asm_st = { rs; m = m' } } ) ]
           | None -> [])
         | _ -> [])
       | _ -> []
@@ -511,8 +662,13 @@ let semantics_gen ~(threaded : bool) ~(symbols : Ident.t list) (p : program) :
   {
     Core.Smallstep.name = "Asm";
     dom = (fun q -> is_internal (Pregfile.get PC q.aq_rs));
+    (* Copy-on-observe, inbound: the query's register file may be shared
+       (sibling components in a [⊕]-composition marshal queries out of
+       their own suspended state, and [Pregfile.init] itself is a shared
+       array), so the activation takes a private copy it may then mutate. *)
     init = (fun q -> [ { asm_init_ra = Pregfile.get RA q.aq_rs;
-                         asm_st = { rs = q.aq_rs; m = q.aq_mem } } ]);
+                         asm_st = { rs = Pregfile.copy q.aq_rs;
+                                    m = q.aq_mem } } ]);
     step = step_full;
     at_external =
       (fun s ->
@@ -525,14 +681,18 @@ let semantics_gen ~(threaded : bool) ~(symbols : Ident.t list) (p : program) :
           Genv.plausible_funct ge pc
           && (not (is_internal pc))
           && not (pc_eq pc s.asm_init_ra)
-        then Some { aq_rs = s.asm_st.rs; aq_mem = s.asm_st.m }
+        then
+          (* Copy-on-observe, outbound: the callee (or environment) must
+             see a snapshot, not the live array this run keeps writing. *)
+          Some { aq_rs = Pregfile.copy s.asm_st.rs; aq_mem = s.asm_st.m }
         else None);
     after_external =
-      (fun s r -> [ { s with asm_st = { rs = r.ar_rs; m = r.ar_mem } } ]);
+      (fun s r ->
+        [ { s with asm_st = { rs = Pregfile.copy r.ar_rs; m = r.ar_mem } } ]);
     final =
       (fun s ->
         if pc_eq s.asm_st.rs.(ipc) s.asm_init_ra then
-          Some { ar_rs = s.asm_st.rs; ar_mem = s.asm_st.m }
+          Some { ar_rs = Pregfile.copy s.asm_st.rs; ar_mem = s.asm_st.m }
         else None);
   }
 

@@ -59,8 +59,13 @@ type stackframe = {
   sf_code : code;  (** continuation in the caller *)
 }
 
-type state =
-  | State of stackframe list * coq_function * value * code * Locset.t * Mem.t
+(* As in {!Ltl}, the running activation's locset is a type parameter:
+   the flat mutable [Ltl.Mls.t] in the shipped interpreter, the
+   persistent [Locset.t] in the reference interpreter the lockstep
+   suite runs against. Suspended frames and Callstate/Returnstate
+   always hold persistent snapshots ([Ltl.locops.freeze]). *)
+type 'ls state =
+  | State of stackframe list * coq_function * value * code * 'ls * Mem.t
   | Callstate of stackframe list * value * signature * Locset.t * Mem.t
   | Returnstate of stackframe list * Locset.t * Mem.t
 
@@ -69,28 +74,29 @@ type genv = (coq_function, unit) Genv.t
 let genv_view (ge : genv) : Op.genv_view =
   { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
 
-let ros_address (ge : genv) ros (ls : Locset.t) =
-  match ros with
-  | Rreg r -> Some (Locset.get (R r) ls)
-  | Rsymbol id -> (
-    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
-
 let parent_locset (init_ls : Locset.t) = function
   | [] -> init_ls
   | fr :: _ -> fr.sf_ls
-
-let mget r ls = Locset.get (R r) ls
-let mget_list rl ls = List.map (fun r -> mget r ls) rl
-let mset r v ls = Locset.set (R r) v ls
 
 let free_stack m sp sz =
   match sp with
   | Vptr (b, 0) -> Mem.free m b 0 sz
   | _ -> if sz = 0 then Some m else None
 
-let step (ge : genv) (init_ls : Locset.t) (s : state) :
-    (Core.Events.trace * state) list =
+let step (ge : genv) (ops : 'ls Ltl.locops) (init_ls : Locset.t)
+    (s : 'ls state) : (Core.Events.trace * 'ls state) list =
   let ret s' = [ (Core.Events.e0, s') ] in
+  let mget r ls = ops.Ltl.lget r ls in
+  let mget_list rl ls = List.map (fun r -> ops.Ltl.lget r ls) rl in
+  let mset r v ls = ops.Ltl.lset r v ls in
+  let ros_address ros ls =
+    match ros with
+    | Rreg r -> Some (mget r ls)
+    | Rsymbol id -> (
+      match Genv.find_symbol ge id with
+      | Some b -> Some (Vptr (b, 0))
+      | None -> None)
+  in
   match s with
   | State (stack, f, sp, code, ls, m) -> (
     match code with
@@ -129,23 +135,28 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
           | None -> [])
         | None -> [])
       | Lgetstack (sl, ofs, ty, dst) ->
-        let v = Locset.get (S (sl, ofs, ty)) ls in
+        let v = ops.Ltl.sget sl ofs ty ls in
         ret (State (stack, f, sp, next, mset dst v ls, m))
       | Lsetstack (src, sl, ofs, ty) ->
         let v = mget src ls in
-        ret (State (stack, f, sp, next, Locset.set (S (sl, ofs, ty)) v ls, m))
+        ret (State (stack, f, sp, next, ops.Ltl.sset sl ofs ty v ls, m))
       | Lcall (sg, ros) -> (
-        match ros_address ge ros ls with
+        match ros_address ros ls with
         | Some vf ->
-          let frame = { sf_f = f; sf_sp = sp; sf_ls = ls; sf_code = next } in
-          ret (Callstate (frame :: stack, vf, sg, ls, m))
+          (* Copy-on-suspend: one persistent snapshot shared by the
+             frame and the callstate. *)
+          let fls = ops.Ltl.freeze ls in
+          let frame = { sf_f = f; sf_sp = sp; sf_ls = fls; sf_code = next } in
+          ret (Callstate (frame :: stack, vf, sg, fls, m))
         | None -> [])
       | Ltailcall (sg, ros) -> (
-        match ros_address ge ros ls with
+        match ros_address ros ls with
         | Some vf -> (
           match free_stack m sp f.fn_stacksize with
           | Some m' ->
-            let ls' = Ltl.return_regs (parent_locset init_ls stack) ls in
+            let ls' =
+              Ltl.return_regs (parent_locset init_ls stack) (ops.Ltl.freeze ls)
+            in
             ret (Callstate (stack, vf, sg, ls', m'))
           | None -> [])
         | None -> [])
@@ -154,7 +165,10 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
         | Some m' ->
           ret
             (Returnstate
-               (stack, Ltl.return_regs (parent_locset init_ls stack) ls, m'))
+               ( stack,
+                 Ltl.return_regs (parent_locset init_ls stack)
+                   (ops.Ltl.freeze ls),
+                 m' ))
         | None -> [])))
   | Callstate (stack, vf, sg, ls, m) -> (
     match Genv.find_funct ge vf with
@@ -162,7 +176,9 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
       if not (signature_equal sg f.fn_sig) then []
       else
         let m1, b = Mem.alloc m 0 f.fn_stacksize in
-        ret (State (stack, f, Vptr (b, 0), f.fn_code, Ltl.call_regs ls, m1))
+        ret
+          (State
+             (stack, f, Vptr (b, 0), f.fn_code, ops.Ltl.thaw (Ltl.call_regs ls), m1))
     | Some (Ast.External _) | None -> [])
   | Returnstate (stack, ls, m) -> (
     match stack with
@@ -170,13 +186,13 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
       ret
         (State
            ( stack', frame.sf_f, frame.sf_sp, frame.sf_code,
-             Ltl.merge_slots frame.sf_ls ls, m ))
+             ops.Ltl.thaw (Ltl.merge_slots frame.sf_ls ls), m ))
     | [] -> [])
 
-type full_state = { lin_init_ls : Locset.t; lin_st : state }
+type 'ls full_state = { lin_init_ls : Locset.t; lin_st : 'ls state }
 
-let semantics ~(symbols : Ident.t list) (p : program) :
-    (full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+let semantics_gen (ops : 'ls Ltl.locops) ~(symbols : Ident.t list) (p : program) :
+    ('ls full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
   let ge = Genv.globalenv ~symbols p in
   {
     Core.Smallstep.name = "Linear";
@@ -193,7 +209,7 @@ let semantics ~(symbols : Ident.t list) (p : program) :
       (fun s ->
         List.map
           (fun (t, st) -> (t, { s with lin_st = st }))
-          (step ge s.lin_init_ls s.lin_st));
+          (step ge ops s.lin_init_ls s.lin_st));
     at_external =
       (fun s ->
         match s.lin_st with
@@ -212,6 +228,19 @@ let semantics ~(symbols : Ident.t list) (p : program) :
         | Returnstate ([], ls, m) -> Some { lr_ls = ls; lr_mem = m }
         | _ -> None);
   }
+
+(** The Linear open semantics, on the flat mutable locset. *)
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (Ltl.Mls.t full_state, l_query, l_reply, l_query, l_reply)
+    Core.Smallstep.lts =
+  semantics_gen Ltl.mut_locops ~symbols p
+
+(** The same semantics on the persistent locset — the reference the
+    mutable-state lockstep suite runs against [semantics]. *)
+let semantics_naive ~(symbols : Ident.t list) (p : program) :
+    (Locset.t full_state, l_query, l_reply, l_query, l_reply)
+    Core.Smallstep.lts =
+  semantics_gen Ltl.pure_locops ~symbols p
 
 (** {1 Printing} *)
 

@@ -99,17 +99,97 @@ let merge_slots (caller : Locset.t) (returned : Locset.t) : Locset.t =
     (fun l v ls -> match l with S _ -> LocMap.add l v ls | R _ -> ls)
     caller returned
 
+(** {1 Execution-time location sets}
+
+    The transition rules are parameterized over the representation of
+    the {e running} activation's locset ({!locops}), giving two cores:
+
+    - the {e persistent} core, where the running locset is the same
+      [Locset.t] map the [L] interface carries ([freeze]/[thaw] are the
+      identity) — the naive reference;
+    - the {e mutable} core ({!Mls}): a flat value array for the machine
+      registers (written in place — the overwhelming majority of LTL
+      writes) over a persistent map for the stack slots.
+
+    Suspension points pin down the copy-on-observe discipline: stack
+    frames and [Callstate]/[Returnstate] locsets are always persistent
+    [Locset.t] snapshots ([freeze] materializes the register array into
+    the map, i.e. copy-on-suspend), so queries, replies and suspended
+    frames never alias the array the running activation keeps writing. *)
+
+type 'ls locops = {
+  lget : mreg -> 'ls -> value;
+  lset : mreg -> value -> 'ls -> 'ls;
+  sget : slot_kind -> int -> typ -> 'ls -> value;
+  sset : slot_kind -> int -> typ -> value -> 'ls -> 'ls;
+  freeze : 'ls -> Locset.t;  (** persistent snapshot, for suspension points *)
+  thaw : Locset.t -> 'ls;  (** private running representation *)
+}
+
+let pure_locops : Locset.t locops =
+  {
+    lget = (fun r ls -> Locset.get (R r) ls);
+    lset = (fun r v ls -> Locset.set (R r) v ls);
+    sget = (fun sl ofs ty ls -> Locset.get (S (sl, ofs, ty)) ls);
+    sset = (fun sl ofs ty v ls -> Locset.set (S (sl, ofs, ty)) v ls);
+    freeze = Fun.id;
+    thaw = Fun.id;
+  }
+
+(** Flat mutable locset: machine registers in a dense array (in-place
+    writes, O(1) reads with no comparator calls), stack slots in the
+    persistent map. Register reads always go to the array, slot reads
+    always to the map, so the map's register entries may go stale
+    between [freeze]s without being observable. *)
+module Mls = struct
+  type t = {
+    mutable slots : Locset.t;
+    regs : value array;  (** indexed by [mreg_index] *)
+  }
+
+  let thaw (ls : Locset.t) : t =
+    { slots = ls;
+      regs = Array.init num_mregs (fun i -> Locset.get (R mreg_of_index.(i)) ls) }
+
+  let get r (mls : t) = mls.regs.(mreg_index r)
+
+  let set r v (mls : t) =
+    mls.regs.(mreg_index r) <- v;
+    mls
+
+  let sget sl ofs ty (mls : t) = Locset.get (S (sl, ofs, ty)) mls.slots
+
+  let sset sl ofs ty v (mls : t) =
+    mls.slots <- Locset.set (S (sl, ofs, ty)) v mls.slots;
+    mls
+
+  let freeze (mls : t) : Locset.t =
+    let ls = ref mls.slots in
+    Array.iteri (fun i v -> ls := Locset.set (R mreg_of_index.(i)) v !ls) mls.regs;
+    !ls
+end
+
+let mut_locops : Mls.t locops =
+  {
+    lget = Mls.get;
+    lset = Mls.set;
+    sget = Mls.sget;
+    sset = Mls.sset;
+    freeze = Mls.freeze;
+    thaw = Mls.thaw;
+  }
+
 (** {1 Semantics} *)
 
 type stackframe = {
   sf_f : coq_function;
   sf_sp : value;
   sf_pc : node;
-  sf_ls : Locset.t;  (** locset at call time *)
+  sf_ls : Locset.t;  (** locset snapshot at call time (copy-on-suspend) *)
 }
 
-type state =
-  | State of stackframe list * coq_function * value * node * Locset.t * Mem.t
+type 'ls state =
+  | State of stackframe list * coq_function * value * node * 'ls * Mem.t
   | Callstate of stackframe list * value * signature * Locset.t * Mem.t
   | Returnstate of stackframe list * Locset.t * Mem.t
 
@@ -118,19 +198,9 @@ type genv = (coq_function, unit) Genv.t
 let genv_view (ge : genv) : Op.genv_view =
   { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
 
-let ros_address (ge : genv) ros (ls : Locset.t) =
-  match ros with
-  | Rreg r -> Some (Locset.get (R r) ls)
-  | Rsymbol id -> (
-    match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
-
 let parent_locset (init_ls : Locset.t) = function
   | [] -> init_ls
   | fr :: _ -> fr.sf_ls
-
-let mget r ls = Locset.get (R r) ls
-let mget_list rl ls = List.map (fun r -> mget r ls) rl
-let mset r v ls = Locset.set (R r) v ls
 
 let free_stack m sp sz =
   match sp with
@@ -138,10 +208,23 @@ let free_stack m sp sz =
   | _ -> if sz = 0 then Some m else None
 
 (* The locset of the incoming query is threaded through the whole
-   execution as the "parent" of the bottom activation. *)
-let step (ge : genv) (init_ls : Locset.t) (s : state) :
-    (Core.Events.trace * state) list =
+   execution as the "parent" of the bottom activation. Writes go through
+   [ops] only on success paths, so a stuck step leaves an in-place
+   locset untouched. *)
+let step (ge : genv) (ops : 'ls locops) (init_ls : Locset.t) (s : 'ls state) :
+    (Core.Events.trace * 'ls state) list =
   let ret s' = [ (Core.Events.e0, s') ] in
+  let mget r ls = ops.lget r ls in
+  let mget_list rl ls = List.map (fun r -> ops.lget r ls) rl in
+  let mset r v ls = ops.lset r v ls in
+  let ros_address ros ls =
+    match ros with
+    | Rreg r -> Some (mget r ls)
+    | Rsymbol id -> (
+      match Genv.find_symbol ge id with
+      | Some b -> Some (Vptr (b, 0))
+      | None -> None)
+  in
   match s with
   | State (stack, f, sp, pc, ls, m) -> (
     match Nodemap.find_opt pc f.fn_code with
@@ -168,25 +251,28 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
           | None -> [])
         | None -> [])
       | Lgetstack (sl, ofs, ty, dst, n) ->
-        let v = Locset.get (S (sl, ofs, ty)) ls in
+        let v = ops.sget sl ofs ty ls in
         ret (State (stack, f, sp, n, mset dst v ls, m))
       | Lsetstack (src, sl, ofs, ty, n) ->
         let v = mget src ls in
-        ret (State (stack, f, sp, n, Locset.set (S (sl, ofs, ty)) v ls, m))
+        ret (State (stack, f, sp, n, ops.sset sl ofs ty v ls, m))
       | Lcall (sg, ros, n) -> (
-        match ros_address ge ros ls with
+        match ros_address ros ls with
         | Some vf ->
-          let frame = { sf_f = f; sf_sp = sp; sf_pc = n; sf_ls = ls } in
-          ret (Callstate (frame :: stack, vf, sg, ls, m))
+          (* Copy-on-suspend: the frame and the callstate carry one
+             persistent snapshot of the running locset. *)
+          let fls = ops.freeze ls in
+          let frame = { sf_f = f; sf_sp = sp; sf_pc = n; sf_ls = fls } in
+          ret (Callstate (frame :: stack, vf, sg, fls, m))
         | None -> [])
       | Ltailcall (sg, ros) -> (
-        match ros_address ge ros ls with
+        match ros_address ros ls with
         | Some vf -> (
           match free_stack m sp f.fn_stacksize with
           | Some m' ->
             (* Tail calls pass the parent's locset view: callee-save
                values must already be restored. *)
-            let ls' = return_regs (parent_locset init_ls stack) ls in
+            let ls' = return_regs (parent_locset init_ls stack) (ops.freeze ls) in
             ret (Callstate (stack, vf, sg, ls', m'))
           | None -> [])
         | None -> [])
@@ -198,7 +284,10 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
         match free_stack m sp f.fn_stacksize with
         | Some m' ->
           ret
-            (Returnstate (stack, return_regs (parent_locset init_ls stack) ls, m'))
+            (Returnstate
+               ( stack,
+                 return_regs (parent_locset init_ls stack) (ops.freeze ls),
+                 m' ))
         | None -> [])))
   | Callstate (stack, vf, sg, ls, m) -> (
     match Genv.find_funct ge vf with
@@ -206,7 +295,9 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
       if not (signature_equal sg f.fn_sig) then []
       else
         let m1, b = Mem.alloc m 0 f.fn_stacksize in
-        ret (State (stack, f, Vptr (b, 0), f.fn_entrypoint, call_regs ls, m1))
+        ret
+          (State
+             (stack, f, Vptr (b, 0), f.fn_entrypoint, ops.thaw (call_regs ls), m1))
     | Some (Ast.External _) | None -> [])
   | Returnstate (stack, ls, m) -> (
     match stack with
@@ -214,13 +305,13 @@ let step (ge : genv) (init_ls : Locset.t) (s : state) :
       ret
         (State
            ( stack', frame.sf_f, frame.sf_sp, frame.sf_pc,
-             merge_slots frame.sf_ls ls, m ))
+             ops.thaw (merge_slots frame.sf_ls ls), m ))
     | [] -> [])
 
-type full_state = { ltl_init_ls : Locset.t; ltl_st : state }
+type 'ls full_state = { ltl_init_ls : Locset.t; ltl_st : 'ls state }
 
-let semantics ~(symbols : Ident.t list) (p : program) :
-    (full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+let semantics_gen (ops : 'ls locops) ~(symbols : Ident.t list) (p : program) :
+    ('ls full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
   let ge = Genv.globalenv ~symbols p in
   {
     Core.Smallstep.name = "LTL";
@@ -237,7 +328,7 @@ let semantics ~(symbols : Ident.t list) (p : program) :
       (fun s ->
         List.map
           (fun (t, st) -> (t, { s with ltl_st = st }))
-          (step ge s.ltl_init_ls s.ltl_st));
+          (step ge ops s.ltl_init_ls s.ltl_st));
     at_external =
       (fun s ->
         match s.ltl_st with
@@ -256,6 +347,17 @@ let semantics ~(symbols : Ident.t list) (p : program) :
         | Returnstate ([], ls, m) -> Some { lr_ls = ls; lr_mem = m }
         | _ -> None);
   }
+
+(** The LTL open semantics, on the flat mutable locset. *)
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (Mls.t full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+  semantics_gen mut_locops ~symbols p
+
+(** The same semantics on the persistent locset — the reference the
+    mutable-state lockstep suite runs against [semantics]. *)
+let semantics_naive ~(symbols : Ident.t list) (p : program) :
+    (Locset.t full_state, l_query, l_reply, l_query, l_reply) Core.Smallstep.lts =
+  semantics_gen pure_locops ~symbols p
 
 (** {1 Printing} *)
 

@@ -107,7 +107,14 @@ let store_stack m sp ofs ty v =
   | Vptr (b, base) -> Mem.store (chunk_of_typ ty) m b (base + ofs) v
   | _ -> None
 
-let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
+(* [step] is parameterized on the register-file write so the same code
+   runs both execution cores: [Regfile.set] (copy-on-write, the naive
+   reference) and [Regfile.update] (in-place, the default). Writes only
+   happen on success paths, so a stuck step leaves an in-place register
+   file untouched and the run loop's interaction probes see the pre-step
+   state. *)
+let step (ge : genv) ~(rset : mreg -> value -> Regfile.t -> Regfile.t)
+    (s : state) : (Core.Events.trace * state) list =
   let ret s' = [ (Core.Events.e0, s') ] in
   match s with
   | State ({ f; fb; sp; pc; rs; m } as st) -> (
@@ -117,7 +124,7 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
       | Mlabel _ -> ret (State { st with pc = pc + 1 })
       | Mgetstack (ofs, ty, dst) -> (
         match load_stack m sp ofs ty with
-        | Some v -> ret (State { st with pc = pc + 1; rs = Regfile.set dst v rs })
+        | Some v -> ret (State { st with pc = pc + 1; rs = rset dst v rs })
         | None -> [])
       | Msetstack (src, ofs, ty) -> (
         match store_stack m sp ofs ty (Regfile.get src rs) with
@@ -129,20 +136,20 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
         | Some parent_sp -> (
           match load_stack m parent_sp ofs ty with
           | Some v ->
-            ret (State { st with pc = pc + 1; rs = Regfile.set dst v rs })
+            ret (State { st with pc = pc + 1; rs = rset dst v rs })
           | None -> [])
         | None -> [])
       | Mop (op, args, res) -> (
         let vl = List.map (fun r -> Regfile.get r rs) args in
         match Op.eval_operation (genv_view ge) sp op vl m with
-        | Some v -> ret (State { st with pc = pc + 1; rs = Regfile.set res v rs })
+        | Some v -> ret (State { st with pc = pc + 1; rs = rset res v rs })
         | None -> [])
       | Mload (chunk, addr, args, dst) -> (
         let vl = List.map (fun r -> Regfile.get r rs) args in
         match Op.eval_addressing (genv_view ge) sp addr vl with
         | Some va -> (
           match Mem.loadv chunk m va with
-          | Some v -> ret (State { st with pc = pc + 1; rs = Regfile.set dst v rs })
+          | Some v -> ret (State { st with pc = pc + 1; rs = rset dst v rs })
           | None -> [])
         | None -> [])
       | Mstore (chunk, addr, args, src) -> (
@@ -225,9 +232,18 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
 
 type full_state = { mach_init_ra : value; mach_st : state }
 
-let semantics ~(symbols : Ident.t list) (p : program) :
+(* [mutate] selects the execution core. The mutable core owns its
+   register array exclusively between observation points and follows
+   the copy-on-observe contract: every query/reply crossing the LTS
+   boundary carries a [Regfile.copy] snapshot, never the live array
+   (the incoming one may be shared — [Regfile.init] itself is — and
+   the outgoing ones would otherwise alias state this run keeps
+   writing). The pure core makes the copies too: they are cheap,
+   boundary-only, and keep the two cores observably identical. *)
+let semantics_gen ~(mutate : bool) ~(symbols : Ident.t list) (p : program) :
     (full_state, m_query, m_reply, m_query, m_reply) Core.Smallstep.lts =
   let ge = Genv.globalenv ~symbols p in
+  let rset = if mutate then Regfile.update else Regfile.set in
   {
     Core.Smallstep.name = "Mach";
     dom =
@@ -239,29 +255,47 @@ let semantics ~(symbols : Ident.t list) (p : program) :
       (fun q ->
         [ { mach_init_ra = q.mq_ra;
             mach_st =
-              Callstate { vf = q.mq_vf; sp = q.mq_sp; ra = q.mq_ra; rs = q.mq_rs; m = q.mq_mem }
+              Callstate { vf = q.mq_vf; sp = q.mq_sp; ra = q.mq_ra;
+                          rs = Regfile.copy q.mq_rs; m = q.mq_mem }
           } ]);
     step =
-      (fun s -> List.map (fun (t, st) -> (t, { s with mach_st = st })) (step ge s.mach_st));
+      (fun s ->
+        List.map (fun (t, st) -> (t, { s with mach_st = st }))
+          (step ge ~rset s.mach_st));
     at_external =
       (fun s ->
         match s.mach_st with
         | Callstate { vf; sp; ra; rs; m } when Genv.plausible_funct ge vf && not (Genv.defines_internal ge vf) ->
-          Some { mq_vf = vf; mq_sp = sp; mq_ra = ra; mq_rs = rs; mq_mem = m }
+          Some { mq_vf = vf; mq_sp = sp; mq_ra = ra;
+                 mq_rs = Regfile.copy rs; mq_mem = m }
         | _ -> None);
     after_external =
       (fun s r ->
         match s.mach_st with
         | Callstate { sp; ra; _ } ->
-          [ { s with mach_st = Returnstate { ra; sp; rs = r.mr_rs; m = r.mr_mem } } ]
+          [ { s with
+              mach_st =
+                Returnstate { ra; sp; rs = Regfile.copy r.mr_rs; m = r.mr_mem } } ]
         | _ -> []);
     final =
       (fun s ->
         match s.mach_st with
         | Returnstate { ra; rs; m; _ } when ra = s.mach_init_ra ->
-          Some { mr_rs = rs; mr_mem = m }
+          Some { mr_rs = Regfile.copy rs; mr_mem = m }
         | _ -> None);
   }
+
+(** The Mach open semantics, on the in-place register file. *)
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (full_state, m_query, m_reply, m_query, m_reply) Core.Smallstep.lts =
+  semantics_gen ~mutate:true ~symbols p
+
+(** The same semantics on the persistent (copy-on-write) register file —
+    the reference the mutable-state lockstep suite runs against
+    [semantics]. *)
+let semantics_naive ~(symbols : Ident.t list) (p : program) :
+    (full_state, m_query, m_reply, m_query, m_reply) Core.Smallstep.lts =
+  semantics_gen ~mutate:false ~symbols p
 
 (** {1 Printing} *)
 

@@ -96,12 +96,14 @@ let compose ?(observe : (('q, 'r) boundary_event -> unit) option)
   let step = function
     | [] -> []
     | f :: k ->
-      (* run *)
-      let internal =
-        match f with
-        | F1 s -> List.map (fun (t, s') -> (t, F1 s' :: k)) (l1.step s)
-        | F2 s -> List.map (fun (t, s') -> (t, F2 s' :: k)) (l2.step s)
-      in
+      (* Interaction probes come BEFORE the internal step: the concrete
+         semantics execute over mutable state, so [l.step] on the active
+         frame may write it in place. Probing [at_external]/[final]
+         first reads the pre-step state (stuck steps write nothing, and
+         a state with an enabled internal step is at neither kind of
+         interaction point in the concrete languages). The returned list
+         keeps internal transitions first, preserving the deterministic
+         first-transition discipline. *)
       (* push: cross-component (or recursive) call *)
       let pushes =
         match frame_external f with
@@ -129,6 +131,12 @@ let compose ?(observe : (('q, 'r) boundary_event -> unit) option)
                { callee = frame_side f; caller = frame_side caller; answer = r });
           List.map (fun f' -> (Events.e0, f' :: k')) (frame_resume caller r)
         | _ -> []
+      in
+      (* run *)
+      let internal =
+        match f with
+        | F1 s -> List.map (fun (t, s') -> (t, F1 s' :: k)) (l1.step s)
+        | F2 s -> List.map (fun (t, s') -> (t, F2 s' :: k)) (l2.step s)
       in
       internal @ pushes @ pops
   in
@@ -199,9 +207,8 @@ let compose_all ?(on_diag : (Diag.t -> unit) option)
   let step = function
     | [] -> []
     | (i, s) :: k ->
-      let internal =
-        List.map (fun (t, s') -> (t, (i, s') :: k)) (ls.(i).step s)
-      in
+      (* As in [compose]: probe the interaction points before running the
+         internal step, which may mutate the active state in place. *)
       let pushes =
         match ls.(i).at_external s with
         | Some q -> (
@@ -219,6 +226,9 @@ let compose_all ?(on_diag : (Diag.t -> unit) option)
             (fun sj' -> (Events.e0, (j, sj') :: k'))
             (ls.(j).after_external sj r)
         | _ -> []
+      in
+      let internal =
+        List.map (fun (t, s') -> (t, (i, s') :: k)) (ls.(i).step s)
       in
       internal @ pushes @ pops
   in

@@ -111,6 +111,11 @@ module Pregfile = struct
 
   let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
 
+  (* Snapshot for the mutable-execution cores: interpreters that update a
+     register file in place must hand out copies at every observation
+     point (query/reply marshaling), never the live array. *)
+  let copy : t -> t = Array.copy
+
   let of_regfile (mrs : Machregs.Regfile.t) : t =
     List.fold_left
       (fun rf r -> set (Mreg r) (Machregs.Regfile.get r mrs) rf)

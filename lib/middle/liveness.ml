@@ -64,10 +64,22 @@ end = struct
       trim a
     end
 
+  (* [subset b a]: every bit of [b] is in [a]. Checked before [union]
+     allocates, so the converged phase of a fixpoint solve — where joins
+     almost always absorb — allocates nothing at all. *)
+  let subset (b : t) (a : t) =
+    let la = Array.length a and lb = Array.length b in
+    lb <= la
+    &&
+    let rec go i = i >= lb || (b.(i) land lnot a.(i) = 0 && go (i + 1)) in
+    go 0
+
   let union (a : t) (b : t) : t =
     let la = Array.length a and lb = Array.length b in
     if la = 0 then b
     else if lb = 0 then a
+    else if subset b a then a
+    else if subset a b then b
     else begin
       let l = max la lb in
       let r = Array.make l 0 in
@@ -75,26 +87,24 @@ end = struct
         r.(i) <-
           (if i < la then a.(i) else 0) lor (if i < lb then b.(i) else 0)
       done;
-      (* Preserve sharing when one side absorbs the other: the fixpoint
-         solver's stability test is then a physical-equality check. *)
-      let eq (x : t) lx =
-        lx = l
-        &&
-        let rec go i = i >= l || (r.(i) = x.(i) && go (i + 1)) in
-        go 0
-      in
-      if eq a la then a else if eq b lb then b else r
+      r
     end
 
   let diff (a : t) (b : t) : t =
     let la = Array.length a and lb = Array.length b in
     if la = 0 || lb = 0 then a
     else begin
-      let r = Array.copy a in
-      for i = 0 to min la lb - 1 do
-        r.(i) <- a.(i) land lnot b.(i)
-      done;
-      trim r
+      (* Nothing to remove: keep [a] physically (no copy). *)
+      let l = min la lb in
+      let rec disjoint i = i >= l || (a.(i) land b.(i) = 0 && disjoint (i + 1)) in
+      if disjoint 0 then a
+      else begin
+        let r = Array.copy a in
+        for i = 0 to l - 1 do
+          r.(i) <- a.(i) land lnot b.(i)
+        done;
+        trim r
+      end
     end
 
   let equal (a : t) (b : t) =
@@ -150,55 +160,107 @@ end
 
 module Solver = Support.Fixpoint.Make (L)
 
-(* Per-node defs/uses, converted to sets once per analysis instead of on
-   every transfer application inside the fixpoint loop. *)
-let def_use_table (f : Rtl.coq_function) : (int, RSet.t * RSet.t) Hashtbl.t =
-  let tbl = Hashtbl.create 64 in
+(* Per-node defs/uses in dense arrays keyed by node — converted to sets
+   once per analysis, probed without hashing on every transfer
+   application inside the fixpoint loop. *)
+type def_use = {
+  du_size : int;  (** one past the largest node id *)
+  du_defs : RSet.t array;
+  du_uses : RSet.t array;
+}
+
+let def_use_table (f : Rtl.coq_function) : def_use =
+  let size =
+    match Rtl.Regmap.max_binding_opt f.Rtl.fn_code with
+    | Some (n, _) -> n + 1
+    | None -> 0
+  in
+  let defs = Array.make size RSet.empty in
+  let uses = Array.make size RSet.empty in
   Rtl.Regmap.iter
     (fun n i ->
-      Hashtbl.replace tbl n
-        (RSet.of_list (Rtl.instr_defs i), RSet.of_list (Rtl.instr_uses i)))
+      defs.(n) <- RSet.of_list (Rtl.instr_defs i);
+      uses.(n) <- RSet.of_list (Rtl.instr_uses i))
     f.Rtl.fn_code;
-  tbl
+  { du_size = size; du_defs = defs; du_uses = uses }
 
 (* Transfer function at node [n]:
-   live-in = (live-out \ defs) ∪ uses. *)
+   live-in = (live-out \ defs) ∪ uses.
+   [diff] and [union] return an argument physically whenever they can,
+   so a stable transfer application allocates nothing. *)
 let transfer_cached tbl n (live_out : RSet.t) : RSet.t =
-  match Hashtbl.find_opt tbl n with
-  | None -> RSet.empty
-  | Some (defs, uses) -> RSet.union (RSet.diff live_out defs) uses
+  if n < 0 || n >= tbl.du_size then RSet.empty
+  else RSet.union (RSet.diff live_out tbl.du_defs.(n)) tbl.du_uses.(n)
 
-let solve_out (f : Rtl.coq_function) :
-    (int, RSet.t * RSet.t) Hashtbl.t * (int -> RSet.t) =
+let solve_out_uncached (f : Rtl.coq_function) : def_use * (int -> RSet.t) =
   let tbl = def_use_table f in
-  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
-  let successors n =
-    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
-    | Some i -> Rtl.successors_instr i
-    | None -> []
-  in
+  (* Successor edges as a dense array, built in one code traversal: the
+     solver asks for them once per node when inverting the graph and once
+     when sizing it, and each query through the code tree would allocate
+     a fresh list. *)
+  let succs = Array.make (max tbl.du_size 1) [] in
+  let nodes = ref [] in
+  Rtl.Regmap.iter
+    (fun n i ->
+      if n >= 0 && n < tbl.du_size then begin
+        succs.(n) <- Rtl.successors_instr i;
+        nodes := n :: !nodes
+      end)
+    f.Rtl.fn_code;
   (* solve_backward gives the fact at the exit of each node: the join of
      live-ins of successors. live-in is then one transfer application. *)
   let live_out =
-    Solver.solve_backward ~successors
+    Solver.solve_backward
+      ~successors:(fun n -> if n >= 0 && n < tbl.du_size then succs.(n) else [])
       ~transfer:(fun n out -> transfer_cached tbl n out)
-      ~entries:[] nodes
+      ~entries:[] (List.rev !nodes)
   in
   (tbl, live_out)
 
+(* Solved-liveness cache, keyed on the function value itself (physical
+   equality — [coq_function]s are immutable). The register allocator and
+   its validator each ask for the same function's liveness within one
+   compilation, but a whole program's functions are allocated first and
+   validated after, so a single-entry cache would always miss: a small
+   FIFO of recent solves covers the program. The cached solution is a
+   pure lookup into a solved dense array, so sharing it is safe. *)
+let solve_cap = 64
+let solve_memo : (Rtl.coq_function * (def_use * (int -> RSet.t))) list ref =
+  ref []
+
+let solve_out (f : Rtl.coq_function) : def_use * (int -> RSet.t) =
+  match List.find_opt (fun (g, _) -> g == f) !solve_memo with
+  | Some (_, r) -> r
+  | None ->
+    let r = solve_out_uncached f in
+    let kept =
+      if List.length !solve_memo >= solve_cap then
+        List.filteri (fun i _ -> i < solve_cap - 1) !solve_memo
+      else !solve_memo
+    in
+    solve_memo := (f, r) :: kept;
+    r
+
+(* live-in memoized in a dense array over nodes. *)
+let memo_live_in tbl (live_out : int -> RSet.t) : int -> RSet.t =
+  let memo = Array.make (max tbl.du_size 1) RSet.empty in
+  let filled = Array.make (max tbl.du_size 1) false in
+  fun n ->
+    if n < 0 || n >= tbl.du_size then RSet.empty
+    else if filled.(n) then memo.(n)
+    else begin
+      let s = transfer_cached tbl n (live_out n) in
+      memo.(n) <- s;
+      filled.(n) <- true;
+      s
+    end
+
 (** [analyze f] returns [live_in]: for each node, the registers live at
     the entrance of the node's instruction. Results are memoized, so
-    repeated queries at the same node cost one hash lookup. *)
+    repeated queries at the same node cost one array read. *)
 let analyze (f : Rtl.coq_function) : int -> RSet.t =
   let tbl, live_out = solve_out f in
-  let memo : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
-  fun n ->
-    match Hashtbl.find_opt memo n with
-    | Some s -> s
-    | None ->
-      let s = transfer_cached tbl n (live_out n) in
-      Hashtbl.replace memo n s;
-      s
+  memo_live_in tbl live_out
 
 (** Live-out of each node. *)
 let analyze_out (f : Rtl.coq_function) : int -> RSet.t =
@@ -210,13 +272,4 @@ let analyze_out (f : Rtl.coq_function) : int -> RSet.t =
     live-in). *)
 let analyze_both (f : Rtl.coq_function) : (int -> RSet.t) * (int -> RSet.t) =
   let tbl, live_out = solve_out f in
-  let memo : (int, RSet.t) Hashtbl.t = Hashtbl.create 64 in
-  let live_in n =
-    match Hashtbl.find_opt memo n with
-    | Some s -> s
-    | None ->
-      let s = transfer_cached tbl n (live_out n) in
-      Hashtbl.replace memo n s;
-      s
-  in
-  (live_in, live_out)
+  (memo_live_in tbl live_out, live_out)

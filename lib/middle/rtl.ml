@@ -84,13 +84,27 @@ let max_reg_function (f : coq_function) =
 
 let max_node (f : coq_function) = Regmap.fold (fun n _ acc -> max n acc) f.fn_code 0
 
-(** {1 Semantics} *)
+(** {1 Semantics}
+
+    The semantics is parameterized over the register-set representation
+    ({!regops}), so the same transition rules run two execution cores:
+
+    - the {e persistent} core over [value Regmap.t] (the naive
+      reference), and
+    - the {e mutable} core over a flat value array with grow-on-write
+      ({!Mregset}), where a register write is an in-place store.
+
+    Mutation is safe because every activation owns its register set
+    exclusively: a call hands the callee a fresh set built from the
+    argument {e values} ([rinit]), the caller's set sits untouched in
+    its stack frame until the return writes the single result register,
+    and the C-level interface carries argument/result values — never a
+    register set — so no live array can leak across the LTS boundary. *)
 
 type regset = value Regmap.t
 
 let rget r (rs : regset) = Option.value (Regmap.find_opt r rs) ~default:Vundef
 let rset r v (rs : regset) = Regmap.add r v rs
-let rget_list rl rs = List.map (fun r -> rget r rs) rl
 
 let init_regs args params =
   let rec go rs params args =
@@ -100,27 +114,70 @@ let init_regs args params =
   in
   go Regmap.empty params args
 
-type stackframe = {
+(** Register-set operations, instantiating the transition rules at a
+    concrete representation. *)
+type 'rs regops = {
+  oget : reg -> 'rs -> value;
+  oset : reg -> value -> 'rs -> 'rs;
+  oinit : value list -> reg list -> 'rs;  (** fresh set for a callee *)
+}
+
+let pure_ops : regset regops = { oget = rget; oset = rset; oinit = init_regs }
+
+(** Flat mutable register set: a dense value array indexed by
+    pseudo-register, doubling on out-of-range writes (RTL registers are
+    dense but unbounded); reads beyond the array are [Vundef]. *)
+module Mregset = struct
+  type t = { mutable arr : value array }
+
+  let get r (rs : t) = if r < Array.length rs.arr then rs.arr.(r) else Vundef
+
+  let set r v (rs : t) =
+    let n = Array.length rs.arr in
+    if r >= n then begin
+      let arr' = Array.make (max (r + 1) (2 * n)) Vundef in
+      Array.blit rs.arr 0 arr' 0 n;
+      rs.arr <- arr'
+    end;
+    rs.arr.(r) <- v;
+    rs
+
+  let init args params =
+    let rs = { arr = Array.make (max 32 (List.fold_left max 0 params + 1)) Vundef } in
+    let rec go params args =
+      match (params, args) with
+      | p :: params', a :: args' ->
+        ignore (set p a rs);
+        go params' args'
+      | _, _ -> rs
+    in
+    go params args
+end
+
+let mut_ops : Mregset.t regops =
+  { oget = Mregset.get; oset = Mregset.set; oinit = Mregset.init }
+
+type 'rs stackframe = {
   sf_res : reg;
   sf_f : coq_function;
   sf_sp : value;
   sf_pc : node;
-  sf_rs : regset;
+  sf_rs : 'rs;
 }
 
-type state =
-  | State of stackframe list * coq_function * value * node * regset * Mem.t
-  | Callstate of stackframe list * value * signature * value list * Mem.t
-  | Returnstate of stackframe list * value * Mem.t
+type 'rs state =
+  | State of 'rs stackframe list * coq_function * value * node * 'rs * Mem.t
+  | Callstate of 'rs stackframe list * value * signature * value list * Mem.t
+  | Returnstate of 'rs stackframe list * value * Mem.t
 
 type genv = (coq_function, unit) Genv.t
 
 let genv_view (ge : genv) : Op.genv_view =
   { Op.find_symbol = (fun id -> Genv.find_symbol ge id) }
 
-let ros_address (ge : genv) ros (rs : regset) =
+let ros_address (ge : genv) ops ros rs =
   match ros with
-  | Rreg r -> Some (rget r rs)
+  | Rreg r -> Some (ops.oget r rs)
   | Rsymbol id -> (
     match Genv.find_symbol ge id with Some b -> Some (Vptr (b, 0)) | None -> None)
 
@@ -129,8 +186,13 @@ let free_stack m sp sz =
   | Vptr (b, 0) -> Mem.free m b 0 sz
   | _ -> if sz = 0 then Some m else None
 
-let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
+(* Writes go through [ops.oset] only on success paths: a stuck step has
+   not touched an in-place register set, so the interaction probes that
+   follow see the pre-step state. *)
+let step (ge : genv) (ops : 'rs regops) (s : 'rs state) :
+    (Core.Events.trace * 'rs state) list =
   let ret s' = [ (Core.Events.e0, s') ] in
+  let rget_list rl rs = List.map (fun r -> ops.oget r rs) rl in
   match s with
   | State (stack, f, sp, pc, rs, m) -> (
     match Regmap.find_opt pc f.fn_code with
@@ -140,30 +202,30 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
       | Inop n -> ret (State (stack, f, sp, n, rs, m))
       | Iop (op, args, res, n) -> (
         match Op.eval_operation (genv_view ge) sp op (rget_list args rs) m with
-        | Some v -> ret (State (stack, f, sp, n, rset res v rs, m))
+        | Some v -> ret (State (stack, f, sp, n, ops.oset res v rs, m))
         | None -> [])
       | Iload (chunk, addr, args, dst, n) -> (
         match Op.eval_addressing (genv_view ge) sp addr (rget_list args rs) with
         | Some va -> (
           match Mem.loadv chunk m va with
-          | Some v -> ret (State (stack, f, sp, n, rset dst v rs, m))
+          | Some v -> ret (State (stack, f, sp, n, ops.oset dst v rs, m))
           | None -> [])
         | None -> [])
       | Istore (chunk, addr, args, src, n) -> (
         match Op.eval_addressing (genv_view ge) sp addr (rget_list args rs) with
         | Some va -> (
-          match Mem.storev chunk m va (rget src rs) with
+          match Mem.storev chunk m va (ops.oget src rs) with
           | Some m' -> ret (State (stack, f, sp, n, rs, m'))
           | None -> [])
         | None -> [])
       | Icall (sg, ros, args, res, n) -> (
-        match ros_address ge ros rs with
+        match ros_address ge ops ros rs with
         | Some vf ->
           let frame = { sf_res = res; sf_f = f; sf_sp = sp; sf_pc = n; sf_rs = rs } in
           ret (Callstate (frame :: stack, vf, sg, rget_list args rs, m))
         | None -> [])
       | Itailcall (sg, ros, args) -> (
-        match ros_address ge ros rs with
+        match ros_address ge ops ros rs with
         | Some vf -> (
           match free_stack m sp f.fn_stacksize with
           | Some m' -> ret (Callstate (stack, vf, sg, rget_list args rs, m'))
@@ -176,7 +238,7 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
       | Ireturn optr -> (
         match free_stack m sp f.fn_stacksize with
         | Some m' ->
-          let v = match optr with Some r -> rget r rs | None -> Vundef in
+          let v = match optr with Some r -> ops.oget r rs | None -> Vundef in
           ret (Returnstate (stack, v, m'))
         | None -> [])))
   | Callstate (stack, vf, sg, args, m) -> (
@@ -187,7 +249,7 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
         let m1, b = Mem.alloc m 0 f.fn_stacksize in
         ret
           (State
-             (stack, f, Vptr (b, 0), f.fn_entrypoint, init_regs args f.fn_params, m1))
+             (stack, f, Vptr (b, 0), f.fn_entrypoint, ops.oinit args f.fn_params, m1))
     | Some (Ast.External _) | None -> [])
   | Returnstate (stack, v, m) -> (
     match stack with
@@ -198,12 +260,12 @@ let step (ge : genv) (s : state) : (Core.Events.trace * state) list =
              frame.sf_f,
              frame.sf_sp,
              frame.sf_pc,
-             rset frame.sf_res v frame.sf_rs,
+             ops.oset frame.sf_res v frame.sf_rs,
              m ))
     | [] -> [])
 
-let semantics ~(symbols : Ident.t list) (p : program) :
-    (state, c_query, c_reply, c_query, c_reply) Core.Smallstep.lts =
+let semantics_gen (ops : 'rs regops) ~(symbols : Ident.t list) (p : program) :
+    ('rs state, c_query, c_reply, c_query, c_reply) Core.Smallstep.lts =
   let ge = Genv.globalenv ~symbols p in
   {
     Core.Smallstep.name = "RTL";
@@ -213,7 +275,7 @@ let semantics ~(symbols : Ident.t list) (p : program) :
         | Some (Ast.Internal f) -> signature_equal q.cq_sg f.fn_sig
         | _ -> false);
     init = (fun q -> [ Callstate ([], q.cq_vf, q.cq_sg, q.cq_args, q.cq_mem) ]);
-    step = (fun s -> step ge s);
+    step = (fun s -> step ge ops s);
     at_external =
       (fun s ->
         match s with
@@ -231,6 +293,17 @@ let semantics ~(symbols : Ident.t list) (p : program) :
         | Returnstate ([], v, m) -> Some { cr_res = v; cr_mem = m }
         | _ -> None);
   }
+
+(** The RTL open semantics, on the flat mutable register set. *)
+let semantics ~(symbols : Ident.t list) (p : program) :
+    (Mregset.t state, c_query, c_reply, c_query, c_reply) Core.Smallstep.lts =
+  semantics_gen mut_ops ~symbols p
+
+(** The same semantics on the persistent register map — the reference the
+    mutable-state lockstep suite runs against [semantics]. *)
+let semantics_naive ~(symbols : Ident.t list) (p : program) :
+    (regset state, c_query, c_reply, c_query, c_reply) Core.Smallstep.lts =
+  semantics_gen pure_ops ~symbols p
 
 (** {1 Printing} *)
 

@@ -39,10 +39,19 @@ let aenv_get r (ae : aenv) =
   | None -> Vbot
   | Some m -> Option.value (AMap.find_opt r m) ~default:Vtop
 
+(* Physical-equality preserving: writing a value a register already has
+   (or [Vtop] to an absent register) returns [ae] itself, so a stable
+   transfer application allocates nothing and the fixpoint solver's
+   physical-equality fast path fires instead of a structural compare. *)
 let aenv_set r v (ae : aenv) =
   match ae with
   | None -> None
-  | Some m -> ( match v with Vtop -> Some (AMap.remove r m) | _ -> Some (AMap.add r v m))
+  | Some m -> (
+    match (v, AMap.find_opt r m) with
+    | Vtop, None -> ae
+    | Vtop, Some _ -> Some (AMap.remove r m)
+    | _, Some v0 when aval_equal v0 v -> ae
+    | _, _ -> Some (AMap.add r v m))
 
 module L = struct
   type t = aenv
@@ -79,15 +88,21 @@ module Solver = Support.Fixpoint.Make (L)
 (* Abstract evaluation of an operation over known constants: delegate to
    the concrete evaluator on constant arguments (no pointers, no sp, no
    symbols, no memory dependence). *)
+let no_symbols = { Op.find_symbol = (fun _ -> None) }
+
+let pure_op = function
+  | Op.Oaddrsymbol _ | Op.Oaddrstack _ | Op.Olea _ | Op.Ocmp (Op.Ccomplu _)
+  | Op.Ocmp (Op.Ccompluimm _) | Op.Omove ->
+    false
+  | _ -> true
+
+let eval_const (op : Op.operation) (vl : value list) : aval =
+  match Op.eval_operation no_symbols Vundef op vl Memory.Mem.empty with
+  | Some ((Vint _ | Vlong _ | Vfloat _ | Vsingle _) as v) -> Const v
+  | _ -> Vtop
+
 let abstract_op (op : Op.operation) (args : aval list) : aval =
-  let pure_op =
-    match op with
-    | Op.Oaddrsymbol _ | Op.Oaddrstack _ | Op.Olea _ | Op.Ocmp (Op.Ccomplu _)
-    | Op.Ocmp (Op.Ccompluimm _) | Op.Omove ->
-      false
-    | _ -> true
-  in
-  if not pure_op then Vtop
+  if not (pure_op op) then Vtop
   else
     let concrete =
       List.fold_right
@@ -97,13 +112,21 @@ let abstract_op (op : Op.operation) (args : aval list) : aval =
           | _ -> None)
         args (Some [])
     in
-    match concrete with
-    | None -> Vtop
-    | Some vl -> (
-      let ge = { Op.find_symbol = (fun _ -> None) } in
-      match Op.eval_operation ge Vundef op vl Memory.Mem.empty with
-      | Some ((Vint _ | Vlong _ | Vfloat _ | Vsingle _) as v) -> Const v
-      | _ -> Vtop)
+    match concrete with None -> Vtop | Some vl -> eval_const op vl
+
+(* [abstract_op] fused with the environment lookups: builds the concrete
+   argument list only when every argument is a known constant, so the
+   common all-[Vtop] transfer application allocates nothing. *)
+let abstract_op_regs (op : Op.operation) (args : Rtl.reg list) (ae : aenv) :
+    aval =
+  if not (pure_op op) then Vtop
+  else
+    let rec consts acc = function
+      | [] -> eval_const op (List.rev acc)
+      | r :: rest -> (
+        match aenv_get r ae with Const v -> consts (v :: acc) rest | _ -> Vtop)
+    in
+    consts [] args
 
 let abstract_cond (cond : Op.condition) (args : aval list) : bool option =
   match cond with
@@ -121,14 +144,19 @@ let abstract_cond (cond : Op.condition) (args : aval list) : bool option =
     | None -> None
     | Some vl -> Op.eval_condition cond vl Memory.Mem.empty)
 
-let transfer (f : Rtl.coq_function) n (ae : aenv) : aenv =
-  match (ae, Rtl.Regmap.find_opt n f.Rtl.fn_code) with
+(* The transfer probes the code through a dense array: the solver applies
+   it once per worklist step, so a balanced-tree descent per application
+   would dominate the solve. *)
+let transfer_arr (code : Rtl.instruction option array) n (ae : aenv) : aenv =
+  match
+    (ae, if n >= 0 && n < Array.length code then code.(n) else None)
+  with
   | None, _ | _, None -> ae
   | Some _, Some i -> (
     match i with
     | Rtl.Iop (Op.Omove, [ src ], res, _) -> aenv_set res (aenv_get src ae) ae
     | Rtl.Iop (op, args, res, _) ->
-      aenv_set res (abstract_op op (List.map (fun r -> aenv_get r ae) args)) ae
+      aenv_set res (abstract_op_regs op args ae) ae
     | Rtl.Iload (_, _, _, dst, _) -> aenv_set dst Vtop ae
     | Rtl.Icall (_, _, _, res, _) -> aenv_set res Vtop ae
     | _ -> ae)
@@ -136,14 +164,28 @@ let transfer (f : Rtl.coq_function) n (ae : aenv) : aenv =
 (** [analyze f] returns the abstract environment at the entrance of each
     node. *)
 let analyze (f : Rtl.coq_function) : int -> aenv =
-  let nodes = List.map fst (Rtl.Regmap.bindings f.Rtl.fn_code) in
-  let successors n =
-    match Rtl.Regmap.find_opt n f.Rtl.fn_code with
-    | Some i -> Rtl.successors_instr i
-    | None -> []
+  let size =
+    match Rtl.Regmap.max_binding_opt f.Rtl.fn_code with
+    | Some (n, _) -> n + 1
+    | None -> 0
   in
+  (* Code and successor edges as dense arrays, built in one traversal:
+     the solver asks for a node's successors on every dequeue, so the
+     per-query [successors_instr] list is materialized once per node
+     rather than once per worklist step. *)
+  let code = Array.make (max size 1) None in
+  let succs = Array.make (max size 1) [] in
+  let nodes = ref [] in
+  Rtl.Regmap.iter
+    (fun n i ->
+      if n >= 0 && n < size then begin
+        code.(n) <- Some i;
+        succs.(n) <- Rtl.successors_instr i;
+        nodes := n :: !nodes
+      end)
+    f.Rtl.fn_code;
   Solver.solve
-    ~successors
-    ~transfer:(fun n ae -> transfer f n ae)
+    ~successors:(fun n -> if n >= 0 && n < size then succs.(n) else [])
+    ~transfer:(transfer_arr code)
     ~entries:[ (f.Rtl.fn_entrypoint, Some AMap.empty) ]
-    nodes
+    (List.rev !nodes)

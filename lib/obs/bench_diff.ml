@@ -106,6 +106,41 @@ let compare_snapshots ?(default_threshold = 0.20) ?(thresholds = [])
 
 let regressions (vs : verdict list) = List.filter (fun v -> v.v_regressed) vs
 
+(** The [n] biggest relative movers in each direction, so a perf PR
+    shows its wins (and the price it paid) in the CI log even when the
+    gate passes. Keys whose absolute delta is within [min_delta_us] are
+    jitter, not movers. *)
+let top_movers ?(n = 5) ?(min_delta_us = 10.) (vs : verdict list) :
+    verdict list * verdict list =
+  let significant v = Float.abs (v.v_new -. v.v_old) > min_delta_us in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let improved =
+    List.filter (fun v -> v.v_rel < 0. && significant v) vs
+    |> List.sort (fun a b -> Stdlib.compare a.v_rel b.v_rel)
+    |> take n
+  in
+  let regressed =
+    List.filter (fun v -> v.v_rel > 0. && significant v) vs
+    |> List.sort (fun a b -> Stdlib.compare b.v_rel a.v_rel)
+    |> take n
+  in
+  (improved, regressed)
+
+let pp_movers fmt (vs : verdict list) =
+  let improved, regressed = top_movers vs in
+  let line v =
+    Format.fprintf fmt "  %-42s %12.1f -> %-12.1f %+8.1f%%@." v.v_key v.v_old
+      v.v_new (100. *. v.v_rel)
+  in
+  if improved <> [] then begin
+    Format.fprintf fmt "top improved:@.";
+    List.iter line improved
+  end;
+  if regressed <> [] then begin
+    Format.fprintf fmt "top regressed:@.";
+    List.iter line regressed
+  end
+
 (** Keys only one side has — informational, never a failure. *)
 let only_in (j1 : Json.t) (j2 : Json.t) : string list =
   let k1 = List.map fst (comparable_values j1)

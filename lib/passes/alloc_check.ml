@@ -54,14 +54,25 @@ exception Check_fail of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Check_fail s)) fmt
 
-let check_assignment_with ~(live_out : int -> RSet.t) (f : R.coq_function)
-    (assign : assignment R.Regmap.t) : unit Errors.t =
-  (* The assignment is consulted once per (definition, live register)
-     pair below: cache it in a hash table so each probe is O(1) instead
-     of a balanced-tree descent. *)
-  let locs : (int, loc) Hashtbl.t = Hashtbl.create 64 in
-  R.Regmap.iter (fun r a -> Hashtbl.replace locs r (loc_of a)) assign;
-  let loc r = Hashtbl.find_opt locs r in
+(* The assignment, re-indexed as a dense array keyed on pseudo-register
+   index. Pseudo-registers are small consecutive integers, so every probe
+   — and both checks probe once per (definition, live register) pair —
+   becomes one bounds-checked array read instead of a balanced-tree
+   descent or a hash lookup. Built once per function and shared by the
+   coloring check, the symbolic walk's initial states, and the boundary
+   checks. *)
+let loc_array_of (assign : assignment R.Regmap.t) : loc option array =
+  let maxr =
+    match R.Regmap.max_binding_opt assign with Some (r, _) -> r | None -> 0
+  in
+  let arr = Array.make (maxr + 1) None in
+  R.Regmap.iter (fun r a -> arr.(r) <- Some (loc_of a)) assign;
+  arr
+
+let check_assignment_arr ~(live_out : int -> RSet.t) (f : R.coq_function)
+    (assign : assignment R.Regmap.t) (loc_arr : loc option array) :
+    unit Errors.t =
+  let loc r = if r < Array.length loc_arr then loc_arr.(r) else None in
   try
     (* Reserved scratch registers must not be allocated. *)
     R.Regmap.iter
@@ -112,8 +123,8 @@ let check_assignment_with ~(live_out : int -> RSet.t) (f : R.coq_function)
           RSet.iter
             (fun r ->
               if r <> res then
-                match R.Regmap.find_opt r assign with
-                | Some (Lreg m) when not (is_callee_save m) ->
+                match loc r with
+                | Some (R m) when not (is_callee_save m) ->
                   fail
                     "x%d is live across the call at node %d but assigned the \
                      caller-save register %s"
@@ -124,6 +135,10 @@ let check_assignment_with ~(live_out : int -> RSet.t) (f : R.coq_function)
       f.R.fn_code;
     ok ()
   with Check_fail e -> Error e
+
+let check_assignment_with ~(live_out : int -> RSet.t) (f : R.coq_function)
+    (assign : assignment R.Regmap.t) : unit Errors.t =
+  check_assignment_arr ~live_out f assign (loc_array_of assign)
 
 let check_assignment (f : R.coq_function) (assign : assignment R.Regmap.t) :
     unit Errors.t =
@@ -145,13 +160,22 @@ type tag =
    Equations are bucketed by {e storage class} — the unit of overlap: a
    machine register, or a (kind, word) slot cell (slots are one word wide
    on this target, [typ_words t = 1], so two slots overlap exactly when
-   kind and word coincide). Writing a location invalidates precisely its
-   bucket, and [holds]/[move] are one map lookup instead of a scan of
-   every equation; the buckets themselves stay tiny (the few coalesced
-   tags sharing one cell). *)
-module AbsState = struct
-  module KMap = Map.Make (Int)
+   kind and word coincide).
 
+   The store is an indexed mutable structure rather than a functional
+   map. Storage classes resolve through a dense array for registers and
+   a small hash table for slots into an arena of {e cells}; cells form a
+   union-find whose classes are locations with provably equal values, so
+   the data moves of an expansion ([Omove], [Lgetstack], [Lsetstack])
+   attach the destination to the source's class in O(1) instead of
+   copying equations. Writing a location rebinds its storage class to a
+   fresh cell — surviving members of the old class keep reading the old
+   root, which is what makes a call's caller-save kill safe. Everything
+   is generation-stamped and arena-allocated, so one scratch store is
+   reused across every RTL node of every function: resetting it is one
+   integer bump, and steady-state validation allocates only the tag
+   lists themselves. *)
+module AbsState = struct
   let key_of = function
     | R m -> mreg_index m
     | S (k, o, _) ->
@@ -159,112 +183,330 @@ module AbsState = struct
       + (3 * o)
       + (match k with Local -> 0 | Incoming -> 1 | Outgoing -> 2)
 
-  type t = (loc * tag) list KMap.t
+  let dummy_loc = R (List.hd all_mregs)
 
-  let empty : t = KMap.empty
+  let callee_save_of_index =
+    let a = Array.make num_mregs false in
+    List.iter (fun m -> a.(mreg_index m) <- is_callee_save m) all_mregs;
+    a
+
+  type t = {
+    mutable gen : int;  (** current generation; stale entries are invisible *)
+    mutable len : int;  (** live extent of the cell arena *)
+    (* Cell arena (struct-of-arrays). [parent] is the union-find link;
+       [label] the location whose equations the cell carries; [tags] the
+       class's tags, valid at the root; [extra] rare overflow equations
+       for a second overlapping location in the same storage class
+       (possible only in initial states of hostile assignments). *)
+    mutable parent : int array;
+    mutable label : loc array;
+    mutable tags : tag list array;
+    mutable extra : (loc * tag) list array;
+    (* Storage class -> cell: dense for registers, table for slots. *)
+    reg_cell : int array;
+    reg_gen : int array;
+    slot_cell : (int, int) Hashtbl.t;
+    mutable slot_keys : int list;  (** slot keys bound this generation *)
+  }
+
+  let create () =
+    {
+      gen = 0;
+      len = 0;
+      parent = Array.make 64 0;
+      label = Array.make 64 dummy_loc;
+      tags = Array.make 64 [];
+      extra = Array.make 64 [];
+      reg_cell = Array.make num_mregs (-1);
+      reg_gen = Array.make num_mregs (-1);
+      slot_cell = Hashtbl.create 32;
+      slot_keys = [];
+    }
+
+  let reset a =
+    a.gen <- a.gen + 1;
+    a.len <- 0;
+    if a.slot_keys <> [] then begin
+      List.iter (Hashtbl.remove a.slot_cell) a.slot_keys;
+      a.slot_keys <- []
+    end
+
+  let grow a =
+    let cap = Array.length a.parent in
+    let ext arr dummy =
+      let n = Array.make (2 * cap) dummy in
+      Array.blit arr 0 n 0 cap;
+      n
+    in
+    a.parent <- ext a.parent 0;
+    a.label <- ext a.label dummy_loc;
+    a.tags <- ext a.tags [];
+    a.extra <- ext a.extra []
+
+  let new_cell a l ts =
+    if a.len = Array.length a.parent then grow a;
+    let i = a.len in
+    a.len <- i + 1;
+    a.parent.(i) <- i;
+    a.label.(i) <- l;
+    a.tags.(i) <- ts;
+    a.extra.(i) <- [];
+    i
+
+  let rec find a i =
+    let p = a.parent.(i) in
+    if p = i then i
+    else begin
+      let r = find a p in
+      a.parent.(i) <- r;
+      r
+    end
+
+  let cell_of_key a k =
+    if k < num_mregs then
+      if a.reg_gen.(k) = a.gen then a.reg_cell.(k) else -1
+    else
+      match Hashtbl.find_opt a.slot_cell (k - num_mregs) with
+      | Some i -> i
+      | None -> -1
+
+  let bind_key a k i =
+    if k < num_mregs then begin
+      a.reg_gen.(k) <- a.gen;
+      a.reg_cell.(k) <- i
+    end
+    else begin
+      let sk = k - num_mregs in
+      if not (Hashtbl.mem a.slot_cell sk) then a.slot_keys <- sk :: a.slot_keys;
+      Hashtbl.replace a.slot_cell sk i
+    end
+
+  let unbind_key a k =
+    if k < num_mregs then begin
+      a.reg_gen.(k) <- a.gen;
+      a.reg_cell.(k) <- -1
+    end
+    else Hashtbl.remove a.slot_cell (k - num_mregs)
 
   let holds l tag (a : t) =
-    match KMap.find_opt (key_of l) a with
-    | None -> false
-    | Some eqs -> List.exists (fun (l', t') -> loc_equal l l' && t' = tag) eqs
+    let c = cell_of_key a (key_of l) in
+    c >= 0
+    && ((loc_equal a.label.(c) l && List.mem tag a.tags.(find a c))
+       || List.exists (fun (l', t') -> loc_equal l l' && t' = tag) a.extra.(c))
 
   let tags_of l (a : t) =
-    match KMap.find_opt (key_of l) a with
-    | None -> []
-    | Some eqs ->
-      List.filter_map (fun (l', t) -> if loc_equal l l' then Some t else None) eqs
+    let c = cell_of_key a (key_of l) in
+    if c < 0 then []
+    else
+      let base = if loc_equal a.label.(c) l then a.tags.(find a c) else [] in
+      match a.extra.(c) with
+      | [] -> base
+      | ex ->
+        base
+        @ List.filter_map (fun (l', t) -> if loc_equal l l' then Some t else None) ex
 
   (* Writing [l] invalidates every equation on an overlapping location —
-     exactly the bucket of [l]'s storage class. *)
-  let assign_tags l tags (a : t) : t =
-    match tags with
-    | [] -> KMap.remove (key_of l) a
-    | _ -> KMap.add (key_of l) (List.map (fun t -> (l, t)) tags) a
+     its storage class rebinds to a fresh singleton class. *)
+  let set l tag (a : t) : t =
+    bind_key a (key_of l) (new_cell a l [ tag ]);
+    a
 
-  let set l tag a = assign_tags l [ tag ] a
+  (* [set] with the singleton tag list preallocated by the caller
+     (interned constants — the walk writes [Tdef]/[Topaque] once per
+     expansion), so the write allocates nothing. *)
+  let set_tags l (ts : tag list) (a : t) : t =
+    bind_key a (key_of l) (new_cell a l ts);
+    a
 
   (* Record an equation without invalidating others (used only when
      building the initial state, whose equations hold simultaneously). *)
   let add l tag (a : t) : t =
-    KMap.update (key_of l)
-      (fun eqs -> Some ((l, tag) :: Option.value eqs ~default:[]))
+    let k = key_of l in
+    let c = cell_of_key a k in
+    if c < 0 then bind_key a k (new_cell a l [ tag ])
+    else if loc_equal a.label.(c) l then begin
+      let r = find a c in
+      a.tags.(r) <- tag :: a.tags.(r)
+    end
+    else a.extra.(c) <- (l, tag) :: a.extra.(c);
+    a
+
+  (* [add] with the equation's tag list preallocated (the per-function
+     interned singletons): a fresh storage class — the common case when
+     filling an initial state — binds the list structurally without
+     consing. Collisions (hostile assignments only) fall back to the
+     consing path. *)
+  let add_tags l (ts : tag list) (a : t) : t =
+    let k = key_of l in
+    if cell_of_key a k < 0 then begin
+      bind_key a k (new_cell a l ts);
       a
+    end
+    else List.fold_left (fun a tag -> add l tag a) a ts
 
-  (* Copy: the destination receives every equation of the source. *)
-  let move ~src ~dst (a : t) : t = assign_tags dst (tags_of src a) a
+  (* Copy: the destination receives every equation of the source. In the
+     common case this is a union-find attach — the destination's fresh
+     cell joins the source's class and shares its tags structurally. *)
+  let move ~src ~dst (a : t) : t =
+    let c = cell_of_key a (key_of src) in
+    let kd = key_of dst in
+    if c < 0 then unbind_key a kd
+    else if loc_equal a.label.(c) src && a.extra.(c) = [] then begin
+      let i = new_cell a dst [] in
+      a.parent.(i) <- find a c;
+      bind_key a kd i
+    end
+    else begin
+      match tags_of src a with
+      | [] -> unbind_key a kd
+      | ts -> bind_key a kd (new_cell a dst ts)
+    end;
+    a
 
-  (* Every equation in a bucket shares its storage class, so the first
-     location decides the bucket's fate. *)
+  (* A call clobbers caller-save registers and argument-passing slots.
+     Unbinding the storage classes (rather than clearing cells) leaves
+     surviving classes intact: a callee-save member of a killed
+     register's class keeps its equations. *)
   let kill_caller_save (a : t) : t =
-    KMap.filter
-      (fun _ eqs ->
-        match eqs with
-        | (R m, _) :: _ -> is_callee_save m
-        | (S (Local, _, _), _) :: _ -> true
-        | (S ((Incoming | Outgoing), _, _), _) :: _ -> false
-        | [] -> false)
-      a
+    for m = 0 to num_mregs - 1 do
+      if a.reg_gen.(m) = a.gen && a.reg_cell.(m) >= 0 && not callee_save_of_index.(m)
+      then a.reg_cell.(m) <- -1
+    done;
+    if a.slot_keys <> [] then
+      a.slot_keys <-
+        List.filter
+          (fun sk ->
+            Hashtbl.mem a.slot_cell sk
+            &&
+            (* [sk = 3*word + kind]: Local (0) survives a call, Incoming
+               (1) and Outgoing (2) do not. *)
+            (sk mod 3 = 0
+            ||
+            (Hashtbl.remove a.slot_cell sk;
+             false)))
+          a.slot_keys;
+    a
+
+  (* One scratch store reused across every validation in the process;
+     [reset] runs per RTL node, so cross-node and cross-function reuse
+     costs nothing and saves rebuilding the store each time. *)
+  let scratch = lazy (create ())
 end
+
+(* [Tentry] tags (and their singleton lists, for the initial-state
+   equations) interned per function: the walk and the boundary checks
+   ask "does location [l] hold the entry value of [r]" once per (node,
+   live register) pair, and a fresh [Tentry r] box each time is pure
+   allocation ([holds] compares structurally, so sharing is invisible). *)
+let tentry_tables (n : int) : (R.reg -> tag) * (R.reg -> tag list) =
+  let tbl = Array.init n (fun r -> Tentry r) in
+  let sing = Array.init n (fun r -> [ tbl.(r) ]) in
+  ( (fun r -> if r >= 0 && r < n then tbl.(r) else Tentry r),
+    fun r -> if r >= 0 && r < n then sing.(r) else [ Tentry r ] )
+
+let tentry_table (n : int) : R.reg -> tag = fst (tentry_tables n)
+
+(* Interned singleton tag lists for the walk's writes. *)
+let tags_def = [ Tdef ]
+let tags_opaque = [ Topaque ]
 
 (* What each live pseudo-register's value is after the instruction.
    [defs] is the precomputed [R.instr_defs instr], so per-register
    queries allocate nothing. *)
-let out_tag (instr : R.instruction) (defs : R.reg list) (r : R.reg) : tag =
+let out_tag (tent : R.reg -> tag) (instr : R.instruction) (defs : R.reg list)
+    (r : R.reg) : tag =
   match instr with
-  | R.Iop (Op.Omove, [ src ], dst, _) when r = dst -> Tentry src
-  | _ -> if List.mem r defs then Tdef else Tentry r
+  | R.Iop (Op.Omove, [ src ], dst, _) when r = dst -> tent src
+  | _ -> if List.mem r defs then Tdef else tent r
 
-let boundary (f : R.coq_function) n = R.Regmap.mem n f.R.fn_code
-
-(* [ctx] describes the boundary for error messages; it is a thunk so the
-   success path formats nothing. *)
-let check_boundary (assign : assignment R.Regmap.t) (instr : R.instruction)
-    (live : RSet.t) (a : AbsState.t) ~(ctx : unit -> string) : unit =
-  let defs = R.instr_defs instr in
+(* [at]/[entering] locate the boundary for error messages — plain ints,
+   so the success path allocates no context. *)
+let check_boundary (tent : R.reg -> tag) (loc_arr : loc option array)
+    (instr : R.instruction) ~(defs : R.reg list) (live : RSet.t)
+    (a : AbsState.t) ~(at : int) ~(entering : int) : unit =
   RSet.iter
     (fun r ->
-      match R.Regmap.find_opt r assign with
-      | None -> fail "%s: live pseudo-register x%d has no location" (ctx ()) r
-      | Some loc ->
-        if not (AbsState.holds (loc_of loc) (out_tag instr defs r) a) then
-          fail "%s: x%d is not in its location %a" (ctx ()) r pp_loc
-            (loc_of loc))
+      match (if r < Array.length loc_arr then loc_arr.(r) else None) with
+      | None ->
+        fail "after node %d, entering %d: live pseudo-register x%d has no \
+              location" at entering r
+      | Some l ->
+        if not (AbsState.holds l (out_tag tent instr defs r) a) then
+          fail "after node %d, entering %d: x%d is not in its location %a" at
+            entering r pp_loc l)
     live
 
-let args_hold (a : AbsState.t) (margs : mreg list) (rargs : R.reg list) : bool =
+let args_hold (tent : R.reg -> tag) (a : AbsState.t) (margs : mreg list)
+    (rargs : R.reg list) : bool =
   List.length margs = List.length rargs
-  && List.for_all2 (fun m r -> AbsState.holds (R m) (Tentry r) a) margs rargs
+  && List.for_all2 (fun m r -> AbsState.holds (R m) (tent r) a) margs rargs
 
-(* Symbolically execute the LTL chain from [n] until boundary nodes. *)
-let rec walk (f : R.coq_function) (ltl : L.coq_function) (instr : R.instruction)
-    (n : L.node) (a : AbsState.t) ~(performed : bool) ~(fuel : int) :
-    (L.node * AbsState.t) list Errors.t =
-  if fuel = 0 then error "expansion does not terminate"
+(* The walk's per-function context. The immutable fields are fixed for
+   the whole function; the mutable ones are rebound once per RTL node.
+   One record per function keeps the mutually recursive walk's
+   signatures small without allocating a closure (or re-passing ten
+   arguments) per hop. *)
+type walk_env = {
+  w_barr : bool array;  (** RTL node set — the expansion boundaries *)
+  w_tent : R.reg -> tag;
+  w_f : R.coq_function;
+  w_larr : L.instruction option array;
+  w_loc_arr : loc option array;
+  w_live_in : int -> RSet.t;
+  mutable w_instr : R.instruction;  (** RTL instruction being covered *)
+  mutable w_defs : R.reg list;  (** its [instr_defs] *)
+  mutable w_origin : int;  (** its RTL node, for error messages *)
+}
+
+let env_is_boundary env n = n >= 0 && n < Array.length env.w_barr && env.w_barr.(n)
+
+(* A boundary has been reached with state [a]: every live-in register of
+   the target node must sit in its location. *)
+let env_boundary env (n : L.node) (a : AbsState.t) : unit =
+  check_boundary env.w_tent env.w_loc_arr env.w_instr ~defs:env.w_defs
+    (env.w_live_in n) a ~at:env.w_origin ~entering:n
+
+(* Symbolically execute the LTL chain from [n] until boundary nodes,
+   checking each reached boundary in place. Failures raise {!Check_fail}
+   (caught at the per-function boundary): threading a result through
+   every hop of every chain would allocate a closure and an [Ok] box per
+   symbolic step on the success path; checking boundaries in place
+   rather than returning them spares the per-node result list too.
+   [walk] processes the instruction at [n]; [walk_from] is the
+   continuation for a reached successor — it stops at boundary nodes. *)
+let rec walk_from (env : walk_env) (n : L.node) (a : AbsState.t)
+    ~(performed : bool) ~(fuel : int) : unit =
+  if env_is_boundary env n then
+    if performed then env_boundary env n a
+    else fail "expansion reaches node %d without performing its instruction" n
+  else walk env n a ~performed ~fuel
+
+and walk (env : walk_env) (n : L.node) (a : AbsState.t) ~(performed : bool)
+    ~(fuel : int) : unit =
+  if fuel = 0 then fail "expansion does not terminate"
   else
-    match L.Nodemap.find_opt n ltl.L.fn_code with
-    | None -> error "missing LTL node %d" n
+    let tent = env.w_tent in
+    match (if n >= 0 && n < Array.length env.w_larr then env.w_larr.(n) else None)
+    with
+    | None -> fail "missing LTL node %d" n
     | Some li -> (
-      let continue n' a ~performed =
-        if boundary f n' then
-          if performed then ok [ (n', a) ]
-          else
-            error "expansion reaches node %d without performing its instruction"
-              n'
-        else walk f ltl instr n' a ~performed ~fuel:(fuel - 1)
-      in
-      match (li, instr) with
+      match (li, env.w_instr) with
       (* The instruction-specific step. *)
-      | L.Lnop n', R.Inop _ -> continue n' a ~performed:true
+      | L.Lnop n', R.Inop _ -> walk_from env n' a ~performed:true ~fuel:(fuel - 1)
       | L.Lop (op, margs, res, n'), R.Iop (rop, rargs, _, _)
         when op = rop && op <> Op.Omove && not performed ->
-        if args_hold a margs rargs then
-          continue n' (AbsState.set (R res) Tdef a) ~performed:true
-        else error "operation arguments mismatched at LTL node %d" n
+        if args_hold tent a margs rargs then
+          walk_from env n'
+            (AbsState.set_tags (R res) tags_def a)
+            ~performed:true ~fuel:(fuel - 1)
+        else fail "operation arguments mismatched at LTL node %d" n
       | L.Lload (chunk, addr, margs, dst, n'), R.Iload (rchunk, raddr, rargs, _, _)
         when chunk = rchunk && addr = raddr && not performed ->
-        if args_hold a margs rargs then
-          continue n' (AbsState.set (R dst) Tdef a) ~performed:true
-        else error "load arguments mismatched at LTL node %d" n
+        if args_hold tent a margs rargs then
+          walk_from env n'
+            (AbsState.set_tags (R dst) tags_def a)
+            ~performed:true ~fuel:(fuel - 1)
+        else fail "load arguments mismatched at LTL node %d" n
       | L.Lstore (chunk, addr, margs, src, n'), R.Istore (rchunk, raddr, rargs, rsrc, _)
         when chunk = rchunk && not performed ->
         (* Either the direct form (same addressing, args and source hold
@@ -272,108 +514,163 @@ let rec walk (f : R.coq_function) (ltl : L.coq_function) (instr : R.instruction)
            a preceding [Olea], source reloaded through a scratch). *)
         let direct =
           addr = raddr
-          && args_hold a margs rargs
-          && AbsState.holds (R src) (Tentry rsrc) a
+          && args_hold tent a margs rargs
+          && AbsState.holds (R src) (tent rsrc) a
         in
         let collapsed =
-          addr = Op.Aindexed 0 && AbsState.holds (R src) (Tentry rsrc) a
+          addr = Op.Aindexed 0 && AbsState.holds (R src) (tent rsrc) a
         in
-        if direct || collapsed then continue n' a ~performed:true
-        else error "store operands mismatched at LTL node %d" n
+        if direct || collapsed then
+          walk_from env n' a ~performed:true ~fuel:(fuel - 1)
+        else fail "store operands mismatched at LTL node %d" n
       | L.Lop (Op.Olea addr, margs, res, n'), R.Istore (_, raddr, rargs, _, _)
         when addr = raddr && not performed ->
         (* Address materialization for the collapsed store form. *)
-        if args_hold a margs rargs then
-          continue n' (AbsState.set (R res) Topaque a) ~performed
-        else error "lea arguments mismatched at LTL node %d" n
+        if args_hold tent a margs rargs then
+          walk_from env n'
+            (AbsState.set_tags (R res) tags_opaque a)
+            ~performed ~fuel:(fuel - 1)
+        else fail "lea arguments mismatched at LTL node %d" n
       | L.Lcond (cond, margs, n1, n2), R.Icond (rcond, rargs, rn1, rn2)
         when cond = rcond ->
-        if not (args_hold a margs rargs) then
-          error "condition arguments mismatched at LTL node %d" n
+        if not (args_hold tent a margs rargs) then
+          fail "condition arguments mismatched at LTL node %d" n
         else if n1 <> rn1 || n2 <> rn2 then
-          error "condition targets changed at LTL node %d" n
-        else ok [ (n1, a); (n2, a) ]
+          fail "condition targets changed at LTL node %d" n
+        else begin
+          (* Both targets are RTL boundary nodes; the state only gets
+             read, so the two checks share it. *)
+          env_boundary env n1 a;
+          env_boundary env n2 a
+        end
       | L.Lcall (sg, _, n'), R.Icall (rsg, _, rargs, _, _)
         when signature_equal sg rsg && not performed ->
         let ok_args =
           List.length (loc_arguments sg) = List.length rargs
           && List.for_all2
-               (fun l r -> AbsState.holds l (Tentry r) a)
+               (fun l r -> AbsState.holds l (tent r) a)
                (loc_arguments sg) rargs
         in
-        if not ok_args then error "call arguments misplaced at LTL node %d" n
+        if not ok_args then fail "call arguments misplaced at LTL node %d" n
         else
           let a = AbsState.kill_caller_save a in
-          let a = AbsState.set (R (loc_result sg)) Tdef a in
-          continue n' a ~performed:true
+          let a = AbsState.set_tags (R (loc_result sg)) tags_def a in
+          walk_from env n' a ~performed:true ~fuel:(fuel - 1)
       | L.Ltailcall (sg, _), R.Itailcall (rsg, _, rargs)
         when signature_equal sg rsg ->
         let ok_args =
           List.length (loc_arguments sg) = List.length rargs
           && List.for_all2
-               (fun l r -> AbsState.holds l (Tentry r) a)
+               (fun l r -> AbsState.holds l (tent r) a)
                (loc_arguments sg) rargs
         in
-        if ok_args then ok [] else error "tailcall arguments misplaced at node %d" n
+        if not ok_args then fail "tailcall arguments misplaced at node %d" n
       | L.Lreturn, R.Ireturn ropt -> (
         match ropt with
-        | None -> ok []
+        | None -> ()
         | Some r ->
-          if AbsState.holds (R (loc_result f.R.fn_sig)) (Tentry r) a then ok []
-          else error "return value not in the result register")
+          if AbsState.holds (R (loc_result env.w_f.R.fn_sig)) (tent r) a then ()
+          else fail "return value not in the result register")
       (* Generic data movement within the expansion. *)
-      | L.Lnop n', _ -> continue n' a ~performed
+      | L.Lnop n', _ -> walk_from env n' a ~performed ~fuel:(fuel - 1)
       | L.Lop (Op.Omove, [ src ], dst, n'), _ ->
-        continue n' (AbsState.move ~src:(R src) ~dst:(R dst) a) ~performed
+        walk_from env n'
+          (AbsState.move ~src:(R src) ~dst:(R dst) a)
+          ~performed ~fuel:(fuel - 1)
       | L.Lgetstack (k, o, t, dst, n'), _ ->
-        continue n' (AbsState.move ~src:(S (k, o, t)) ~dst:(R dst) a) ~performed
+        walk_from env n'
+          (AbsState.move ~src:(S (k, o, t)) ~dst:(R dst) a)
+          ~performed ~fuel:(fuel - 1)
       | L.Lsetstack (src, k, o, t, n'), _ ->
-        continue n' (AbsState.move ~src:(R src) ~dst:(S (k, o, t)) a) ~performed
-      | _ -> error "unexpected LTL instruction at node %d" n)
+        walk_from env n'
+          (AbsState.move ~src:(R src) ~dst:(S (k, o, t)) a)
+          ~performed ~fuel:(fuel - 1)
+      | _ -> fail "unexpected LTL instruction at node %d" n)
 
 (* Initial abstract state at an RTL node: every live-in register's entry
-   value sits in its assigned location. *)
-let init_state (assign : assignment R.Regmap.t) (live_in : RSet.t) : AbsState.t =
-  RSet.fold
-    (fun r a ->
-      match R.Regmap.find_opt r assign with
-      | Some loc -> AbsState.add (loc_of loc) (Tentry r) a
-      | None -> a)
-    live_in AbsState.empty
+   value sits in its assigned location. Resets and refills the scratch
+   store — the previous node's state becomes garbage by generation bump,
+   not by traversal. [tsing] is the interned singleton table, so a fresh
+   equation binds without consing. *)
+let init_state (tsing : R.reg -> tag list) (loc_arr : loc option array)
+    (live_in : RSet.t) : AbsState.t =
+  let a = Lazy.force AbsState.scratch in
+  AbsState.reset a;
+  RSet.iter
+    (fun r ->
+      if r < Array.length loc_arr then
+        match loc_arr.(r) with
+        | Some l -> ignore (AbsState.add_tags l (tsing r) a)
+        | None -> ())
+    live_in;
+  a
 
 (* A move instruction "performs" by routing: special-case it since its
    expansion contains no distinguished operation. *)
 let is_move = function R.Iop (Op.Omove, [ _ ], _, _) -> true | _ -> false
 
-let check_code_with ~(live_in : int -> RSet.t) (f : R.coq_function)
-    (assign : assignment R.Regmap.t) (ltl : L.coq_function) : unit Errors.t =
+let check_code_arr ~(live_in : int -> RSet.t) (f : R.coq_function)
+    (loc_arr : loc option array) (ltl : L.coq_function) : unit Errors.t =
+  let max_n =
+    match R.Regmap.max_binding_opt f.R.fn_code with Some (n, _) -> n | None -> -1
+  in
+  let barr = Array.make (max_n + 1) false in
+  R.Regmap.iter (fun n _ -> barr.(n) <- true) f.R.fn_code;
+  (* The LTL code re-indexed as a dense array: the symbolic walk visits
+     each expansion node once per covering RTL origin, so tree lookups
+     on every hop dominate; an array probe is one bounds check. *)
+  let larr =
+    let max_l =
+      match L.Nodemap.max_binding_opt ltl.L.fn_code with
+      | Some (n, _) -> n
+      | None -> -1
+    in
+    let a = Array.make (max_l + 1) None in
+    L.Nodemap.iter (fun n i -> a.(n) <- Some i) ltl.L.fn_code;
+    a
+  in
+  let tent, tsing = tentry_tables (Array.length loc_arr) in
+  let env =
+    {
+      w_barr = barr;
+      w_tent = tent;
+      w_f = f;
+      w_larr = larr;
+      w_loc_arr = loc_arr;
+      w_live_in = live_in;
+      w_instr = R.Ireturn None;
+      w_defs = [];
+      w_origin = -1;
+    }
+  in
   try
     R.Regmap.iter
       (fun n instr ->
-        let a0 = init_state assign (live_in n) in
-        match walk f ltl instr n a0 ~performed:(is_move instr) ~fuel:64 with
-        | Error e -> raise (Check_fail e)
-        | Ok boundaries ->
-          List.iter
-            (fun (b, a) ->
-              check_boundary assign instr (live_in b) a ~ctx:(fun () ->
-                  Printf.sprintf "after node %d, entering %d" n b))
-            boundaries)
+        env.w_instr <- instr;
+        env.w_defs <- R.instr_defs instr;
+        env.w_origin <- n;
+        let a0 = init_state tsing loc_arr (live_in n) in
+        walk env n a0 ~performed:(is_move instr) ~fuel:64)
       f.R.fn_code;
     ok ()
   with Check_fail e -> Error e
+
+let check_code_with ~(live_in : int -> RSet.t) (f : R.coq_function)
+    (assign : assignment R.Regmap.t) (ltl : L.coq_function) : unit Errors.t =
+  check_code_arr ~live_in f (loc_array_of assign) ltl
 
 let check_code (f : R.coq_function) (assign : assignment R.Regmap.t)
     (ltl : L.coq_function) : unit Errors.t =
   check_code_with ~live_in:(Middle.Liveness.analyze f) f assign ltl
 
-(** Run both validation passes on one function. Liveness is solved once
-    and both checks read their view of it. *)
+(** Run both validation passes on one function. Liveness is solved once,
+    the assignment is re-indexed once, and both checks read them. *)
 let validate (f : R.coq_function) (assign : assignment R.Regmap.t)
     (ltl : L.coq_function) : unit Errors.t =
   let live_in, live_out = Middle.Liveness.analyze_both f in
-  let* () = check_assignment_with ~live_out f assign in
-  check_code_with ~live_in f assign ltl
+  let loc_arr = loc_array_of assign in
+  let* () = check_assignment_arr ~live_out f assign loc_arr in
+  check_code_arr ~live_in f loc_arr ltl
 
 (** Validate a whole program against [Allocation]. The allocator's own
     (untrusted) colorings are taken from [assignments] when provided —

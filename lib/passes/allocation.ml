@@ -37,6 +37,20 @@ let float_scratch2 = X3
 let allocatable_int = [ AX; BX; CX; DX; DI; R8; R9; R12; R13; R14; R15 ]
 let allocatable_float = [ X0; X1; X4; X5; X6; X7 ]
 
+(* The scan loop's candidate pools, fixed per (class, across-call)
+   combination — built once, not re-filtered per interval. Caller-save
+   first in the normal pools: callee-saves cost a save/restore. *)
+let pool_int_across = List.filter is_callee_save allocatable_int
+let pool_float_across = List.filter is_callee_save allocatable_float
+
+let pool_int_normal =
+  List.filter (fun m -> not (is_callee_save m)) allocatable_int
+  @ pool_int_across
+
+let pool_float_normal =
+  List.filter (fun m -> not (is_callee_save m)) allocatable_float
+  @ pool_float_across
+
 let is_float_typ = function
   | Tfloat | Tsingle -> true
   | Tint | Tlong | Tany64 -> false
@@ -44,25 +58,32 @@ let is_float_typ = function
 (** {1 Type inference for pseudo-registers} *)
 
 let infer_types (f : R.coq_function) : typ R.Regmap.t =
-  let types = ref R.Regmap.empty in
+  (* Dense by pseudo-register index: the fixpoint loop below revisits
+     every instruction until no type changes, so each [set] probe must be
+     an array read, not a balanced-tree descent allocating a new map. *)
+  let nregs = R.max_reg_function f + 1 in
+  let types : typ option array = Array.make nregs None in
   let set r t =
-    match R.Regmap.find_opt r !types with
-    | Some _ -> false
-    | None ->
-      types := R.Regmap.add r t !types;
+    if r >= 0 && r < nregs && types.(r) = None then begin
+      types.(r) <- Some t;
       true
+    end
+    else false
   in
   List.iter2
     (fun r t -> ignore (set r t))
     f.R.fn_params f.R.fn_sig.sig_args;
+  (* The instruction list, materialized once: re-walking the code tree on
+     every fixpoint round costs more than the rounds themselves. *)
+  let instrs = R.Regmap.fold (fun _ i acc -> i :: acc) f.R.fn_code [] in
   let changed = ref true in
   while !changed do
     changed := false;
-    R.Regmap.iter
-      (fun _ i ->
+    List.iter
+      (fun i ->
         match i with
         | R.Iop (Op.Omove, [ src ], res, _) -> (
-          match R.Regmap.find_opt src !types with
+          match (if src >= 0 && src < nregs then types.(src) else None) with
           | Some t -> if set res t then changed := true
           | None -> ())
         | R.Iop (op, _, res, _) -> (
@@ -74,9 +95,13 @@ let infer_types (f : R.coq_function) : typ R.Regmap.t =
         | R.Icall (sg, _, _, res, _) ->
           if set res (proj_sig_res sg) then changed := true
         | _ -> ())
-      f.R.fn_code
+      instrs
   done;
-  !types
+  let m = ref R.Regmap.empty in
+  Array.iteri
+    (fun r t -> match t with Some t -> m := R.Regmap.add r t !m | None -> ())
+    types;
+  !m
 
 (** {1 Interference and coloring} *)
 
@@ -240,7 +265,7 @@ let allocate_graph_with (types : typ R.Regmap.t) (f : R.coq_function) :
 let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
     assignment R.Regmap.t * int =
   let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
-  let live_in, live_out = Middle.Liveness.analyze_both f in
+  let live_out = Middle.Liveness.analyze_out f in
   let nregs = R.max_reg_function f + 1 in
   (* Interval bounds, indexed by pseudo-register. Parameters are defined
      simultaneously at a virtual entry position -1, so they all overlap
@@ -252,6 +277,15 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
     if p > ifinish.(r) then ifinish.(r) <- p
   in
   List.iter (fun r -> extend r (-1)) f.R.fn_params;
+  let max_node =
+    match R.Regmap.max_binding_opt f.R.fn_code with Some (n, _) -> n | None -> 0
+  in
+  (* Definition sites per pseudo-register and the move-source exemption
+     per node, collected in the same pass: they turn the node-level
+     interference probe below into a scan of one register's (usually
+     single) definition site instead of the whole function body. *)
+  let def_sites : int list array = Array.make nregs [] in
+  let exempt_src = Array.make (max_node + 1) (-1) in
   let across_call = ref RSet.empty in
   let all_moves = ref [] in
   let pos = ref 0 in
@@ -259,15 +293,23 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
     (fun n i ->
       let p = !pos in
       incr pos;
-      RSet.iter (fun r -> extend r p) (live_in n);
+      (* live-in = (live-out \ defs) ∪ uses, and defs are extended just
+         below — so walking live-out plus the instruction's own uses
+         covers both liveness views without a second bitset scan. *)
       RSet.iter (fun r -> extend r p) (live_out n);
+      List.iter (fun r -> extend r p) (R.instr_uses i);
       (* Dead definitions still occupy their location at the def point. *)
-      List.iter (fun r -> extend r p) (R.instr_defs i);
+      List.iter
+        (fun r ->
+          extend r p;
+          def_sites.(r) <- n :: def_sites.(r))
+        (R.instr_defs i);
       match i with
       | R.Icall (_, _, _, res, _) ->
         across_call := RSet.union !across_call (RSet.remove res (live_out n))
-      | R.Iop (Op.Omove, [ src ], res, _) when src <> res ->
-        all_moves := (res, src) :: !all_moves
+      | R.Iop (Op.Omove, [ src ], res, _) ->
+        exempt_src.(n) <- src;
+        if src <> res then all_moves := (res, src) :: !all_moves
       | _ -> ())
     f.R.fn_code;
   (* Calling-convention hints: bias call arguments, call results, return
@@ -315,18 +357,12 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
      source's can still share its register. *)
   let interferes a b =
     (List.mem a f.R.fn_params && List.mem b f.R.fn_params)
-    || R.Regmap.exists
-         (fun n i ->
-           let out = live_out n in
-           let out =
-             match i with
-             | R.Iop (Op.Omove, [ s ], _, _) -> RSet.remove s out
-             | _ -> out
-           in
-           let defs = R.instr_defs i in
-           (List.mem a defs && RSet.mem b out)
-           || (List.mem b defs && RSet.mem a out))
-         f.R.fn_code
+    || List.exists
+         (fun n -> b <> exempt_src.(n) && RSet.mem b (live_out n))
+         def_sites.(a)
+    || List.exists
+         (fun n -> a <> exempt_src.(n) && RSet.mem a (live_out n))
+         def_sites.(b)
   in
   let intervals = ref [] in
   for r = nregs - 1 downto 0 do
@@ -339,7 +375,9 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
         if c <> 0 then c else compare ifinish.(a) ifinish.(b))
       !intervals
   in
-  let assignment = ref R.Regmap.empty in
+  (* The coloring under construction, dense by pseudo-register index;
+     the external [Regmap] view is built once at the end. *)
+  let assign_arr : assignment option array = Array.make nregs None in
   let next_slot = ref 0 in
   (* Active intervals holding a machine register, sorted by increasing
      finish; [reg_used] mirrors their occupancy for O(pool) probes. Each
@@ -381,7 +419,7 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
     let from_vreg s =
       if s < 0 then None
       else
-        match R.Regmap.find_opt s !assignment with
+        match assign_arr.(s) with
         | Some (Lreg m) when usable m -> Some m
         | _ -> None
     in
@@ -396,13 +434,12 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
     (fun r ->
       expire istart.(r);
       let t = typ_of r in
-      let pool = if is_float_typ t then allocatable_float else allocatable_int in
       let pool =
-        if RSet.mem r !across_call then List.filter is_callee_save pool
-        else
-          (* Caller-save first: callee-saves cost a save/restore. *)
-          List.filter (fun m -> not (is_callee_save m)) pool
-          @ List.filter is_callee_save pool
+        match (is_float_typ t, RSet.mem r !across_call) with
+        | true, true -> pool_float_across
+        | true, false -> pool_float_normal
+        | false, true -> pool_int_across
+        | false, false -> pool_int_normal
       in
       let candidate =
         if !clobber_linear_scan_for_test then List.nth_opt pool 0
@@ -424,8 +461,15 @@ let allocate_linear_with (types : typ R.Regmap.t) (f : R.coq_function) :
           incr next_slot;
           Lslot (i, t)
       in
-      assignment := R.Regmap.add r a !assignment)
+      assign_arr.(r) <- Some a)
     intervals;
+  let assignment = ref R.Regmap.empty in
+  Array.iteri
+    (fun r a ->
+      match a with
+      | Some a -> assignment := R.Regmap.add r a !assignment
+      | None -> ())
+    assign_arr;
   (!assignment, !next_slot)
 
 let allocate_for (strat : strategy) (types : typ R.Regmap.t)
@@ -523,16 +567,22 @@ let move_loc (src : loc) (dst : loc) : (L.node -> L.instruction) list =
 
 let moves_code moves = List.concat_map (fun (s, d) -> move_loc s d) moves
 
+(* The assignment as a dense array keyed on pseudo-register index: code
+   generation probes it once per operand, so each probe is an array read
+   rather than a balanced-tree descent. *)
+let aget (aarr : assignment option array) r =
+  if r >= 0 && r < Array.length aarr then aarr.(r) else None
+
 (* Read the pseudo-registers [args] into machine registers, spilled ones
    through scratches. Returns (prefix builders, machine registers). *)
-let read_args (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ)
+let read_args (aarr : assignment option array) (typ_of : R.reg -> typ)
     (args : R.reg list) : (L.node -> L.instruction) list * mreg list =
   let next_scratch = ref 0 in
   let prefix = ref [] in
   let regs =
     List.map
       (fun r ->
-        match R.Regmap.find_opt r assign with
+        match aget aarr r with
         | Some (Lreg m) -> m
         | Some (Lslot (i, t)) ->
           let sc = scratch_for t !next_scratch in
@@ -548,18 +598,18 @@ let read_args (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ)
 
 (* Write machine register result into the location of [res]. Returns the
    destination machine register for the op and suffix builders. *)
-let write_res (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ)
+let write_res (aarr : assignment option array) (typ_of : R.reg -> typ)
     (res : R.reg) : mreg * (L.node -> L.instruction) list =
-  match R.Regmap.find_opt res assign with
+  match aget aarr res with
   | Some (Lreg m) -> (m, [])
   | Some (Lslot (i, t)) ->
     let sc = scratch_for t 0 in
     (sc, [ (fun n -> L.Lsetstack (sc, Local, i, t, n)) ])
   | None -> (scratch_for (typ_of res) 0, [])
 
-let loc_of (assign : assignment R.Regmap.t) (typ_of : R.reg -> typ) (r : R.reg) :
+let loc_of (aarr : assignment option array) (typ_of : R.reg -> typ) (r : R.reg) :
     loc =
-  match R.Regmap.find_opt r assign with
+  match aget aarr r with
   | Some a -> loc_of_assignment a
   | None -> R (scratch_for (typ_of r) 0)
 
@@ -570,8 +620,23 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
     (L.coq_function * assignment R.Regmap.t) Errors.t =
   let strat = Option.value strategy ~default:!default_strategy in
   let types = infer_types f in
-  let typ_of r = Option.value (R.Regmap.find_opt r types) ~default:Tlong in
   let assign, nslots = allocate_for strat types f in
+  (* Dense views of the typing and the coloring for the translation's
+     per-operand probes. *)
+  let nregs =
+    let m = R.max_reg_function f in
+    let m =
+      match R.Regmap.max_binding_opt assign with
+      | Some (r, _) -> max m r
+      | None -> m
+    in
+    m + 1
+  in
+  let tarr = Array.make nregs Tlong in
+  R.Regmap.iter (fun r t -> if r < nregs then tarr.(r) <- t) types;
+  let typ_of r = if r >= 0 && r < nregs then tarr.(r) else Tlong in
+  let aarr : assignment option array = Array.make nregs None in
+  R.Regmap.iter (fun r a -> if r < nregs then aarr.(r) <- Some a) assign;
   let temp_slot = nslots in
   let callee_slot = nslots + 1 in
   let st = { code = L.Nodemap.empty; next_node = R.max_node f + 1 } in
@@ -591,23 +656,23 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
          returns no builders and the move lowers to a bare [Lnop], which
          the validator accepts (the copy equation is trivially
          satisfied) and linearization elides on fall-through. *)
-      let s = loc_of assign typ_of src and d = loc_of assign typ_of res in
+      let s = loc_of aarr typ_of src and d = loc_of aarr typ_of res in
       with_chain (move_loc s d) n'
     | R.Iop (op, args, res, n') ->
-      let prefix, margs = read_args assign typ_of args in
-      let mres, suffix = write_res assign typ_of res in
+      let prefix, margs = read_args aarr typ_of args in
+      let mres, suffix = write_res aarr typ_of res in
       with_chain
         (prefix @ [ (fun n -> L.Lop (op, margs, mres, n)) ] @ suffix)
         n'
     | R.Iload (chunk, addr, args, dst, n') ->
-      let prefix, margs = read_args assign typ_of args in
-      let mres, suffix = write_res assign typ_of dst in
+      let prefix, margs = read_args aarr typ_of args in
+      let mres, suffix = write_res aarr typ_of dst in
       with_chain
         (prefix @ [ (fun n -> L.Lload (chunk, addr, margs, mres, n)) ] @ suffix)
         n'
     | R.Istore (chunk, addr, args, src, n') -> (
-      let prefix, margs = read_args assign typ_of args in
-      match R.Regmap.find_opt src assign with
+      let prefix, margs = read_args aarr typ_of args in
+      match aget aarr src with
       | Some (Lreg msrc) ->
         with_chain
           (prefix @ [ (fun n -> L.Lstore (chunk, addr, margs, msrc, n)) ])
@@ -618,7 +683,7 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
         let t = typ_of src in
         let ssrc = if is_float_typ t then float_scratch1 else int_scratch2 in
         let sloc =
-          match R.Regmap.find_opt src assign with
+          match aget aarr src with
           | Some (Lslot (i, st')) -> Some (i, st')
           | _ -> None
         in
@@ -640,7 +705,7 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
       let arg_locs = loc_arguments sg in
       let moves =
         List.map2
-          (fun r l -> (loc_of assign typ_of r, l, typ_of r))
+          (fun r l -> (loc_of aarr typ_of r, l, typ_of r))
           args arg_locs
       in
       let par = compile_parallel_move ~temp_slot moves in
@@ -652,10 +717,10 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
              argument moves (which may clobber both its register and the
              scratches), and fetch it just before the call. *)
           ( L.Rreg int_scratch1,
-            move_loc (loc_of assign typ_of r) (S (Local, callee_slot, Tlong)),
+            move_loc (loc_of aarr typ_of r) (S (Local, callee_slot, Tlong)),
             move_loc (S (Local, callee_slot, Tlong)) (R int_scratch1) )
       in
-      let res_loc = loc_of assign typ_of res in
+      let res_loc = loc_of aarr typ_of res in
       let result_moves = move_loc (R (loc_result sg)) res_loc in
       with_chain
         (ros_park @ moves_code par @ ros_fetch
@@ -666,7 +731,7 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
       let arg_locs = loc_arguments sg in
       let moves =
         List.map2
-          (fun r l -> (loc_of assign typ_of r, l, typ_of r))
+          (fun r l -> (loc_of aarr typ_of r, l, typ_of r))
           args arg_locs
       in
       let par = compile_parallel_move ~temp_slot moves in
@@ -675,14 +740,14 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
         | R.Rsymbol id -> (L.Rsymbol id, [])
         | R.Rreg r ->
           ( L.Rreg int_scratch1,
-            move_loc (loc_of assign typ_of r) (R int_scratch1) )
+            move_loc (loc_of aarr typ_of r) (R int_scratch1) )
       in
       (match ros_prefix @ moves_code par with
       | [] -> L.Ltailcall (sg, ros')
       | first :: rest ->
         first (emit_chain st rest (emit_chain st [ (fun _ -> L.Ltailcall (sg, ros')) ] 0)))
     | R.Icond (cond, args, n1, n2) -> (
-      let prefix, margs = read_args assign typ_of args in
+      let prefix, margs = read_args aarr typ_of args in
       match prefix with
       | [] -> L.Lcond (cond, margs, n1, n2)
       | first :: rest ->
@@ -692,7 +757,7 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
     | R.Ireturn optr -> (
       let moves =
         match optr with
-        | Some r -> move_loc (loc_of assign typ_of r) (R (loc_result f.R.fn_sig))
+        | Some r -> move_loc (loc_of aarr typ_of r) (R (loc_result f.R.fn_sig))
         | None -> []
       in
       match moves with
@@ -717,7 +782,7 @@ let transf_function_with_assignment ?strategy (f : R.coq_function) :
         arg_locs
     in
     List.map2
-      (fun l p -> (l, loc_of assign typ_of p, typ_of p))
+      (fun l p -> (l, loc_of aarr typ_of p, typ_of p))
       incoming f.R.fn_params
   in
   let par = compile_parallel_move ~temp_slot entry_moves in

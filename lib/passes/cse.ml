@@ -13,14 +13,20 @@ module Errors = Support.Errors
 module R = Middle.Rtl
 module Op = Middle.Op
 
-module RhsMap = Map.Make (struct
-  type t = string
+(* Value-numbering keys: the right-hand side over the value numbers of
+   its arguments, compared structurally. Operations and addressing modes
+   are first-order data, so the polymorphic compare is exact — and far
+   cheaper than serializing each instruction into a string key. *)
+type rhs =
+  | Rop of Op.operation * int list
+  | Rload of Memory.Memdata.chunk * Op.addressing * int list
 
-  let compare = String.compare
+module RhsMap = Map.Make (struct
+  type t = rhs
+
+  let compare = Stdlib.compare
 end)
 
-(* Value-numbering keys: a printable encoding of the right-hand side over
-   the value numbers of arguments. *)
 type numbering = {
   num_of_reg : int R.Regmap.t;  (** register → value number *)
   reg_of_rhs : (R.reg * int) RhsMap.t;  (** available rhs → holding reg, vn of reg *)
@@ -42,18 +48,8 @@ let vns_of n args =
       (v :: vs, n))
     args ([], n)
 
-(* Keys must distinguish operations exactly: a printable encoding is
-   ambiguous (e.g. the int constant 0 and the float constant 0.0 print
-   identically), so the structural marshaling of the operation is used. *)
-let rhs_key_op (op : Op.operation) (vns : int list) =
-  "op:" ^ Marshal.to_string op [] ^ ":"
-  ^ String.concat "," (List.map string_of_int vns)
-
-let rhs_key_load chunk addr (vns : int list) =
-  "ld:"
-  ^ Marshal.to_string (chunk, addr) []
-  ^ ":"
-  ^ String.concat "," (List.map string_of_int vns)
+let rhs_key_op (op : Op.operation) (vns : int list) = Rop (op, vns)
+let rhs_key_load chunk addr (vns : int list) = Rload (chunk, addr, vns)
 
 (* Operations whose result depends on more than their arguments cannot be
    numbered. *)
@@ -70,7 +66,9 @@ let set_known n res vn = { n with num_of_reg = R.Regmap.add res vn n.num_of_reg 
 let kill_loads n =
   {
     n with
-    reg_of_rhs = RhsMap.filter (fun k _ -> not (String.length k > 2 && String.sub k 0 3 = "ld:")) n.reg_of_rhs;
+    reg_of_rhs =
+      RhsMap.filter (fun k _ -> match k with Rload _ -> false | Rop _ -> true)
+        n.reg_of_rhs;
   }
 
 (* Predecessor counts, to delimit extended basic blocks. *)

@@ -47,6 +47,9 @@ let mreg_index = function
   | X0 -> 14 | X1 -> 15 | X2 -> 16 | X3 -> 17
   | X4 -> 18 | X5 -> 19 | X6 -> 20 | X7 -> 21
 
+(* Inverse of [mreg_index], for walking a flat register file. *)
+let mreg_of_index : mreg array = Array.of_list all_mregs
+
 let is_float_mreg = function
   | X0 | X1 | X2 | X3 | X4 | X5 | X6 | X7 -> true
   | _ -> false
@@ -58,7 +61,15 @@ let is_float_typ = function
 (** System V AMD64 callee-save registers. *)
 let callee_save_regs = [ BX; BP; R12; R13; R14; R15 ]
 
-let is_callee_save r = List.mem r callee_save_regs
+(* Probed per candidate register in the allocator's scan loop and per
+   equation in the validator's caller-save kill, so it must be a table
+   lookup, not a structural list search. *)
+let callee_save_tbl =
+  let t = Array.make num_mregs false in
+  List.iter (fun r -> t.(mreg_index r) <- true) callee_save_regs;
+  t
+
+let is_callee_save r = callee_save_tbl.(mreg_index r)
 
 (** Registers whose value is clobbered by a function call. *)
 let destroyed_at_call =
@@ -90,6 +101,18 @@ module Regfile = struct
     end
 
   let set_list rvs rf = List.fold_left (fun rf (r, v) -> set r v rf) rf rvs
+
+  (* Snapshot for the mutable-execution cores (copy-on-observe): a
+     mutating interpreter must hand out copies at query/reply
+     boundaries, never its live array. *)
+  let copy : t -> t = Array.copy
+
+  (* In-place write, for interpreters that own their register file
+     exclusively between observation points. Never call this on an
+     array obtained from [init] or shared through [set]'s no-op path. *)
+  let update r v (rf : t) : t =
+    rf.(mreg_index r) <- v;
+    rf
 
   let equal (a : t) (b : t) =
     a == b

@@ -1,0 +1,203 @@
+(** Lockstep tests for the mutable execution-state cores (ISSUE 10).
+
+    Every interpreter of the tower now runs on a flat mutable register
+    file or locset ([semantics]) while retaining the persistent
+    implementation ([semantics_naive]) as the reference. These tests pin
+    the two contracts the mutable cores must honor:
+    - lockstep: on generated programs and the examples/c corpus, the
+      mutable and persistent interpreters produce identical rendered
+      C-level outcomes at every level (RTL, LTL, Linear and Mach here;
+      Asm threaded-vs-naive is covered by test_allocdiff);
+    - copy-on-observe: the snapshots the LTS hands out at its
+      interaction points (init, at_external) are never aliased to the
+      live array a later step mutates — the caller's query register
+      file, the globally shared [Pregfile.init], and an oracle's view
+      of an external call must all stay bit-identical across the rest
+      of the run. *)
+
+open Support
+open Memory.Values
+
+let check = Alcotest.(check bool)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parses src =
+  match Cfrontend.Cparser.parse_program src with
+  | _ -> true
+  | exception Cfrontend.Cparser.Parse_error _ -> false
+
+let fuel = 2_000_000
+
+(* Compile [src] once; run [main] under the mutable and the persistent
+   interpreter of each level, rendering each C-level outcome. *)
+let run_levels src =
+  let p = Cfrontend.Cparser.parse_program src in
+  let symbols = Iface.Ast.prog_defs_names p in
+  let arts = Errors.get (Driver.Compiler.compile p) in
+  let q = Option.get (Driver.Runners.main_query ~symbols ~defs:p ()) in
+  let render o = Format.asprintf "%a" Driver.Runners.pp_c_outcome o in
+  let rtl sem =
+    Ok (render (Driver.Runners.run_c_level (sem ~symbols arts.Driver.Compiler.rtl) ~fuel q))
+  in
+  let ltl sem =
+    Result.map render
+      (Driver.Runners.run_l_level
+         (sem ~symbols arts.Driver.Compiler.ltl_tunneled)
+         ~fuel q)
+  in
+  let lin sem =
+    Result.map render
+      (Driver.Runners.run_l_level
+         (sem ~symbols arts.Driver.Compiler.linear_clean)
+         ~fuel q)
+  in
+  let mach sem =
+    Result.map render
+      (Driver.Runners.run_m_level (sem ~symbols arts.Driver.Compiler.mach) ~fuel q)
+  in
+  [
+    ("RTL", rtl Middle.Rtl.semantics, rtl Middle.Rtl.semantics_naive);
+    ("LTL", ltl Backend.Ltl.semantics, ltl Backend.Ltl.semantics_naive);
+    ("Linear", lin Backend.Linear.semantics, lin Backend.Linear.semantics_naive);
+    ("Mach", mach Backend.Mach.semantics, mach Backend.Mach.semantics_naive);
+  ]
+
+let mutable_matches_naive =
+  QCheck.Test.make
+    ~name:"mutable and persistent interpreters agree at every level" ~count:15
+    Testlib.Test_gen.arb_program (fun src ->
+      QCheck.assume (parses src);
+      List.for_all
+        (fun (level, mut, naive) ->
+          if mut = naive then true
+          else
+            QCheck.Test.fail_reportf
+              "%s: mutable and persistent interpreters disagree@.--- program \
+               ---@.%s"
+              level src)
+        (run_levels src))
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ mutable_matches_naive ]
+
+(* --- Snapshot isolation --------------------------------------------- *)
+
+let pp_pregs rs = Format.asprintf "%a" Iface.Li.Pregfile.pp rs
+let pp_mregs rs = Format.asprintf "%a" Target.Machregs.Regfile.pp rs
+
+let compile_for src =
+  let p = Cfrontend.Cparser.parse_program src in
+  let symbols = Iface.Ast.prog_defs_names p in
+  let arts = Errors.get (Driver.Compiler.compile p) in
+  let q = Option.get (Driver.Runners.main_query ~symbols ~defs:p ()) in
+  (symbols, arts, q)
+
+let unit_tests =
+  [
+    Alcotest.test_case
+      "mutable and persistent interpreters agree on examples/c" `Quick
+      (fun () ->
+        let dir = "../examples/c" in
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".c")
+          |> List.sort compare
+        in
+        check "corpus present" true (files <> []);
+        List.iter
+          (fun file ->
+            let src = read_file (Filename.concat dir file) in
+            List.iter
+              (fun (level, mut, naive) ->
+                check
+                  (Printf.sprintf "%s: %s level agrees" file level)
+                  true (mut = naive);
+                check
+                  (Printf.sprintf "%s: %s run completed" file level)
+                  true (Result.is_ok mut))
+              (run_levels src))
+          files);
+    Alcotest.test_case
+      "init snapshot: a run never writes the caller's register file" `Quick
+      (fun () ->
+        let src =
+          "int gcd(int a, int b) { while (b != 0) { int t = a; a = b; b = t % \
+           b; } return a; }\n\
+           int main(void) { return gcd(252, 105); }"
+        in
+        let symbols, arts, q = compile_for src in
+        (match Driver.Runners.cc_ca.Core.Simconv.fwd_query q with
+        | None -> Alcotest.fail "CA cannot marshal the query"
+        | Some (_, aq) ->
+          let before = pp_pregs aq.Iface.Li.aq_rs in
+          let l = Backend.Asm.semantics ~symbols arts.Driver.Compiler.asm in
+          (match Core.Smallstep.run ~fuel l ~oracle:(fun _ -> None) aq with
+          | Core.Smallstep.Final _ -> ()
+          | o ->
+            Alcotest.failf "asm run did not finish: %a"
+              (Core.Smallstep.pp_outcome (fun _ _ -> ())) o);
+          check "query register file unscathed" true
+            (pp_pregs aq.Iface.Li.aq_rs = before);
+          check "global Pregfile.init unscathed" true
+            (Array.for_all (fun v -> v = Vundef) Iface.Li.Pregfile.init));
+        match Driver.Runners.cc_cm.Core.Simconv.fwd_query q with
+        | None -> Alcotest.fail "CM cannot marshal the query"
+        | Some (_, mq) ->
+          let before = pp_mregs mq.Iface.Li.mq_rs in
+          let l = Backend.Mach.semantics ~symbols arts.Driver.Compiler.mach in
+          ignore (Core.Smallstep.run ~fuel l ~oracle:(fun _ -> None) mq);
+          check "Mach query register file unscathed" true
+            (pp_mregs mq.Iface.Li.mq_rs = before));
+    Alcotest.test_case
+      "at_external snapshot is not aliased by later mutation" `Quick
+      (fun () ->
+        (* Two external calls with internal computation between and after
+           them: if [at_external] handed the oracle the live array, the
+           steps after the first reply would scribble over the oracle's
+           snapshot. *)
+        let src =
+          "int ext(int x);\n\
+           int twice(int x) { return x + x; }\n\
+           int main(void) { int a = ext(5); int b = twice(a); return ext(b) + \
+           b; }"
+        in
+        let symbols, arts, q = compile_for src in
+        let result_reg =
+          Iface.Li.Mreg
+            (Target.Conventions.loc_result
+               { Memory.Mtypes.sig_args = [ Memory.Mtypes.Tint ];
+                 sig_res = Some Memory.Mtypes.Tint })
+        in
+        let captured = ref None in
+        let oracle (aq : Iface.Li.a_query) =
+          if !captured = None then
+            captured := Some (aq.Iface.Li.aq_rs, pp_pregs aq.Iface.Li.aq_rs);
+          let rs' =
+            Iface.Li.Pregfile.set Iface.Li.PC
+              (Iface.Li.Pregfile.get Iface.Li.RA aq.Iface.Li.aq_rs)
+              (Iface.Li.Pregfile.set result_reg (Vint 7l) aq.Iface.Li.aq_rs)
+          in
+          Some { Iface.Li.ar_rs = rs'; ar_mem = aq.Iface.Li.aq_mem }
+        in
+        let outcome =
+          Driver.Runners.run_a_level
+            (Backend.Asm.semantics ~symbols arts.Driver.Compiler.asm)
+            ~fuel ~oracle q
+        in
+        (match outcome with
+        | Ok (Core.Smallstep.Final _) -> ()
+        | Ok o ->
+          Alcotest.failf "run did not finish: %a" Driver.Runners.pp_c_outcome o
+        | Error e -> Alcotest.failf "marshal error: %s" e);
+        match !captured with
+        | None -> Alcotest.fail "no external call reached the oracle"
+        | Some (rs, before) ->
+          check "external-call snapshot unchanged after the run" true
+            (pp_pregs rs = before));
+  ]
+
+let suite = ("mutstate", qcheck_tests @ unit_tests)
